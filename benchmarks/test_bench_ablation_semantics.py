@@ -1,0 +1,101 @@
+"""A-2 — ablation of the semantic-type constraint on associations (§4.1).
+
+"The use of semantic types helps constrain the possible edges to add, by
+limiting fields to match over one or more semantic types. Nevertheless the
+space is still quite large."
+
+With the constraint off, attribute matching degrades to names only and
+service-input coverage accepts any injective assignment — the candidate
+edge set bloats, and column-completion precision (fraction of top-k
+suggestions that produce correct values for the known task) drops.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_scenario
+from repro.learning.integration import IntegrationLearner, discover_associations
+
+from .common import format_table, typed_shelters_catalog, write_report
+
+
+def completion_precision(learner, scenario, k: int = 6) -> float:
+    """Fraction of top-k completions whose values are non-trivially correct.
+
+    A completion counts as correct when it covers ≥80% of rows and, for the
+    attributes we have ground truth for (Zip/Lat/Lon), the values match.
+    """
+    from repro.core.engine import QueryEngine
+
+    engine = QueryEngine(scenario.catalog)
+    base = learner.base_query("Shelters")
+    completions = learner.column_completions(base, k=k)
+    if not completions:
+        return 0.0
+    truth = {r["Name"]: r for r in scenario.truth_rows()}
+    good = 0
+    for completion in completions:
+        result = engine.run(completion.query.plan)
+        rows = result.dicts()
+        if len(rows) < 0.8 * len(scenario.shelters):
+            continue
+        ok = True
+        for row in rows:
+            expected = truth.get(row.get("Name"))
+            if expected is None:
+                continue
+            for attr in ("Zip", "Lat", "Lon"):
+                if attr in row and row[attr] is not None and row[attr] != expected[attr]:
+                    ok = False
+        if ok:
+            good += 1
+    return good / len(completions)
+
+
+class TestSemanticTypeAblation:
+    def test_edge_count_bloats_without_types(self):
+        rows = []
+        for seed in (3, 5, 9):
+            scenario = build_scenario(seed=seed, n_shelters=8)
+            typed_shelters_catalog(scenario)
+            with_types = discover_associations(scenario.catalog, use_semantic_types=True)
+            without = discover_associations(scenario.catalog, use_semantic_types=False)
+            rows.append((seed, with_types.n_edges, without.n_edges,
+                         f"{without.n_edges / with_types.n_edges:.1f}x"))
+            assert without.n_edges >= 1.5 * with_types.n_edges
+        write_report(
+            "ablation_semantics_edges",
+            format_table(["seed", "edges (typed)", "edges (untyped)", "bloat"], rows),
+        )
+
+    def test_completion_precision_drops_without_types(self):
+        precisions = {True: [], False: []}
+        for seed in (3, 5):
+            for use_types in (True, False):
+                scenario = build_scenario(seed=seed, n_shelters=8)
+                typed_shelters_catalog(scenario)
+                learner = IntegrationLearner(
+                    scenario.catalog, use_semantic_types=use_types
+                )
+                precisions[use_types].append(
+                    completion_precision(learner, scenario)
+                )
+        mean_typed = sum(precisions[True]) / len(precisions[True])
+        mean_untyped = sum(precisions[False]) / len(precisions[False])
+        write_report(
+            "ablation_semantics_precision",
+            [
+                f"top-k completion precision with types:    {mean_typed:.2f}",
+                f"top-k completion precision without types: {mean_untyped:.2f}",
+            ],
+        )
+        assert mean_typed >= mean_untyped
+
+    def test_bench_discovery_with_types(self, benchmark):
+        scenario = build_scenario(seed=5, n_shelters=8)
+        typed_shelters_catalog(scenario)
+        graph = benchmark(
+            lambda: discover_associations(scenario.catalog, use_semantic_types=True)
+        )
+        assert graph.n_edges > 0

@@ -1,0 +1,141 @@
+"""A-4 / Section 5 "Feedback interaction" — cross-learner feedback.
+
+"We believe that ultimately there should be mechanisms for the integration
+learner to pass feedback from the integration mode to the source learners,
+and vice versa."
+
+Experiment: the imported Shelters source is *corrupted* with extraction
+errors (bogus rows a sloppy wrapper might emit — ad fragments that look
+like records). In integration mode the zip resolver finds nothing for
+them, polluting the output. The user demotes those output tuples with
+``distrust_base_rows=True``; the feedback crosses from the integration
+side to the *source* side (the base rows are distrusted and vanish from
+scans), and suggestion coverage recovers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CopyCatSession, build_scenario
+from repro.substrate.relational import (
+    Attribute,
+    Relation,
+    Schema,
+    Scan,
+    SourceMetadata,
+)
+from repro.substrate.relational.schema import CITY, PLACE, STREET
+
+from .common import format_table, write_report
+
+BOGUS_ROWS = [
+    {"Name": "SPONSORED: Generators in stock", "Street": "click here", "City": "now"},
+    {"Name": "Donate to the relief fund", "Street": "visit", "City": "site"},
+]
+
+
+def corrupted_catalog(scenario):
+    catalog = scenario.catalog
+    shelters = Relation(
+        "Shelters",
+        Schema(
+            [
+                Attribute("Name", PLACE),
+                Attribute("Street", STREET),
+                Attribute("City", CITY),
+            ]
+        ),
+    )
+    for row in scenario.truth_shelter_rows():
+        shelters.add(row)
+    for row in BOGUS_ROWS:
+        shelters.add(row)
+    catalog.add_relation(shelters, SourceMetadata(origin="paste"))
+    return catalog
+
+
+def zip_suggestion(session, k: int = 8):
+    suggestions = session.column_suggestions(k=k, refresh=True)
+    return next(
+        s for s in suggestions
+        if "Zip" in s.attribute_names and s.source == "ZipcodeResolver"
+    )
+
+
+class TestFeedbackCooperation:
+    def test_demotions_recover_coverage(self):
+        scenario = build_scenario(seed=5, n_shelters=10, noise=1)
+        corrupted_catalog(scenario)
+        session = CopyCatSession(catalog=scenario.catalog, seed=1)
+        session.start_integration("Shelters")
+        table = session.workspace.tab(session.OUTPUT_TAB)
+        assert table.n_rows == 12  # 10 real + 2 bogus
+
+        before = zip_suggestion(session)
+        assert before.coverage < 1.0  # bogus rows cannot be resolved
+
+        # The user spots the junk tuples (no zip, nonsense values) and
+        # demotes them, distrusting the underlying extraction.
+        bogus_names = {row["Name"] for row in BOGUS_ROWS}
+        demoted = 0
+        for row_index in range(table.n_rows):
+            if table.cell(row_index, 0).value in bogus_names:
+                session.demote_row(row_index, distrust_base_rows=True)
+                demoted += 1
+        assert demoted == 2
+
+        # Cross-learner effect 1: the source scan no longer yields them.
+        remaining = session.engine.run(Scan("Shelters"))
+        assert len(remaining) == 10
+        assert not bogus_names & {r["Name"] for r in remaining.plain_rows()}
+
+        # Cross-learner effect 2: fresh suggestions are clean again. The
+        # workspace still displays 12 rows (the user hasn't deleted them),
+        # so we measure coverage over the *trusted* base rows.
+        after = zip_suggestion(session)
+        resolved_after = sum(1 for value in after.values if value[0] is not None)
+        assert resolved_after == 10
+
+        # Cross-learner effect 3: source trust dropped.
+        trust = session.catalog.metadata("Shelters").trust
+        assert trust < 1.0
+
+        write_report(
+            "feedback_cooperation",
+            format_table(
+                ["stage", "zip coverage", "source rows", "source trust"],
+                [
+                    ("corrupted import", f"{before.coverage:.0%}", 12, "1.00"),
+                    (
+                        "after 2 tuple demotions",
+                        f"{resolved_after}/12 rows resolved (all 10 real)",
+                        10,
+                        f"{trust:.2f}",
+                    ),
+                ],
+            ),
+        )
+
+    def test_trust_affects_ranking(self):
+        """Demoted sources sink in the suggestion ranking on cost ties."""
+        scenario = build_scenario(seed=5, n_shelters=8)
+        corrupted_catalog(scenario)
+        session = CopyCatSession(catalog=scenario.catalog, seed=1)
+        session.start_integration("Shelters")
+        before = [s.source for s in session.column_suggestions(k=8)]
+        session.catalog.metadata("DamageReports").trust = 0.2
+        after = [s.source for s in session.column_suggestions(k=8, refresh=True)]
+        assert after.index("DamageReports") > before.index("DamageReports")
+
+    def test_bench_demote_with_distrust(self, benchmark):
+        def once():
+            scenario = build_scenario(seed=5, n_shelters=10, noise=1)
+            corrupted_catalog(scenario)
+            session = CopyCatSession(catalog=scenario.catalog, seed=1)
+            session.start_integration("Shelters")
+            session.demote_row(10, distrust_base_rows=True)
+            return len(session.engine.run(Scan("Shelters")))
+
+        remaining = benchmark.pedantic(once, rounds=3, iterations=1)
+        assert remaining == 11

@@ -1,0 +1,88 @@
+"""E1 / Figure 1 — import mode.
+
+Reproduces the Figure-1 interaction: two pasted shelter rows generalize to
+the full listing (row auto-completion) and the Street/City columns are
+typed PR-Street / PR-City. Reports row-suggestion precision/recall and
+column-type top-1 hits; benchmarks the paste→generalize latency.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Browser, CopyCatSession, build_scenario
+from repro.learning.model import seed_type_learner
+from repro.learning.structure import StructureLearner
+
+from .common import format_table, listing_records, write_report
+
+
+def run_import(scenario, session):
+    browser = Browser(session.clipboard, scenario.website)
+    browser.navigate(scenario.list_urls()[0])
+    records = listing_records(browser)
+    browser.copy_record(records[0], "Shelters")
+    session.paste()
+    browser.copy_record(records[1], "Shelters")
+    return session.paste()
+
+
+def suggestion_quality(scenario, outcome):
+    truth = {
+        (r["Name"], r["Street"], r["City"]) for r in scenario.truth_shelter_rows()
+    }
+    suggested = {tuple(row) for row in outcome.row_suggestion.rows}
+    pasted = 2
+    expected_suggestions = truth - set(list(truth)[:0])  # all truth rows
+    true_positive = len(suggested & truth)
+    precision = true_positive / len(suggested) if suggested else 0.0
+    recall = (true_positive + pasted) / len(truth)
+    return precision, recall
+
+
+class TestFigure1:
+    def test_row_autocompletion_is_exact(self):
+        rows = []
+        for seed in (5, 7, 11, 13):
+            scenario = build_scenario(seed=seed, n_shelters=10, noise=1)
+            session = CopyCatSession(catalog=scenario.catalog, seed=1)
+            outcome = run_import(scenario, session)
+            precision, recall = suggestion_quality(scenario, outcome)
+            rows.append((seed, f"{precision:.2f}", f"{recall:.2f}", outcome.n_suggested_rows))
+            assert precision == 1.0
+            assert recall == 1.0
+        report = format_table(
+            ["seed", "row precision", "row recall", "suggested rows"], rows
+        )
+        write_report("fig1_row_autocompletion", report)
+
+    def test_column_types_match_figure(self):
+        scenario = build_scenario(seed=5, n_shelters=10, noise=1)
+        session = CopyCatSession(catalog=scenario.catalog, seed=1)
+        run_import(scenario, session)
+        table = session.workspace.tab("Shelters")
+        types = [c.semantic_type.name for c in table.columns]
+        # Figure 1: columns 2 and 3 suggested as PR-Street and PR-City.
+        assert types[1] == "PR-Street"
+        assert types[2] == "PR-City"
+        write_report(
+            "fig1_column_types",
+            [f"column {i}: {name}" for i, name in enumerate(types)],
+        )
+
+    def test_bench_paste_and_generalize(self, benchmark):
+        scenario = build_scenario(seed=5, n_shelters=10, noise=1)
+        type_learner = seed_type_learner(seed=1)
+
+        def once():
+            session = CopyCatSession(
+                catalog=scenario.catalog,
+                seed=1,
+                type_learner=type_learner,
+                structure_learner=StructureLearner(type_learner=type_learner),
+            )
+            outcome = run_import(scenario, session)
+            return outcome.n_suggested_rows
+
+        suggested = benchmark(once)
+        assert suggested == 8

@@ -1,0 +1,106 @@
+"""E2 / Figure 2 — integration mode: the Zip column auto-completion.
+
+Reproduces the Figure-2 interaction: with the Shelters source imported and
+the zip-code resolver known, the system suggests a Zip column computed by a
+dependent join; the Tuple Explanation pane shows Street and City feeding the
+resolver. Verifies value correctness, explanation structure, and that one
+acceptance makes the Zip completion rank first. Benchmarks the end-to-end
+column-suggestion computation (the queries are actually executed).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CopyCatSession, build_scenario
+
+from .common import format_table, typed_shelters_catalog, write_report
+
+
+def make_session():
+    scenario = build_scenario(seed=5, n_shelters=10, noise=1)
+    typed_shelters_catalog(scenario)
+    session = CopyCatSession(catalog=scenario.catalog, seed=1)
+    session.start_integration("Shelters")
+    return scenario, session
+
+
+class TestFigure2:
+    def test_zip_suggested_and_values_correct(self):
+        scenario, session = make_session()
+        suggestions = session.column_suggestions(k=8)
+        descriptions = [s.describe() for s in suggestions]
+        zip_rank = next(
+            i for i, s in enumerate(suggestions)
+            if "Zip" in s.attribute_names and s.source == "ZipcodeResolver"
+        )
+        assert zip_rank < 5, "Zip must be among the promising completions"
+        suggestion = suggestions[zip_rank]
+        assert suggestion.coverage == 1.0
+        truth = {r["Name"]: r["Zip"] for r in scenario.truth_rows()}
+        table = session.workspace.tab(session.OUTPUT_TAB)
+        correct = sum(
+            1
+            for row_index, value in enumerate(suggestion.values)
+            if value[0] == truth[table.cell(row_index, 0).value]
+        )
+        assert correct == len(scenario.shelters)
+        write_report(
+            "fig2_suggestions",
+            [f"rank {i + 1}: {d}" for i, d in enumerate(descriptions)]
+            + [f"zip value accuracy: {correct}/{len(scenario.shelters)}"],
+        )
+
+    def test_explanation_pane_structure(self):
+        _, session = make_session()
+        suggestions = session.column_suggestions(k=8)
+        zip_index = next(
+            i for i, s in enumerate(suggestions)
+            if "Zip" in s.attribute_names and s.source == "ZipcodeResolver"
+        )
+        session.preview_column(zip_index)
+        explanation = session.explain(0)
+        rendered = explanation.render()
+        # Figure 2's pane: three attributes from Shelters; Street and City
+        # fed into the Zipcode Resolver, yielding Zip.
+        assert "Shelters" in rendered
+        assert "Shelters.Street --> ZipcodeResolver(Street)" in rendered
+        assert "Shelters.City --> ZipcodeResolver(City)" in rendered
+        write_report("fig2_explanation", rendered.split("\n"))
+
+    def test_acceptance_makes_zip_top_ranked(self):
+        _, session = make_session()
+        suggestions = session.column_suggestions(k=8)
+        zip_index = next(
+            i for i, s in enumerate(suggestions)
+            if "Zip" in s.attribute_names and s.source == "ZipcodeResolver"
+        )
+        edge_key = suggestions[zip_index].completion.edge.key
+        session.accept_column(zip_index)
+        # Rebuild from scratch: a fresh base query must now rank Zip first.
+        fresh = session.integration_learner.column_completions(
+            session.integration_learner.base_query("Shelters"), k=8
+        )
+        assert fresh[0].edge.key == edge_key
+
+    def test_ambiguous_completion_reports_alternatives(self):
+        """The city-wide zip directory returns several zips for a city; the
+        suggestion must surface the alternatives (Example 1's ambiguity)."""
+        scenario, session = make_session()
+        suggestions = session.column_suggestions(k=8)
+        directory = next(
+            (s for s in suggestions if s.source == "CityZipDirectory"), None
+        )
+        if directory is None:
+            pytest.skip("CityZipDirectory not among top-k this run")
+        multi = [alts for alts in directory.alternatives if alts]
+        assert multi, "expected at least one ambiguous lookup"
+
+    def test_bench_column_suggestions(self, benchmark):
+        scenario, session = make_session()
+
+        def once():
+            return len(session.column_suggestions(k=8, refresh=True))
+
+        count = benchmark(once)
+        assert count >= 4

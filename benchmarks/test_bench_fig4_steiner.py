@@ -1,0 +1,136 @@
+"""E4 / Figure 4 — the source graph and its Steiner-tree query.
+
+Reconstructs the Figure-4 subset of the running example's source graph —
+data sources (rectangles) and services (rounded) with cost-annotated
+association edges — and checks that top-k Steiner search ranks the paper's
+bolded query (Shelters joined through the zip-code service to the map
+service) first, with exact and SPCSH search agreeing on this small graph.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.learning.integration import (
+    Association,
+    SourceGraph,
+    SourceNode,
+    exact_top_k_steiner,
+    spcsh_top_k_steiner,
+)
+from repro.substrate.relational.schema import (
+    CITY,
+    LATITUDE,
+    LONGITUDE,
+    NAME,
+    PHONE,
+    PLACE,
+    STREET,
+    ZIPCODE,
+    Attribute,
+    Schema,
+)
+
+from .common import format_table, write_report
+
+
+def figure4_graph() -> SourceGraph:
+    """The Figure-4 subset: Shelters, Contacts, Zip Codes, Map, Directory."""
+    graph = SourceGraph()
+    graph.add_node(
+        SourceNode(
+            "Shelters",
+            Schema([Attribute("Name", PLACE), Attribute("Street", STREET), Attribute("City", CITY)]),
+            is_service=False,
+        )
+    )
+    graph.add_node(
+        SourceNode(
+            "Contacts",
+            Schema([Attribute("Shelter", PLACE), Attribute("Contact", NAME), Attribute("Phone", PHONE)]),
+            is_service=False,
+        )
+    )
+    graph.add_node(
+        SourceNode(
+            "ZipCodes",
+            Schema([Attribute("Street", STREET), Attribute("City", CITY), Attribute("Zip", ZIPCODE)]),
+            is_service=True,
+            inputs=("Street", "City"),
+        )
+    )
+    graph.add_node(
+        SourceNode(
+            "Map",
+            Schema([Attribute("Street", STREET), Attribute("City", CITY), Attribute("Lat", LATITUDE), Attribute("Lon", LONGITUDE)]),
+            is_service=True,
+            inputs=("Street", "City"),
+        )
+    )
+    graph.add_node(
+        SourceNode(
+            "ReverseDirectory",
+            Schema([Attribute("Phone", PHONE), Attribute("Contact", NAME)]),
+            is_service=True,
+            inputs=("Phone",),
+        )
+    )
+    # Edge costs c_i as in the figure's annotations: cheap service feeds from
+    # Shelters, a dearer record-link to Contacts, and a directory hop.
+    graph.add_edge(
+        Association("Shelters", "ZipCodes", "service", (("Street", "Street"), ("City", "City"))),
+        cost=1.0,
+    )
+    graph.add_edge(
+        Association("Shelters", "Map", "service", (("Street", "Street"), ("City", "City"))),
+        cost=1.0,
+    )
+    graph.add_edge(
+        Association("Shelters", "Contacts", "record-link", (("Name", "Shelter"),)),
+        cost=1.5,
+    )
+    graph.add_edge(
+        Association("Contacts", "ReverseDirectory", "service", (("Phone", "Phone"),)),
+        cost=1.0,
+    )
+    return graph
+
+
+class TestFigure4:
+    def test_bolded_query_ranks_first(self):
+        graph = figure4_graph()
+        trees = exact_top_k_steiner(graph, ["Shelters", "ZipCodes", "Map"], k=3)
+        assert trees[0].nodes == frozenset({"Shelters", "ZipCodes", "Map"})
+        assert trees[0].cost == pytest.approx(2.0)
+        rows = [(str(t), f"{t.cost:.2f}") for t in trees]
+        write_report("fig4_queries", format_table(["tree", "cost"], rows))
+
+    def test_exact_and_spcsh_agree_on_small_graph(self):
+        graph = figure4_graph()
+        terminals = ["Shelters", "Contacts", "ZipCodes"]
+        exact = exact_top_k_steiner(graph, terminals, k=2)
+        approx = spcsh_top_k_steiner(graph, terminals, k=2)
+        assert exact[0].cost == pytest.approx(approx[0].cost)
+        assert exact[0].nodes == approx[0].nodes
+
+    def test_contacts_connect_via_record_link(self):
+        graph = figure4_graph()
+        trees = exact_top_k_steiner(graph, ["Shelters", "Contacts"], k=1)
+        assert trees[0].edges[0].kind == "record-link"
+
+    def test_render_matches_figure_vocabulary(self):
+        graph = figure4_graph()
+        rendered = graph.render()
+        assert "(service) ZipCodes" in rendered
+        assert "[source] Shelters" in rendered
+        assert "needs(Street, City)" in rendered
+        write_report("fig4_graph", rendered.split("\n"))
+
+    def test_bench_exact_steiner_figure4(self, benchmark):
+        graph = figure4_graph()
+
+        def once():
+            return exact_top_k_steiner(graph, ["Shelters", "ZipCodes", "Map"], k=3)
+
+        trees = benchmark(once)
+        assert trees[0].cost == pytest.approx(2.0)

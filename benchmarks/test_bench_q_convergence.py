@@ -1,0 +1,180 @@
+"""T-Q / Section 5 — the Q-system feedback-convergence claims.
+
+"learning of correct queries based on user feedback over answers converges
+very quickly in real domains ... (as little as one item of feedback for a
+single query, and feedback on 10 queries to learn rankings for an entire
+family of queries)."
+
+Two experiments:
+
+(a) **single query** — on the scenario source graph, the user's intended
+    column completion is not ranked first under default weights; count the
+    feedback rounds (accept-once = one item) until it ranks first.
+
+(b) **query family** — a synthetic domain with *hidden* true edge costs.
+    Tasks are Steiner queries over random terminal pairs; the correct answer
+    for a task is the top tree under the hidden costs. Train MIRA by giving
+    one acceptance per training task; measure top-1 agreement on held-out
+    tasks as a function of the number of trained queries. The curve should
+    be near its plateau by ~10 trained queries.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import build_scenario
+from repro.learning.integration import (
+    Association,
+    IntegrationLearner,
+    MiraLearner,
+    SourceGraph,
+    SourceNode,
+    exact_top_k_steiner,
+)
+from repro.substrate.relational import schema_of
+from repro.util.rng import make_rng
+
+from .common import format_table, typed_shelters_catalog, write_report
+
+
+class TestSingleQueryConvergence:
+    def test_one_feedback_item_suffices(self):
+        rows = []
+        for seed in (3, 5, 9, 13):
+            scenario = build_scenario(seed=seed, n_shelters=8)
+            typed_shelters_catalog(scenario)
+            learner = IntegrationLearner(scenario.catalog)
+            base = learner.base_query("Shelters")
+            completions = learner.column_completions(base, k=6)
+            # Intended completion: the last-ranked one (worst case).
+            target = completions[-1]
+            rounds = 0
+            while completions[0].edge.key != target.edge.key and rounds < 5:
+                rounds += 1
+                learner.accept_query(
+                    target.query, [c.query for c in completions if c is not target]
+                )
+                completions = learner.column_completions(base, k=6)
+            assert completions[0].edge.key == target.edge.key
+            rows.append((seed, rounds))
+            assert rounds <= 1, "single-query convergence must take ≤1 feedback item"
+        write_report(
+            "q_single_query",
+            format_table(["seed", "feedback rounds to top-1"], rows)
+            + ["", "paper: 'as little as one item of feedback for a single query'"],
+        )
+
+
+def hidden_cost_world(seed: int, n_nodes: int = 12, extra_edges: int = 16):
+    """A random source graph with hidden true costs for the family study.
+
+    Visible default costs are uniform (1.0); the hidden truth makes half the
+    edges cheap (preferred) and half expensive, simulating a user's latent
+    preference for certain associations.
+    """
+    rng = make_rng(seed)
+    graph = SourceGraph()
+    names = [f"S{i}" for i in range(n_nodes)]
+    for name in names:
+        graph.add_node(SourceNode(name, schema_of("x"), False))
+    edges = []
+    # A random spanning tree keeps the graph connected...
+    shuffled = list(names)
+    rng.shuffle(shuffled)
+    for a, b in zip(shuffled, shuffled[1:]):
+        edges.append((a, b))
+    # ... plus extra chords for alternative routes.
+    while len(edges) < len(names) - 1 + extra_edges:
+        a, b = rng.sample(names, 2)
+        if (a, b) not in edges and (b, a) not in edges:
+            edges.append((a, b))
+    hidden: dict[str, float] = {}
+    for a, b in edges:
+        assoc = graph.add_edge(
+            Association(a, b, "join", (("x", "x"),)), cost=1.0
+        )
+        hidden[assoc.key] = rng.choice([0.3, 2.5])
+    return graph, hidden
+
+
+def true_best(graph: SourceGraph, hidden: dict[str, float], terminals):
+    """Top tree under the hidden costs."""
+    saved = dict(graph.weights)
+    graph.weights.update(hidden)
+    try:
+        best = exact_top_k_steiner(graph, terminals, k=1)
+    finally:
+        graph.weights.clear()
+        graph.weights.update(saved)
+    return best[0] if best else None
+
+
+class TestFamilyConvergence:
+    def run_family(self, seed: int):
+        graph, hidden = hidden_cost_world(seed)
+        rng = make_rng(seed + 1)
+        names = graph.node_names()
+        tasks = []
+        while len(tasks) < 40:
+            terminals = tuple(sorted(rng.sample(names, 3)))
+            if terminals not in tasks:
+                tasks.append(terminals)
+        train, test = tasks[:20], tasks[20:]
+        mira = MiraLearner(graph, margin=0.5)
+
+        def accuracy():
+            hits = 0
+            for terminals in test:
+                truth = true_best(graph, hidden, terminals)
+                predicted = exact_top_k_steiner(graph, terminals, k=1)
+                if truth and predicted and predicted[0].nodes == truth.nodes:
+                    hits += 1
+            return hits / len(test)
+
+        curve = {0: accuracy()}
+        for count, terminals in enumerate(train, start=1):
+            truth = true_best(graph, hidden, terminals)
+            shown = exact_top_k_steiner(graph, terminals, k=6)
+            if truth is not None:
+                mira.accept(
+                    truth.feature_keys(),
+                    [t.feature_keys() for t in shown if t.nodes != truth.nodes],
+                )
+            if count in (1, 2, 5, 10, 15, 20):
+                curve[count] = accuracy()
+        return curve
+
+    def test_family_learning_plateaus_by_ten(self):
+        curves = [self.run_family(seed) for seed in (1, 2, 3)]
+        mean = {
+            n: sum(curve[n] for curve in curves) / len(curves)
+            for n in curves[0]
+        }
+        rows = [(n, f"{mean[n]:.2f}") for n in sorted(mean)]
+        write_report(
+            "q_family_convergence",
+            format_table(["trained queries", "held-out top-1 accuracy"], rows)
+            + ["", "paper: 'feedback on 10 queries to learn rankings for an entire family'"],
+        )
+        assert mean[10] > mean[0], "training must help"
+        assert mean[10] >= 0.8 * max(mean.values()), "near plateau by 10 queries"
+
+    def test_bench_family_round(self, benchmark):
+        graph, hidden = hidden_cost_world(7)
+        mira = MiraLearner(graph, margin=0.3)
+        names = graph.node_names()
+
+        def once():
+            terminals = (names[0], names[-1])
+            truth = true_best(graph, hidden, terminals)
+            shown = exact_top_k_steiner(graph, terminals, k=4)
+            mira.accept(
+                truth.feature_keys(),
+                [t.feature_keys() for t in shown if t.nodes != truth.nodes],
+            )
+            return len(shown)
+
+        assert benchmark(once) >= 1

@@ -1,0 +1,140 @@
+"""T-S / Section 4.2 — exact vs SPCSH Steiner-tree scaling.
+
+"For small source graphs, we can compute the most promising queries using
+an exact top-k Steiner tree algorithm ... For larger graphs we use the
+SPCSH Steiner tree approximation algorithm, which prunes 'non-promising'
+edges from the source graph for better scaling."
+
+Sweep random source graphs of growing size with 3 terminals; measure
+wall-clock for exact enumeration vs SPCSH, plus the SPCSH cost ratio
+(approx / exact) where exact is still feasible. Expected shape: the exact
+algorithm's runtime explodes combinatorially past ~20 nodes while SPCSH
+stays flat; the quality gap stays small (ratio ≤ ~1.2).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.learning.integration import (
+    Association,
+    SourceGraph,
+    SourceNode,
+    exact_top_k_steiner,
+    spcsh_top_k_steiner,
+)
+from repro.substrate.relational import schema_of
+from repro.util.rng import make_rng
+
+from .common import format_table, write_report
+
+EXACT_FEASIBLE = 20  # beyond this the exact algorithm is not timed
+
+
+def random_graph(n_nodes: int, seed: int, avg_degree: float = 3.0) -> SourceGraph:
+    rng = make_rng(seed)
+    graph = SourceGraph()
+    names = [f"S{i}" for i in range(n_nodes)]
+    for name in names:
+        graph.add_node(SourceNode(name, schema_of("x"), False))
+    shuffled = list(names)
+    rng.shuffle(shuffled)
+    seen = set()
+    for a, b in zip(shuffled, shuffled[1:]):
+        graph.add_edge(
+            Association(a, b, "join", (("x", "x"),)), cost=rng.uniform(0.5, 2.0)
+        )
+        seen.add(frozenset((a, b)))
+    target_edges = int(n_nodes * avg_degree / 2)
+    while graph.n_edges < target_edges:
+        a, b = rng.sample(names, 2)
+        if frozenset((a, b)) in seen:
+            continue
+        seen.add(frozenset((a, b)))
+        graph.add_edge(
+            Association(a, b, "join", (("x", "x"),)), cost=rng.uniform(0.5, 2.0)
+        )
+    return graph
+
+
+def pick_terminals(graph: SourceGraph, seed: int, count: int = 3) -> list[str]:
+    rng = make_rng(seed * 7 + 1)
+    return rng.sample(graph.node_names(), count)
+
+
+class TestSteinerScaling:
+    def test_scaling_sweep(self):
+        rows = []
+        exact_times: dict[int, float] = {}
+        spcsh_times: dict[int, float] = {}
+        for n_nodes in (8, 12, 16, 20, 28, 40):
+            graph = random_graph(n_nodes, seed=n_nodes)
+            terminals = pick_terminals(graph, seed=n_nodes)
+            if n_nodes <= EXACT_FEASIBLE:
+                start = time.perf_counter()
+                exact = exact_top_k_steiner(graph, terminals, k=3)
+                exact_times[n_nodes] = time.perf_counter() - start
+            else:
+                exact = None
+            start = time.perf_counter()
+            approx = spcsh_top_k_steiner(graph, terminals, k=3)
+            spcsh_times[n_nodes] = time.perf_counter() - start
+            if exact:
+                ratio = approx[0].cost / exact[0].cost if exact[0].cost else 1.0
+                assert ratio <= 1.25 + 1e-9, f"SPCSH quality gap too large: {ratio}"
+                ratio_text = f"{ratio:.3f}"
+                exact_text = f"{exact_times[n_nodes] * 1000:.1f}"
+            else:
+                ratio_text = "n/a"
+                exact_text = "(infeasible)"
+            rows.append(
+                (
+                    n_nodes,
+                    graph.n_edges,
+                    exact_text,
+                    f"{spcsh_times[n_nodes] * 1000:.1f}",
+                    ratio_text,
+                )
+            )
+        write_report(
+            "steiner_scaling",
+            format_table(
+                ["nodes", "edges", "exact ms", "SPCSH ms", "cost ratio"], rows
+            )
+            + ["", "shape: exact blows up combinatorially; SPCSH stays flat"],
+        )
+        # Exact runtime must grow super-linearly (x16 -> x20 more than 4x).
+        assert exact_times[20] > exact_times[12] * 4
+        # SPCSH at 40 nodes must still beat exact at 20 nodes.
+        assert spcsh_times[40] < exact_times[20]
+
+    def test_spcsh_quality_across_seeds(self):
+        ratios = []
+        for seed in range(5):
+            graph = random_graph(14, seed=100 + seed)
+            terminals = pick_terminals(graph, seed=100 + seed)
+            exact = exact_top_k_steiner(graph, terminals, k=1)
+            approx = spcsh_top_k_steiner(graph, terminals, k=1)
+            if exact and approx and exact[0].cost > 0:
+                ratios.append(approx[0].cost / exact[0].cost)
+        assert ratios
+        assert max(ratios) <= 1.25
+        write_report(
+            "steiner_quality",
+            [f"seed {i}: cost ratio {r:.3f}" for i, r in enumerate(ratios)]
+            + [f"max ratio: {max(ratios):.3f}"],
+        )
+
+    def test_bench_exact_small(self, benchmark):
+        graph = random_graph(12, seed=12)
+        terminals = pick_terminals(graph, seed=12)
+        trees = benchmark(lambda: exact_top_k_steiner(graph, terminals, k=3))
+        assert trees
+
+    def test_bench_spcsh_large(self, benchmark):
+        graph = random_graph(40, seed=40)
+        terminals = pick_terminals(graph, seed=40)
+        trees = benchmark(lambda: spcsh_top_k_steiner(graph, terminals, k=3))
+        assert trees

@@ -1,0 +1,100 @@
+"""E-TF / Section 5 — searching the function space for transforms.
+
+"Sometimes the user will want to apply complex operations that are
+difficult to demonstrate: for instance, perform an aggregation or evaluate
+an arithmetic expression. It is important to explore approaches to
+searching for possible functions [19]."
+
+A battery of transform tasks over scenario data (formatting, extraction,
+concatenation, unit arithmetic): for each, the learner sees 2 examples and
+must complete the remaining rows. Reports per-task success and the number
+of examples needed; benchmarks the function-space search itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_scenario
+from repro.learning.transforms import TransformLearner
+
+from .common import format_table, write_report
+
+
+def battery(scenario):
+    """(name, rows, target_fn) transform tasks over the scenario's data."""
+    rows = scenario.truth_rows()
+    return [
+        ("full address", rows, lambda r: f"{r['Street']}, {r['City']}"),
+        ("city upper", rows, lambda r: r["City"].upper()),
+        ("street number", rows, lambda r: r["Street"].split()[0]),
+        ("zip prefix3", rows, lambda r: r["Zip"][:3]),
+        ("lat rounded", rows, lambda r: round(r["Lat"], 2)),
+        ("lat offset", rows, lambda r: r["Lat"] + 100.0),
+        ("lon scaled", rows, lambda r: r["Lon"] * 2.0),
+        ("name-city label", rows, lambda r: f"{r['Name']} - {r['City']}"),
+    ]
+
+
+class TestTransformBattery:
+    def test_few_examples_complete_each_task(self):
+        """Flash-fill protocol: give examples until the completion is right.
+
+        Most tasks need the minimum two; genuinely ambiguous ones (e.g. two
+        latitudes that agree under several roundings) may need a third
+        disambiguating example — the paper's point that demonstrations can
+        underdetermine the function.
+        """
+        scenario = build_scenario(seed=5, n_shelters=10)
+        learner = TransformLearner()
+        report_rows = []
+        failures = []
+        max_examples = 4
+        for name, rows, target in battery(scenario):
+            solved_with = None
+            best = None
+            for n_examples in range(2, max_examples + 1):
+                examples = [(row, target(row)) for row in rows[:n_examples]]
+                ranked = learner.learn(examples)
+                if not ranked:
+                    continue
+                best = ranked[0]
+                holdout = rows[n_examples:]
+                if all(_close(best.apply(row), target(row)) for row in holdout):
+                    solved_with = n_examples
+                    break
+            if solved_with is None:
+                failures.append(name)
+                report_rows.append((name, "(unsolved)", f">{max_examples}"))
+            else:
+                report_rows.append((name, best.description, solved_with))
+        write_report(
+            "transform_battery",
+            format_table(["task", "learned transform", "examples needed"], report_rows),
+        )
+        assert not failures, f"transform search failed on: {failures}"
+
+    def test_search_is_selective(self):
+        """The search must not hallucinate a transform for noise."""
+        learner = TransformLearner()
+        ranked = learner.learn(
+            [({"a": "xyz"}, "unrelated-1"), ({"a": "pqr"}, "gibberish-2")]
+        )
+        assert ranked == []
+
+    def test_bench_function_space_search(self, benchmark):
+        scenario = build_scenario(seed=5, n_shelters=10)
+        learner = TransformLearner()
+        rows = scenario.truth_rows()
+        examples = [
+            (rows[0], f"{rows[0]['Street']}, {rows[0]['City']}"),
+            (rows[1], f"{rows[1]['Street']}, {rows[1]['City']}"),
+        ]
+        best = benchmark(lambda: learner.best(examples))
+        assert best.kind == "concat"
+
+
+def _close(a, b):
+    if isinstance(a, float) and isinstance(b, float):
+        return abs(a - b) < 1e-6
+    return a == b

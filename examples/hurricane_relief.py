@@ -1,0 +1,130 @@
+"""The full Section 8 demonstration: plot shelters on a map.
+
+A FEMA integrator assembles, purely by copy & paste:
+
+1. the shelter list from a TV-news website (structure learner generalizes
+   two pasted rows into the full list, model learner types the columns);
+2. the contacts spreadsheet (trivially structured source);
+3. an integrated table with Zip (zip-code resolver), Lat/Lon (geocoder),
+   and approximately-linked contact info (record linking on noisy names);
+4. a provenance explanation for an integrated tuple;
+5. exports: XML and a Google-Maps-style mashup page.
+
+Run:  python examples/hurricane_relief.py [output_dir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro import (
+    Browser,
+    CopyCatSession,
+    SpreadsheetApp,
+    build_scenario,
+    to_map_html,
+    to_xml,
+)
+from repro.linking.linker import LinkExample
+from repro.substrate.documents import CellRange
+from repro.substrate.relational.schema import PLACE
+
+
+def import_shelter_site(session, scenario):
+    """Figure 1: paste two rows, generalize, label, commit."""
+    browser = Browser(session.clipboard, scenario.website)
+    browser.navigate(scenario.list_urls()[0])
+    listing = browser.page.dom.find("table", "listing")
+    records = [n for n in listing.children if "record" in n.css_classes]
+    for record in records[:2]:
+        browser.copy_record(record, "Shelters")
+        session.paste()
+    session.accept_row_suggestions()
+    for index, label in enumerate(["Name", "Street", "City"]):
+        session.label_column(index, label)
+    relation = session.commit_source()
+    print(f"imported {relation.name}: {len(relation)} rows, schema {relation.schema}")
+
+
+def import_contacts(session, scenario):
+    """The spreadsheet source: one 2-row paste generalizes the whole sheet."""
+    app = SpreadsheetApp(session.clipboard, scenario.contacts_workbook)
+    app.open_sheet()
+    app.copy_range(CellRange(0, 0, 1, 3), source_name="Contacts")
+    session.paste()
+    session.accept_row_suggestions()
+    for index, label in enumerate(["Shelter", "Contact", "Phone", "Address"]):
+        session.label_column(index, label)
+    session.set_column_type(0, PLACE, learn_from_values=False)
+    relation = session.commit_source()
+    print(f"imported {relation.name}: {len(relation)} rows")
+
+
+def accept_column_from(session, source, attrs):
+    suggestions = session.column_suggestions(k=10)
+    index = next(
+        i for i, s in enumerate(suggestions)
+        if s.source == source and set(attrs) <= set(s.attribute_names)
+    )
+    session.preview_column(index)
+    suggestion = session.accept_column(index)
+    print(f"accepted: {suggestion.describe()}")
+    return suggestion
+
+
+def teach_record_linker(session, scenario):
+    """Example 1: the integrator pastes the matching contact for the first
+    shelters; CopyCat learns the best combination of linking heuristics."""
+    session.column_suggestions(k=10)  # instantiate candidate linkers
+    contacts = [row.as_dict() for row in session.catalog.relation("Contacts")]
+    for shelter in scenario.shelters[:2]:
+        left = {"Name": shelter.name}
+        right = next(row for row in contacts if row["Phone"] == shelter.phone)
+        updates = session.add_link_example(left, right)
+        print(f"link example: {shelter.name!r} ~ {right['Shelter']!r} "
+              f"({updates} weight updates)")
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("out")
+    scenario = build_scenario(seed=5, n_shelters=10, noise=1)
+    session = CopyCatSession(catalog=scenario.catalog, seed=1)
+
+    print("== import mode ==")
+    import_shelter_site(session, scenario)
+    import_contacts(session, scenario)
+
+    print("\n== integration mode ==")
+    session.start_integration("Shelters")
+    accept_column_from(session, "ZipcodeResolver", ["Zip"])
+    accept_column_from(session, "Geocoder", ["Lat", "Lon"])
+    teach_record_linker(session, scenario)
+    accept_column_from(session, "Contacts", ["Contact", "Phone"])
+
+    table = session.workspace.tab(session.OUTPUT_TAB)
+    print("\n== integrated table ==")
+    print(table.render_text())
+
+    print("\n== tuple explanation (row 0) ==")
+    print(session.explain(0).render())
+
+    # Accuracy vs ground truth.
+    truth = {r["Name"]: r for r in scenario.truth_rows()}
+    name_col = table.column_index("Name")
+    phone_col = table.column_index("Phone")
+    correct = sum(
+        1
+        for i in range(table.n_rows)
+        if table.cell(i, phone_col).value == truth[table.cell(i, name_col).value]["Phone"]
+    )
+    print(f"\ncontact linkage accuracy: {correct}/{table.n_rows}")
+
+    out_dir.mkdir(parents=True, exist_ok=True)
+    (out_dir / "shelters.xml").write_text(to_xml(table, root="shelters", row_element="shelter"))
+    (out_dir / "shelters_map.html").write_text(
+        to_map_html(table, label_attr="Name", title="Hurricane shelters")
+    )
+    print(f"\nexported {out_dir}/shelters.xml and {out_dir}/shelters_map.html")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Importing from every wrapper the paper names (§2.3).
+
+Three sources, three mechanisms:
+
+1. **Word-like text document** — a FEMA situation report with repeating
+   ``Label: value`` blocks; the label-block expert generalizes one pasted
+   record into the whole report.
+2. **Hierarchical website** — shelter names on the list page link to detail
+   pages; pasting (Name, Phone) — where Phone exists *only* on detail pages
+   — triggers the detail-page crawl.
+3. **Form-backed website** — per-city result pages behind a search form;
+   pasting from one city's results generalizes across every city via the
+   URL-pattern family.
+
+Run:  python examples/more_sources.py
+"""
+
+from repro import Browser, CopyCatSession, build_scenario
+from repro.substrate.documents import WordApp
+
+
+def main() -> None:
+    scenario = build_scenario(
+        seed=5, n_shelters=10, noise=1, link_details=True, form_site=True
+    )
+    session = CopyCatSession(catalog=scenario.catalog, seed=1)
+
+    # 1. The Word document.
+    word = WordApp(session.clipboard, scenario.situation_report)
+    word.open("SituationReport")
+    shelter = scenario.shelters[0]
+    word.copy_fields([shelter.name, str(shelter.capacity)], source_name="Capacities")
+    outcome = session.paste()
+    print(
+        f"1. Word report: 1 pasted record -> {outcome.n_suggested_rows} suggested "
+        f"(mechanism: {outcome.row_suggestion.mechanism})"
+    )
+    session.accept_row_suggestions()
+    session.label_column(0, "Name")
+    session.label_column(1, "Capacity")
+    session.commit_source()
+
+    # 2. The hierarchical site: Phone lives only on detail pages.
+    browser = Browser(session.clipboard, scenario.website)
+    browser.navigate(scenario.list_urls()[0])
+    listing = browser.page.dom.find("table", "listing")
+    records = [n for n in listing.children if "record" in n.css_classes]
+    browser.copy_record(records[0], "ShelterPhones")
+    # The user pastes name + the phone she found by clicking through.
+    event = session.clipboard.current()
+    from repro.substrate.documents.clipboard import CopyEvent
+
+    session.clipboard.put(
+        CopyEvent(text=f"{shelter.name}\t{shelter.phone}", context=event.context)
+    )
+    outcome = session.paste()
+    print(
+        f"2. hierarchical site: Phone only on detail pages -> "
+        f"{outcome.n_suggested_rows} rows crawled "
+        f"(mechanism: {outcome.row_suggestion.mechanism})"
+    )
+
+    # 3. The form-backed site.
+    city = sorted({s.address.city for s in scenario.shelters})[0]
+    browser.submit_form("search", {"city": city})
+    listing = browser.page.dom.find("table", "listing")
+    records = [n for n in listing.children if "record" in n.css_classes]
+    browser.copy_record(records[0], "FormShelters")
+    outcome = session.paste()
+    print(
+        f"3. form results for {city!r}: 1 pasted row -> "
+        f"{outcome.n_suggested_rows} suggested across all result pages"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Learning what a mystery source *does* (functional source descriptions).
+
+Section 3.2: the model learner "learns the function performed by a source
+by relating it to a set of known sources ... executing the new source and
+the learned description and comparing the similarity of the results." This
+enables proposing "replacement sources if a source is down [or] too slow".
+
+Here a new service with opaque attribute names turns out to be a zip-code
+resolver; CopyCat discovers that and can substitute the known resolver.
+
+Run:  python examples/source_discovery.py
+"""
+
+from repro.learning.model import SourceDescriptionLearner
+from repro.substrate.relational import schema_of
+from repro.substrate.relational.schema import BindingPattern
+from repro.substrate.services import (
+    Gazetteer,
+    TableBackedService,
+    make_geocoder,
+    make_zipcode_resolver,
+)
+
+
+def main() -> None:
+    world = Gazetteer(seed=9)
+    known = [make_zipcode_resolver(world), make_geocoder(world)]
+
+    # A just-discovered web form with cryptic attribute names.
+    mystery = TableBackedService(
+        "gov-lookup-42",
+        schema_of("f1", "f2", "out_a"),
+        BindingPattern(inputs=("f1", "f2")),
+        [
+            {"f1": a.street, "f2": a.city, "out_a": a.zip}
+            for a in world.addresses
+        ],
+    )
+
+    learner = SourceDescriptionLearner(known)
+    samples = [{"f1": a.street, "f2": a.city} for a in world.addresses[:8]]
+    descriptions = learner.describe_service(mystery, samples)
+
+    print(f"descriptions of {mystery.name!r} in terms of known services:")
+    for description in descriptions[:3]:
+        print("  ", description)
+
+    best = descriptions[0]
+    assert best.steps[-1].service_name == "ZipcodeResolver"
+    print(
+        f"\n=> {mystery.name!r} behaves like ZipcodeResolver "
+        f"(agreement {best.score:.0%} on {best.samples} samples); "
+        "CopyCat can swap them if one is down."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Unit conversion in the integration loop (the Section-8 demo's third act).
+
+Relief depots report stock in mixed units (lb / ton / oz / kg); the target
+table needs kilograms. The user:
+
+1. imports the depot listing by pasting two rows,
+2. flash-fills a constant ``To`` column with "kg" (two keystrokes of
+   demonstration),
+3. accepts the UnitConverter auto-completion — a dependent join feeding
+   (Value, From, To) into the conversion service.
+
+Run:  python examples/supplies_conversion.py
+"""
+
+from repro import Browser, CopyCatSession
+from repro.data.supplies import build_supplies_scenario
+
+
+def main() -> None:
+    scenario = build_supplies_scenario(seed=3, n_lines=9)
+    session = CopyCatSession(catalog=scenario.catalog, seed=1)
+    browser = Browser(session.clipboard, scenario.website)
+    browser.navigate(scenario.list_url())
+
+    listing = browser.page.dom.find("table", "listing")
+    records = [n for n in listing.children if "record" in n.css_classes]
+    for record in records[:2]:
+        browser.copy_record(record, "Depots")
+        session.paste()
+    session.accept_row_suggestions()
+    for index, label in enumerate(["Depot", "City", "Item", "Value", "From"]):
+        session.label_column(index, label)
+
+    transform, col = session.add_derived_column("To", {0: "kg", 1: "kg"}, tab="Depots")
+    session.workspace.tab("Depots").accept_column(col)
+    print(f"flash-filled target unit column via {transform}")
+    session.commit_source("Depots")
+
+    session.start_integration("Depots")
+    suggestions = session.column_suggestions(k=8)
+    print("\ncolumn auto-completions:")
+    for suggestion in suggestions:
+        print("  ", suggestion.describe())
+    index = next(i for i, s in enumerate(suggestions) if s.source == "UnitConverter")
+    session.preview_column(index)
+    print("\ntuple explanation (row 0):")
+    print(session.explain(0).render())
+    session.accept_column(index)
+
+    table = session.workspace.tab(session.OUTPUT_TAB)
+    print("\nintegrated table (all quantities normalized to kg):")
+    print(table.render_text())
+
+    truth = {(r.depot, r.item): r.kilograms() for r in scenario.depots}
+    converted = table.column_index("Converted")
+    correct = sum(
+        1
+        for i in range(table.n_rows)
+        if abs(
+            float(table.cell(i, converted).value)
+            - truth[(table.cell(i, 0).value, table.cell(i, 2).value)]
+        )
+        < 1e-3
+    )
+    print(f"\nconversion accuracy: {correct}/{table.n_rows}")
+
+
+if __name__ == "__main__":
+    main()

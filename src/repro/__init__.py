@@ -1,0 +1,36 @@
+"""CopyCat: a reproduction of "Interactive Data Integration through Smart
+Copy & Paste" (Ives et al., CIDR 2009).
+
+The public API re-exports the pieces a downstream user needs: the session
+(the SCP control loop), the simulated applications and clipboard, the
+scenario builder, and the learners for standalone use.
+"""
+
+from .core.session import CopyCatSession, PasteOutcome
+from .core.workspace import CellState, Mode, Workspace, WorkspaceTable
+from .core.export import to_csv, to_map_html, to_xml
+from .core.usersim import KeystrokeModel, ManualUser, ScpUser
+from .data.scenario import Scenario, build_scenario
+from .io import load_session, save_session
+from .learning.integration.learner import IntegrationLearner
+from .learning.model.seed import seed_type_learner
+from .learning.model.type_learner import SemanticTypeLearner
+from .learning.structure.learner import StructureLearner
+from .learning.transforms import Transform, TransformLearner
+from .linking.linker import LearnedLinker
+from .substrate.documents.apps import Browser, SpreadsheetApp
+from .substrate.documents.clipboard import Clipboard
+from .substrate.relational.catalog import Catalog
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Browser", "Catalog", "CellState", "Clipboard", "CopyCatSession",
+    "IntegrationLearner", "KeystrokeModel", "LearnedLinker", "ManualUser",
+    "Mode", "PasteOutcome", "Scenario", "ScpUser", "SemanticTypeLearner",
+    "SpreadsheetApp", "StructureLearner", "Transform", "TransformLearner",
+    "Workspace", "WorkspaceTable",
+    "__version__", "build_scenario", "load_session", "save_session",
+    "seed_type_learner", "to_csv",
+    "to_map_html", "to_xml",
+]

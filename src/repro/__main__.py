@@ -1,0 +1,35 @@
+"""``python -m repro`` — run the Section-8 demonstration end to end."""
+
+import runpy
+import sys
+from pathlib import Path
+
+
+def main() -> None:
+    """Run the Section-8 hurricane-relief demonstration."""
+    demo = Path(__file__).resolve().parents[2] / "examples" / "hurricane_relief.py"
+    if demo.exists():
+        sys.argv = [str(demo)] + sys.argv[1:]
+        runpy.run_path(str(demo), run_name="__main__")
+    else:  # installed without the examples tree: run a minimal inline demo
+        from repro import Browser, CopyCatSession, build_scenario
+
+        scenario = build_scenario(seed=5, n_shelters=8)
+        session = CopyCatSession(catalog=scenario.catalog, seed=1)
+        browser = Browser(session.clipboard, scenario.website)
+        browser.navigate(scenario.list_urls()[0])
+        listing = browser.page.dom.find("table", "listing")
+        records = [n for n in listing.children if "record" in n.css_classes]
+        browser.copy_record(records[0], "Shelters")
+        session.paste()
+        session.accept_row_suggestions()
+        for index, label in enumerate(["Name", "Street", "City"]):
+            session.label_column(index, label)
+        session.commit_source()
+        session.start_integration("Shelters")
+        for suggestion in session.column_suggestions():
+            print(suggestion.describe())
+
+
+if __name__ == "__main__":
+    main()

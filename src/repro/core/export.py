@@ -1,0 +1,139 @@
+"""Exporters: XML, CSV, and the Google-Maps-style mashup.
+
+Section 2.1: "an SCP system should include built-in interfaces to data
+visualization tools such as Google Maps, as well as the ability to export
+data to standard formats." And the demo (Section 8): "Exporting data to
+common application formats, including XML and, perhaps more interestingly,
+the Google Maps interface."
+
+The map export produces a self-contained HTML page with embedded marker
+data (and a JSON payload mirroring what a maps API would ingest) — the
+mashup-generator capability, minus the live network.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping, Sequence
+from xml.sax.saxutils import escape
+
+from ..errors import ExportError
+from .workspace import WorkspaceTable
+
+
+def _rows_of(table_or_rows: WorkspaceTable | Sequence[Mapping[str, Any]]) -> list[dict[str, Any]]:
+    if isinstance(table_or_rows, WorkspaceTable):
+        return table_or_rows.as_dicts(committed_only=True)
+    return [dict(row) for row in table_or_rows]
+
+
+def to_xml(
+    table_or_rows: WorkspaceTable | Sequence[Mapping[str, Any]],
+    root: str = "table",
+    row_element: str = "row",
+) -> str:
+    """Serialize rows as simple element-per-attribute XML."""
+    rows = _rows_of(table_or_rows)
+    lines = [f"<?xml version=\"1.0\" encoding=\"UTF-8\"?>", f"<{root}>"]
+    for row in rows:
+        lines.append(f"  <{row_element}>")
+        for name, value in row.items():
+            tag = _xml_name(name)
+            if value is None:
+                lines.append(f"    <{tag}/>")
+            else:
+                lines.append(f"    <{tag}>{escape(str(value))}</{tag}>")
+        lines.append(f"  </{row_element}>")
+    lines.append(f"</{root}>")
+    return "\n".join(lines)
+
+
+def _xml_name(name: str) -> str:
+    cleaned = "".join(ch if ch.isalnum() or ch in "_-" else "_" for ch in name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = f"f_{cleaned}"
+    return cleaned
+
+
+def to_csv(table_or_rows: WorkspaceTable | Sequence[Mapping[str, Any]]) -> str:
+    """RFC-4180-ish CSV with a header row."""
+    rows = _rows_of(table_or_rows)
+    if not rows:
+        return ""
+    header = list(rows[0].keys())
+
+    def quote(value: Any) -> str:
+        text = "" if value is None else str(value)
+        if any(ch in text for ch in ",\"\n"):
+            return '"' + text.replace('"', '""') + '"'
+        return text
+
+    lines = [",".join(quote(name) for name in header)]
+    for row in rows:
+        lines.append(",".join(quote(row.get(name)) for name in header))
+    return "\n".join(lines)
+
+
+def to_map_markers(
+    table_or_rows: WorkspaceTable | Sequence[Mapping[str, Any]],
+    lat_attr: str = "Lat",
+    lon_attr: str = "Lon",
+    label_attr: str | None = None,
+) -> list[dict[str, Any]]:
+    """Marker dicts (lat, lon, label, info) for rows with geocodes."""
+    rows = _rows_of(table_or_rows)
+    markers = []
+    for row in rows:
+        lat, lon = row.get(lat_attr), row.get(lon_attr)
+        if lat is None or lon is None:
+            continue
+        try:
+            lat_f, lon_f = float(lat), float(lon)
+        except (TypeError, ValueError):
+            continue
+        label = str(row.get(label_attr, "")) if label_attr else ""
+        info = {k: v for k, v in row.items() if k not in (lat_attr, lon_attr)}
+        markers.append({"lat": lat_f, "lon": lon_f, "label": label, "info": info})
+    return markers
+
+
+def to_map_html(
+    table_or_rows: WorkspaceTable | Sequence[Mapping[str, Any]],
+    lat_attr: str = "Lat",
+    lon_attr: str = "Lon",
+    label_attr: str | None = None,
+    title: str = "CopyCat mashup",
+) -> str:
+    """A self-contained map mashup page with the marker payload embedded."""
+    markers = to_map_markers(table_or_rows, lat_attr, lon_attr, label_attr)
+    if not markers:
+        raise ExportError(
+            f"no mappable rows: need numeric {lat_attr!r}/{lon_attr!r} attributes"
+        )
+    payload = json.dumps(markers, indent=2, sort_keys=True)
+    center_lat = sum(m["lat"] for m in markers) / len(markers)
+    center_lon = sum(m["lon"] for m in markers) / len(markers)
+    return f"""<!DOCTYPE html>
+<html>
+<head><title>{escape(title)}</title></head>
+<body>
+<h1>{escape(title)}</h1>
+<div id="map" data-center-lat="{center_lat:.6f}" data-center-lon="{center_lon:.6f}"></div>
+<script type="application/json" id="markers">
+{payload}
+</script>
+<script>
+// Stand-in for the Google Maps bootstrap: render one positioned div per
+// marker so the page is self-contained and offline-testable.
+const markers = JSON.parse(document.getElementById('markers').textContent);
+const map = document.getElementById('map');
+for (const m of markers) {{
+  const pin = document.createElement('div');
+  pin.className = 'pin';
+  pin.title = m.label;
+  pin.textContent = m.label + ' @ (' + m.lat + ', ' + m.lon + ')';
+  map.appendChild(pin);
+}}
+</script>
+</body>
+</html>"""

@@ -1,0 +1,77 @@
+"""Feedback events and the session feedback log.
+
+Section 2.2: "The user may provide feedback: promoting or demoting tuples,
+modifying the headings or data type specifiers for the columns, or adding or
+removing columns. Each of these actions provides information to the learners
+in the system."
+
+Every user interaction the session processes is recorded as a
+:class:`FeedbackEvent`; the log is what the keystroke accounting, the tests,
+and the "how did the system learn this" explanations read.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class FeedbackKind(enum.Enum):
+    """Every interaction category the session logs."""
+
+    PASTE = "paste"
+    ACCEPT_ROWS = "accept-rows"
+    REJECT_ROWS = "reject-rows"
+    ACCEPT_COLUMN = "accept-column"
+    REJECT_COLUMN = "reject-column"
+    LABEL_COLUMN = "label-column"
+    SET_TYPE = "set-type"
+    COMMIT_SOURCE = "commit-source"
+    LINK_EXAMPLE = "link-example"
+    ADOPT_QUERY = "adopt-query"
+    EDIT_CELL = "edit-cell"
+
+
+@dataclass(frozen=True)
+class FeedbackEvent:
+    """One logged interaction."""
+
+    kind: FeedbackKind
+    tab: str | None = None
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extras = ", ".join(f"{k}={v!r}" for k, v in self.detail.items())
+        where = f"@{self.tab}" if self.tab else ""
+        return f"{self.kind.value}{where}({extras})"
+
+
+class FeedbackLog:
+    """Ordered record of all session interactions."""
+
+    def __init__(self) -> None:
+        self._events: list[FeedbackEvent] = []
+
+    def record(self, kind: FeedbackKind, tab: str | None = None, **detail: Any) -> FeedbackEvent:
+        """Append one interaction to the log."""
+        event = FeedbackEvent(kind=kind, tab=tab, detail=detail)
+        self._events.append(event)
+        return event
+
+    def events(self, kind: FeedbackKind | None = None) -> list[FeedbackEvent]:
+        """All events, optionally filtered by kind."""
+        if kind is None:
+            return list(self._events)
+        return [event for event in self._events if event.kind == kind]
+
+    def count(self, kind: FeedbackKind | None = None) -> int:
+        """Number of logged events (optionally of one kind)."""
+        return len(self.events(kind))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def render(self) -> str:
+        """One line per event, in order."""
+        return "\n".join(str(event) for event in self._events)

@@ -1,0 +1,801 @@
+"""The CopyCat session: the SCP control loop.
+
+Wires every component of Figure 3 together — clipboard/wrappers feed the
+three learners, the auto-complete generator proposes rows/columns/types, the
+query engine executes with provenance, the workspace displays, and user
+feedback flows back to the learners.
+
+Typical import-mode flow (Figure 1)::
+
+    session = CopyCatSession()
+    browser = Browser(session.clipboard, site)
+    browser.navigate(url)
+    browser.copy_record(first_row, "Shelters")
+    outcome = session.paste()          # rows generalize, types suggested
+    session.accept_row_suggestions()
+    session.label_column(0, "Name")
+    session.commit_source()            # Shelters enters the catalog
+
+Integration-mode flow (Figure 2)::
+
+    session.start_integration("Shelters")
+    suggestions = session.column_suggestions()
+    session.preview_column(0)          # Zip column appears highlighted
+    print(session.explain(0).render()) # tuple explanation pane
+    session.accept_column()            # feedback -> MIRA
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from ..errors import FeedbackError, NoHypothesisError, WorkspaceError
+from ..learning.integration.learner import IntegrationLearner
+from ..learning.integration.queries import IntegrationQuery
+from ..learning.integration.source_graph import Association
+from ..learning.model.seed import seed_type_learner
+from ..learning.model.type_learner import SemanticTypeLearner
+from ..learning.structure.learner import StructureLearner
+from ..learning.transforms import Transform, TransformLearner
+from ..linking.linker import LearnedLinker, LinkExample
+from ..linking.similarity import FieldPair
+from ..provenance.explain import Explanation
+from ..substrate.documents.clipboard import Clipboard, CopyEvent
+from ..substrate.relational.catalog import Catalog, SourceMetadata
+from ..substrate.relational.relation import Relation
+from ..substrate.relational.schema import ANY, Attribute, Schema, SemanticType
+from .autocomplete import AutoCompleteGenerator
+from .engine import QueryEngine
+from .feedback import FeedbackKind, FeedbackLog
+from .suggestions import ColumnSuggestion, QuerySuggestion, RowSuggestion, TypeSuggestion
+from .workspace import CellState, Mode, Workspace
+
+
+@dataclass
+class PasteOutcome:
+    """What one paste produced: rows added, and the system's suggestions."""
+
+    tab: str
+    pasted_rows: list[int]
+    row_suggestion: RowSuggestion | None
+    type_suggestions: list[TypeSuggestion]
+
+    @property
+    def n_suggested_rows(self) -> int:
+        """How many rows the system proposed beyond the user's paste."""
+        return len(self.row_suggestion.rows) if self.row_suggestion else 0
+
+
+class CopyCatSession:
+    """One interactive smart-copy-and-paste session."""
+
+    OUTPUT_TAB = "Integration"
+
+    def __init__(
+        self,
+        catalog: Catalog | None = None,
+        clipboard: Clipboard | None = None,
+        type_learner: SemanticTypeLearner | None = None,
+        structure_learner: StructureLearner | None = None,
+        seed: int = 0,
+        relevance_threshold: float = 2.0,
+        use_semantic_types: bool = True,
+    ):
+        self.catalog = catalog or Catalog()
+        self.clipboard = clipboard or Clipboard()
+        self.type_learner = type_learner or seed_type_learner(seed=seed)
+        self.structure_learner = structure_learner or StructureLearner(
+            type_learner=self.type_learner
+        )
+        self._linkers: dict[str, LearnedLinker] = {}
+        self._linker_edges: dict[str, Association] = {}
+        self.integration_learner = IntegrationLearner(
+            self.catalog,
+            relevance_threshold=relevance_threshold,
+            use_semantic_types=use_semantic_types,
+            linker_factory=self._linker_for,
+        )
+        self.engine = QueryEngine(self.catalog)
+        self.autocomplete = AutoCompleteGenerator(
+            self.engine,
+            self.structure_learner,
+            self.type_learner,
+            self.integration_learner,
+        )
+        self.workspace = Workspace()
+        self.log = FeedbackLog()
+
+        self._events: dict[str, CopyEvent] = {}
+        self._generalizations: dict[str, Any] = {}
+        self._query: IntegrationQuery | None = None
+        self._column_suggestions: list[ColumnSuggestion] = []
+        self._previewed: int | None = None  # index into _column_suggestions
+        self._row_provenance: list[Any] = []  # per output-tab row
+        self.cleaning_mode: bool = False
+        self._views: dict[str, IntegrationQuery] = {}
+        self._edit_history: dict[tuple[str, int], list[tuple[dict[str, Any], Any]]] = {}
+        self.transform_learner = TransformLearner()
+
+    # ------------------------------------------------------------------ linkers
+    def _linker_for(self, edge: Association) -> LearnedLinker:
+        """One persistent learnable linker per (oriented) record-link edge."""
+        if edge.key not in self._linkers:
+            pairs = [FieldPair(left, right) for left, right in edge.conditions]
+            self._linkers[edge.key] = LearnedLinker(pairs)
+            self._linker_edges[edge.key] = edge
+        return self._linkers[edge.key]
+
+    # ================================================================ import mode
+    def paste(self, event: CopyEvent | None = None, tab: str | None = None) -> PasteOutcome:
+        """Paste the clipboard into the workspace and auto-complete.
+
+        Adds the copied fields as user rows, replaces any standing row
+        suggestions with a fresh generalization, and proposes column types.
+        """
+        event = event or self.clipboard.current()
+        self.workspace.checkpoint()
+        tab_name = tab or event.context.source_name
+        if not self.workspace.has_tab(tab_name):
+            self.workspace.new_tab(tab_name)
+        table = self.workspace.switch_to(tab_name)
+        self._events[tab_name] = event
+
+        pasted = table.append_rows(event.fields, state=CellState.USER)
+        self.log.record(FeedbackKind.PASTE, tab=tab_name, rows=len(pasted))
+
+        # Ignoring standing suggestions and pasting more data *is* feedback:
+        # drop them and re-generalize from all committed rows.
+        table.reject_rows()
+        examples = table.committed_rows()
+        examples = [[str(v) for v in row] for row in examples]
+        suggestion = self.autocomplete.row_suggestions(event, examples)
+        if suggestion is not None:
+            self._generalizations[tab_name] = suggestion.generalization
+            table.append_rows(suggestion.rows, state=CellState.SUGGESTED)
+
+        type_suggestions = self._suggest_types(tab_name)
+        return PasteOutcome(
+            tab=tab_name,
+            pasted_rows=pasted,
+            row_suggestion=suggestion,
+            type_suggestions=type_suggestions,
+        )
+
+    def _suggest_types(self, tab_name: str) -> list[TypeSuggestion]:
+        table = self.workspace.tab(tab_name)
+        columns = [table.column_values(c) for c in range(table.n_cols)]
+        suggestions = self.autocomplete.type_suggestions(columns)
+        for suggestion in suggestions:
+            column = table.columns[suggestion.column_index]
+            if column.state == CellState.USER and column.semantic_type.name != ANY.name:
+                continue  # the user already chose; do not override
+            if suggestion.best is not None:
+                table.set_column_type(
+                    suggestion.column_index,
+                    suggestion.best.semantic_type,
+                    alternatives=suggestion.alternatives(),
+                    suggested=True,
+                )
+        return suggestions
+
+    def accept_row_suggestions(self, tab: str | None = None, indices: Sequence[int] | None = None) -> int:
+        """Accept the standing suggested rows (all by default); returns count."""
+        self.workspace.checkpoint()
+        table = self.workspace.tab(tab or self._current_tab())
+        count = table.accept_rows(indices)
+        self.log.record(FeedbackKind.ACCEPT_ROWS, tab=table.name, rows=count)
+        return count
+
+    def reject_row_suggestions(self, tab: str | None = None) -> RowSuggestion | None:
+        """Reject the standing row suggestions: try the next hypothesis.
+
+        Section 3.1: "If the user rejects the suggestions, the system will
+        choose another hypothesis and revise the suggestions."
+        """
+        tab_name = tab or self._current_tab()
+        table = self.workspace.tab(tab_name)
+        removed = table.reject_rows()
+        self.log.record(FeedbackKind.REJECT_ROWS, tab=tab_name, rows=removed)
+        generalization = self._generalizations.get(tab_name)
+        if generalization is None:
+            return None
+        try:
+            generalization.reject_current()
+        except NoHypothesisError:
+            return None
+        suggestion = RowSuggestion(
+            source_name=tab_name,
+            rows=generalization.suggested_rows(),
+            generalization=generalization,
+        )
+        table.append_rows(suggestion.rows, state=CellState.SUGGESTED)
+        return suggestion
+
+    def label_column(self, col: int, name: str, tab: str | None = None) -> None:
+        """User renames a column header (Figure 1's manual 'Name' label)."""
+        table = self.workspace.tab(tab or self._current_tab())
+        table.set_column_label(col, name)
+        self.log.record(FeedbackKind.LABEL_COLUMN, tab=table.name, col=col, name=name)
+
+    def set_column_type(
+        self, col: int, semantic_type: SemanticType | str, tab: str | None = None,
+        learn_from_values: bool = True,
+    ) -> None:
+        """User fixes a column's semantic type; new names define new types.
+
+        Section 3.2: "If this is a new type of data ... the user can define
+        this new type on the fly" and the model learner "will then use the
+        data available in the source to learn to recognize this new type".
+        """
+        table = self.workspace.tab(tab or self._current_tab())
+        values = [v for v in table.column_values(col) if v is not None]
+        if isinstance(semantic_type, str):
+            learned = self.type_learner.learn(semantic_type, values)
+            semantic_type = learned.semantic_type
+        elif learn_from_values and values:
+            self.type_learner.learn(semantic_type, values)
+        table.set_column_type(col, semantic_type, suggested=False)
+        self.log.record(
+            FeedbackKind.SET_TYPE, tab=table.name, col=col, type=semantic_type.name
+        )
+
+    def commit_source(self, tab: str | None = None, name: str | None = None) -> Relation:
+        """Promote a tab to a catalog source (its description is now known)."""
+        tab_name = tab or self._current_tab()
+        table = self.workspace.tab(tab_name)
+        source_name = name or tab_name
+        schema = Schema(
+            [Attribute(column.name, column.semantic_type) for column in table.columns]
+        )
+        relation = Relation(source_name, schema)
+        for row in table.committed_rows():
+            relation.add(row)
+        event = self._events.get(tab_name)
+        metadata = SourceMetadata(
+            origin="paste", url=event.context.url if event else None
+        )
+        self.catalog.add_relation(relation, metadata, replace=True)
+        self.integration_learner.refresh()
+        self.log.record(
+            FeedbackKind.COMMIT_SOURCE, tab=tab_name, source=source_name, rows=len(relation)
+        )
+        return relation
+
+    # ============================================================ integration mode
+    def start_integration(self, source: str, tab: str | None = None) -> str:
+        """Open the integration output tab seeded with one source's rows."""
+        self.workspace.enter_integration_mode()
+        tab_name = tab or self.OUTPUT_TAB
+        if self.workspace.has_tab(tab_name):
+            raise WorkspaceError(f"integration tab {tab_name!r} already exists")
+        table = self.workspace.new_tab(tab_name)
+        self._query = self.integration_learner.base_query(source)
+        result = self.engine.run(self._query.plan)
+        schema = result.schema
+        for attribute in schema:
+            table.ensure_columns(table.n_cols + 1)
+            table.set_column_label(table.n_cols - 1, attribute.name)
+            table.set_column_type(table.n_cols - 1, attribute.semantic_type)
+        self._row_provenance = []
+        for row, prov in result.rows:
+            table.append_row(list(row.values), state=CellState.USER)
+            self._row_provenance.append(prov)
+        self._column_suggestions = []
+        self._previewed = None
+        return tab_name
+
+    @property
+    def current_query(self) -> IntegrationQuery:
+        """The integration query behind the output tab."""
+        if self._query is None:
+            raise FeedbackError("not in integration mode: call start_integration first")
+        return self._query
+
+    def column_suggestions(self, k: int = 5, refresh: bool = True) -> list[ColumnSuggestion]:
+        """Ranked, executed column auto-completions for the output tab."""
+        if refresh or not self._column_suggestions:
+            table = self.workspace.tab(self.OUTPUT_TAB)
+            rows = table.as_dicts(committed_only=True)
+            self._column_suggestions = self.autocomplete.column_suggestions(
+                self.current_query, rows, k=k
+            )
+            self._previewed = None
+        return self._column_suggestions
+
+    def preview_column(self, index: int = 0) -> ColumnSuggestion:
+        """Show one suggestion in the table (highlighted, like Figure 2)."""
+        suggestions = self._column_suggestions or self.column_suggestions()
+        if not 0 <= index < len(suggestions):
+            raise FeedbackError(f"no column suggestion #{index}")
+        self._clear_preview()
+        suggestion = suggestions[index]
+        table = self.workspace.tab(self.OUTPUT_TAB)
+        for position, attr_name in enumerate(suggestion.attribute_names):
+            table.add_suggested_column(
+                attr_name,
+                [value[position] for value in suggestion.values],
+                semantic_type=suggestion.semantic_types[position],
+                provenances=suggestion.provenances,
+            )
+        self._previewed = index
+        return suggestion
+
+    def cell_alternatives(self, row: int) -> list[tuple[Any, ...]]:
+        """Alternative values for the previewed suggestion at *row*.
+
+        Example 1: "the shelter name may be ambiguous and might return
+        multiple answers: here CopyCat would show the alternatives and allow
+        the integrator to select the appropriate location."
+        """
+        if self._previewed is None:
+            raise FeedbackError("no column suggestion is previewed")
+        suggestion = self._column_suggestions[self._previewed]
+        if not 0 <= row < len(suggestion.alternatives):
+            raise FeedbackError(f"no row {row} in the previewed suggestion")
+        return list(suggestion.alternatives[row])
+
+    def choose_alternative(self, row: int, choice: int) -> tuple[Any, ...]:
+        """Replace the previewed suggestion's value at *row* with an
+        alternative the user picked from the ambiguity dropdown."""
+        alternatives = self.cell_alternatives(row)
+        if not 0 <= choice < len(alternatives):
+            raise FeedbackError(
+                f"row {row} has {len(alternatives)} alternatives; no #{choice}"
+            )
+        suggestion = self._column_suggestions[self._previewed]
+        chosen = alternatives[choice]
+        table = self.workspace.tab(self.OUTPUT_TAB)
+        start = table.n_cols - len(suggestion.attribute_names)
+        for offset, value in enumerate(chosen):
+            table.set_cell(row, start + offset, value, state=CellState.SUGGESTED)
+        # Record the user's disambiguation so the suggestion's committed
+        # values reflect it if accepted.
+        new_values = list(suggestion.values)
+        previous = new_values[row]
+        new_values[row] = chosen
+        suggestion.values = new_values
+        remaining = [alt for alt in suggestion.alternatives[row] if alt != chosen]
+        suggestion.alternatives[row] = remaining + [previous]
+        self.log.record(
+            FeedbackKind.EDIT_CELL,
+            tab=self.OUTPUT_TAB,
+            row=row,
+            disambiguated=True,
+        )
+        return chosen
+
+    def _clear_preview(self) -> None:
+        table = self.workspace.tab(self.OUTPUT_TAB)
+        while any(column.state == CellState.SUGGESTED for column in table.columns):
+            for position, column in enumerate(table.columns):
+                if column.state == CellState.SUGGESTED:
+                    table.reject_column(position)
+                    break
+        self._previewed = None
+
+    def accept_column(self, index: int | None = None) -> ColumnSuggestion:
+        """Accept a column suggestion: workspace commit + MIRA feedback."""
+        suggestions = self._column_suggestions or self.column_suggestions()
+        if index is None:
+            index = self._previewed if self._previewed is not None else 0
+        if not 0 <= index < len(suggestions):
+            raise FeedbackError(f"no column suggestion #{index}")
+        if self._previewed != index:
+            self.preview_column(index)
+        suggestion = suggestions[index]
+        table = self.workspace.tab(self.OUTPUT_TAB)
+        for position, column in reversed(list(enumerate(table.columns))):
+            if column.state == CellState.SUGGESTED:
+                table.accept_column(position)
+        # Feedback: accepted suggestion outranks every alternative shown.
+        self.integration_learner.accept_query(
+            suggestion.query, [s.query for s in suggestions if s is not suggestion]
+        )
+        # Row provenance now includes the new column's derivations.
+        for i, prov in enumerate(suggestion.provenances):
+            if prov is not None and i < len(self._row_provenance):
+                self._row_provenance[i] = prov
+        self._query = suggestion.query
+        self._column_suggestions = []
+        self._previewed = None
+        self.log.record(
+            FeedbackKind.ACCEPT_COLUMN,
+            tab=self.OUTPUT_TAB,
+            source=suggestion.source,
+            attrs=suggestion.attribute_names,
+        )
+        return suggestion
+
+    def reject_column(self, index: int | None = None) -> None:
+        """Reject a suggestion: remove it and demote its query below threshold."""
+        suggestions = self._column_suggestions or self.column_suggestions()
+        if index is None:
+            index = self._previewed if self._previewed is not None else 0
+        if not 0 <= index < len(suggestions):
+            raise FeedbackError(f"no column suggestion #{index}")
+        suggestion = suggestions[index]
+        if self._previewed == index:
+            self._clear_preview()
+        better = [self._query] if self._query and self._query.edges else []
+        self.integration_learner.reject_query(suggestion.query, better)
+        self._column_suggestions = [s for s in suggestions if s is not suggestion]
+        self.log.record(
+            FeedbackKind.REJECT_COLUMN,
+            tab=self.OUTPUT_TAB,
+            source=suggestion.source,
+            attrs=suggestion.attribute_names,
+        )
+
+    # -------------------------------------------------------------- explanations
+    def explain(self, row_index: int) -> Explanation:
+        """The Tuple Explanation pane for one output-tab row."""
+        table = self.workspace.tab(self.OUTPUT_TAB)
+        # Prefer cell-level provenance of the newest (suggested) column.
+        prov = None
+        for col in reversed(range(table.n_cols)):
+            cell = table.cell(row_index, col)
+            if cell.provenance is not None:
+                prov = cell.provenance
+                break
+        if prov is None:
+            if row_index >= len(self._row_provenance):
+                raise FeedbackError(f"no provenance recorded for row {row_index}")
+            prov = self._row_provenance[row_index]
+        plan = None
+        if self._previewed is not None and self._column_suggestions:
+            plan = self._column_suggestions[self._previewed].query.plan
+        elif self._query is not None:
+            plan = self._query.plan
+        return self.engine.explain_row(prov, plan)
+
+    # ------------------------------------------------------- record-link feedback
+    def add_link_example(
+        self,
+        left_row: Mapping[str, Any],
+        right_row: Mapping[str, Any],
+        edge_key: str | None = None,
+        is_match: bool = True,
+        right_pool: Sequence[Mapping[str, Any]] | None = None,
+    ) -> int:
+        """Teach a record-link edge from a user-demonstrated match.
+
+        When the user pastes the matching contact next to a shelter, that
+        pair is a positive example for the linker on the relevant edge.
+        Returns the number of weight updates applied.
+        """
+        if edge_key is None:
+            link_keys = [k for k in self._linkers if "record-link" in k]
+            if len(link_keys) != 1:
+                raise FeedbackError(
+                    "edge_key required: "
+                    + (f"candidates {link_keys}" if link_keys else "no link edges active")
+                )
+            edge_key = link_keys[0]
+        linker = self._linkers.get(edge_key)
+        if linker is None:
+            edge = self.integration_learner.graph.edge(edge_key)
+            linker = self._linker_for(edge)
+            self._linker_edges[edge_key] = edge
+        pool = list(right_pool) if right_pool is not None else self._link_pool(edge_key)
+        updates = linker.train(
+            [LinkExample(left=dict(left_row), right=dict(right_row), is_match=is_match)],
+            pool,
+        )
+        self.log.record(
+            FeedbackKind.LINK_EXAMPLE, tab=self.OUTPUT_TAB, edge=edge_key, match=is_match
+        )
+        return updates
+
+    def _link_pool(self, edge_key: str) -> list[dict[str, Any]]:
+        # Linkers are keyed by *oriented* edges (compilation may flip the
+        # graph edge), so consult the recorded orientation, not the graph.
+        edge = self._linker_edges.get(edge_key)
+        if edge is None:
+            edge = self.integration_learner.graph.edge(edge_key)
+        right = edge.right
+        if self.catalog.is_service(right):
+            return []
+        return [row.as_dict() for row in self.catalog.relation(right)]
+
+    # --------------------------------------------------------- cross-source paste
+    def explain_pasted_tuples(
+        self, columns: Mapping[str, Sequence[Any]], k: int = 3
+    ) -> list[QuerySuggestion]:
+        """Steiner mode: the user pasted joined tuples; rank explanations."""
+        return self.autocomplete.query_suggestions(columns, k=k)
+
+    def adopt_query(self, suggestion: QuerySuggestion, tab: str | None = None) -> str:
+        """Replace the output tab with a chosen query's full results."""
+        self.workspace.enter_integration_mode()
+        tab_name = tab or self.OUTPUT_TAB
+        if self.workspace.has_tab(tab_name):
+            # Rebuild the tab from scratch with the adopted query's output.
+            self.workspace._tabs.pop(tab_name)  # noqa: SLF001 - deliberate reset
+            self.workspace._order.remove(tab_name)
+        table = self.workspace.new_tab(tab_name)
+        self._query = suggestion.query
+        result = self.engine.run(suggestion.query.plan)
+        for attribute in result.schema:
+            table.ensure_columns(table.n_cols + 1)
+            table.set_column_label(table.n_cols - 1, attribute.name)
+            table.set_column_type(table.n_cols - 1, attribute.semantic_type)
+        self._row_provenance = []
+        for row, prov in result.rows:
+            table.append_row(list(row.values), state=CellState.USER)
+            self._row_provenance.append(prov)
+        self.log.record(FeedbackKind.ADOPT_QUERY, tab=tab_name, query=suggestion.describe())
+        return tab_name
+
+    # ------------------------------------------------------------ data cleaning
+    def enter_cleaning_mode(self) -> None:
+        """Section 5 ("Data cleaning"): in cleaning mode "the system does
+        not try to generalize any updates beyond the current tuple"."""
+        self.cleaning_mode = True
+
+    def exit_cleaning_mode(self) -> None:
+        """Leave cleaning mode: edits may generalize again."""
+        self.cleaning_mode = False
+
+    def edit_cell(
+        self, row: int, col: int, value: Any, tab: str | None = None
+    ) -> list[Transform]:
+        """Edit one cell; outside cleaning mode, try to generalize the edit.
+
+        Returns the ranked transforms consistent with *all* edits the user
+        has made to this column this session (empty in cleaning mode, or
+        when no non-trivial transform explains them). The paper poses
+        auto-detection of "cleaning vs generalizable change" as an open
+        question; our heuristic: a single edit is treated as cleaning, and
+        generalization is proposed only once two edits agree on a transform.
+        """
+        tab_name = tab or self._current_tab()
+        table = self.workspace.tab(tab_name)
+        old_row = {
+            column.name: table.cell(row, c).value
+            for c, column in enumerate(table.columns)
+        }
+        old_row["__old__"] = table.cell(row, col).value
+        table.set_cell(row, col, value)
+        self.log.record(FeedbackKind.EDIT_CELL, tab=tab_name, row=row, col=col)
+        if self.cleaning_mode:
+            return []
+        history = self._edit_history.setdefault((tab_name, col), [])
+        history.append((old_row, value))
+        if len(history) < 2:
+            return []
+        transforms = self.transform_learner.learn(history)
+        return [t for t in transforms if t.kind != "identity"]
+
+    def apply_edit_generalization(
+        self, col: int, transform: Transform, tab: str | None = None
+    ) -> int:
+        """Apply a learned edit transform to every committed row's cell.
+
+        Returns the number of cells changed. Cells already matching the
+        transform's output are left untouched.
+        """
+        tab_name = tab or self._current_tab()
+        table = self.workspace.tab(tab_name)
+        column_name = table.columns[col].name
+        changed = 0
+        for row_index in range(table.n_rows):
+            if not table.row_state(row_index).is_committed:
+                continue
+            row_dict = {
+                column.name: table.cell(row_index, c).value
+                for c, column in enumerate(table.columns)
+            }
+            row_dict["__old__"] = table.cell(row_index, col).value
+            new_value = transform.apply(row_dict)
+            if new_value is not None and new_value != row_dict["__old__"]:
+                table.set_cell(row_index, col, new_value)
+                changed += 1
+        self.log.record(
+            FeedbackKind.EDIT_CELL,
+            tab=tab_name,
+            col=col,
+            generalized=str(transform),
+            changed=changed,
+        )
+        return changed
+
+    # ------------------------------------------------- derived (transform) columns
+    def add_derived_column(
+        self,
+        name: str,
+        examples: Mapping[int, Any],
+        tab: str | None = None,
+    ) -> tuple[Transform, int]:
+        """Flash-fill style: the user types a few values of a *new* column;
+        the system learns the transform and auto-completes the rest.
+
+        ``examples`` maps row index -> desired value. Returns the learned
+        transform and the index of the new (suggested) column.
+        """
+        tab_name = tab or self._current_tab()
+        table = self.workspace.tab(tab_name)
+        training = []
+        for row_index, target in examples.items():
+            row_dict = {
+                column.name: table.cell(row_index, c).value
+                for c, column in enumerate(table.columns)
+            }
+            training.append((row_dict, target))
+        transform = self.transform_learner.best(training)
+        values = []
+        for row_index in range(table.n_rows):
+            row_dict = {
+                column.name: table.cell(row_index, c).value
+                for c, column in enumerate(table.columns)
+            }
+            values.append(transform.apply(row_dict))
+        col = table.add_suggested_column(name, values)
+        # The user's own example cells are theirs, not suggestions.
+        for row_index in examples:
+            table.cell(row_index, col).state = CellState.USER
+        self.log.record(
+            FeedbackKind.ACCEPT_COLUMN,
+            tab=tab_name,
+            derived=str(transform),
+            name=name,
+        )
+        return transform, col
+
+    # ----------------------------------------------------- tuple-level feedback
+    def promote_row(self, row: int, tab: str | None = None) -> None:
+        """Promote a tuple: raise trust in every source that derived it."""
+        self._adjust_row_trust(row, tab, factor=1.1)
+
+    def demote_row(
+        self, row: int, tab: str | None = None, distrust_base_rows: bool = False
+    ) -> list[str]:
+        """Demote a tuple (Section 2.2: "promoting or demoting tuples").
+
+        Trust drops for every contributing source. With
+        ``distrust_base_rows`` the specific base tuples in the derivation
+        are marked distrusted, so scans — and therefore *all* future
+        suggestions — skip them: the integration-mode feedback reaches the
+        source learners, the paper's Section-5 cooperation goal.
+        """
+        tab_name = tab or self.OUTPUT_TAB
+        touched = self._adjust_row_trust(row, tab_name, factor=0.8)
+        if distrust_base_rows:
+            prov = self._provenance_for_row(row, tab_name)
+            for tid in prov.variables():
+                if tid.relation in self.catalog.relation_names():
+                    notes = self.catalog.metadata(tid.relation).notes
+                    notes.setdefault("distrusted_rows", set()).add(tid.index)
+        return touched
+
+    def _provenance_for_row(self, row: int, tab_name: str):
+        table = self.workspace.tab(tab_name)
+        for col in reversed(range(table.n_cols)):
+            cell = table.cell(row, col)
+            if cell.provenance is not None:
+                return cell.provenance
+        if row < len(self._row_provenance) and self._row_provenance[row] is not None:
+            return self._row_provenance[row]
+        raise FeedbackError(f"no provenance recorded for row {row}")
+
+    def _adjust_row_trust(self, row: int, tab: str | None, factor: float) -> list[str]:
+        tab_name = tab or self.OUTPUT_TAB
+        prov = self._provenance_for_row(row, tab_name)
+        touched = sorted({tid.relation for tid in prov.variables()})
+        for source in touched:
+            if source in self.catalog:
+                metadata = self.catalog.metadata(source)
+                metadata.trust = max(0.05, min(1.0, metadata.trust * factor))
+        kind = FeedbackKind.ACCEPT_ROWS if factor >= 1 else FeedbackKind.REJECT_ROWS
+        self.log.record(kind, tab=tab_name, row=row, sources=touched)
+        return touched
+
+    # ----------------------------------------------------------- union queries
+    def union_sources(self, sources: Sequence[str], tab: str | None = None) -> str:
+        """Union several committed sources into the output tab.
+
+        Section 2.1: pasting data from a different source into contiguous
+        *rows* "expresses a union"; schemas are homogenized by null padding
+        (Section 4.2).
+        """
+        from ..substrate.relational.algebra import Scan, Union
+
+        if len(sources) < 2:
+            raise FeedbackError("a union needs at least two sources")
+        plan = Union(tuple(Scan(source) for source in sources))
+        self.workspace.enter_integration_mode()
+        tab_name = tab or self.OUTPUT_TAB
+        if self.workspace.has_tab(tab_name):
+            self.workspace._tabs.pop(tab_name)  # noqa: SLF001 - deliberate reset
+            self.workspace._order.remove(tab_name)
+        table = self.workspace.new_tab(tab_name)
+        result = self.engine.run(plan)
+        for attribute in result.schema:
+            table.ensure_columns(table.n_cols + 1)
+            table.set_column_label(table.n_cols - 1, attribute.name)
+            table.set_column_type(table.n_cols - 1, attribute.semantic_type)
+        self._row_provenance = []
+        for row, prov in result.rows:
+            table.append_row(list(row.values), state=CellState.USER)
+            self._row_provenance.append(prov)
+        self.log.record(FeedbackKind.ADOPT_QUERY, tab=tab_name, query=plan.describe())
+        return tab_name
+
+    # ------------------------------------------------------------ mediated views
+    def save_view(self, name: str) -> Relation:
+        """Persist the current integration query as a mediated view.
+
+        Section 1: the assembled table "could be persistently saved as an
+        integrated, mediated view of the data, enabling user or application
+        queries over a unified representation." The view is materialized
+        into the catalog (so other queries can use it) and its defining
+        query is retained so :meth:`refresh_view` can re-run it when the
+        underlying sources change.
+        """
+        query = self.current_query
+        relation = self._materialize(name, query)
+        self._views[name] = query
+        self.log.record(FeedbackKind.COMMIT_SOURCE, tab=self.OUTPUT_TAB, view=name)
+        return relation
+
+    def refresh_view(self, name: str) -> Relation:
+        """Re-execute a saved view over the sources' current contents."""
+        try:
+            query = self._views[name]
+        except KeyError:
+            raise FeedbackError(f"no saved view named {name!r}") from None
+        return self._materialize(name, query)
+
+    def view_names(self) -> list[str]:
+        """Names of every saved mediated view."""
+        return sorted(self._views)
+
+    def view_definition(self, name: str) -> IntegrationQuery:
+        """The integration query defining a saved view."""
+        try:
+            return self._views[name]
+        except KeyError:
+            raise FeedbackError(f"no saved view named {name!r}") from None
+
+    def _materialize(self, name: str, query: IntegrationQuery) -> Relation:
+        result = self.engine.run(query.plan)
+        relation = Relation(name, result.schema)
+        for row, _ in result.rows:
+            relation.add(list(row.values))
+        self.catalog.add_relation(
+            relation,
+            SourceMetadata(origin="view", notes={"definition": query.describe()}),
+            replace=True,
+        )
+        self.integration_learner.refresh()
+        return relation
+
+    # ------------------------------------------------------------- persistence
+    def save(self, path) -> "Path":
+        """Persist everything this session has learned (see repro.io)."""
+        from ..io import save_session
+
+        return save_session(self, path)
+
+    def load(self, path) -> None:
+        """Restore learned state saved by :meth:`save` (services must
+        already be registered in this session's catalog)."""
+        from ..io import load_session
+
+        load_session(self, path)
+
+    # ----------------------------------------------------------------- undo
+    def undo(self) -> bool:
+        """Undo the last checkpointed workspace interaction (§5)."""
+        return self.workspace.undo()
+
+    # ------------------------------------------------------------------- helpers
+    def _current_tab(self) -> str:
+        if self.workspace.current_tab is None:
+            raise WorkspaceError("no active tab: paste something first")
+        return self.workspace.current_tab
+
+    def render(self) -> str:
+        """ASCII rendering of the whole workspace (all tabs)."""
+        return self.workspace.render_text()

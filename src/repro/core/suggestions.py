@@ -1,0 +1,103 @@
+"""Suggestion objects flowing from the learners to the workspace.
+
+The auto-complete generator (Figure 3) produces three kinds of suggestion:
+row auto-completions (structure learner generalizations), column type
+hypotheses (model learner), and column auto-completions (integration
+learner queries, executed). Each carries enough context for the workspace
+to display it and for feedback to be routed back to its learner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from ..learning.integration.learner import ColumnCompletion
+from ..learning.integration.queries import IntegrationQuery
+from ..learning.model.type_learner import TypeHypothesis
+from ..learning.structure.learner import GeneralizationResult
+from ..provenance.expressions import Provenance
+from ..substrate.relational.schema import SemanticType
+
+
+@dataclass
+class RowSuggestion:
+    """New rows proposed by generalizing the user's pastes."""
+
+    source_name: str
+    rows: list[list[str]]
+    generalization: GeneralizationResult
+
+    @property
+    def mechanism(self) -> str:
+        """Human-readable description of how the rows were derived."""
+        return self.generalization.best.describe()
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+@dataclass
+class TypeSuggestion:
+    """Ranked semantic-type hypotheses for one column."""
+
+    column_index: int
+    hypotheses: list[TypeHypothesis]
+
+    @property
+    def best(self) -> TypeHypothesis | None:
+        """The top-ranked type hypothesis, or None when none cleared the bar."""
+        return self.hypotheses[0] if self.hypotheses else None
+
+    def alternatives(self) -> list[SemanticType]:
+        """Runner-up types for the header dropdown."""
+        return [hypothesis.semantic_type for hypothesis in self.hypotheses[1:]]
+
+
+@dataclass
+class ColumnSuggestion:
+    """An executed column auto-completion, aligned to the workspace rows.
+
+    ``values[i]`` / ``provenances[i]`` align with committed workspace row i;
+    a None value means the query produced no answer for that row.
+    ``alternatives[i]`` counts extra candidate values (the ambiguity the
+    paper surfaces so "the integrator [can] select the appropriate
+    location").
+    """
+
+    completion: ColumnCompletion
+    attribute_names: tuple[str, ...]
+    semantic_types: tuple[SemanticType, ...]
+    values: list[tuple[Any, ...]]
+    provenances: list[Provenance | None]
+    alternatives: list[list[tuple[Any, ...]]]
+    coverage: float
+    score: float
+
+    @property
+    def query(self) -> IntegrationQuery:
+        """The extended integration query this suggestion executes."""
+        return self.completion.query
+
+    @property
+    def source(self) -> str:
+        """The source/service contributing the new columns."""
+        return self.completion.added_source
+
+    def describe(self) -> str:
+        attrs = ", ".join(self.attribute_names)
+        return (
+            f"[cost={self.score:.2f}, coverage={self.coverage:.0%}] "
+            f"{attrs} from {self.source} via {self.completion.edge.kind}"
+        )
+
+
+@dataclass
+class QuerySuggestion:
+    """A ranked Steiner-mode query explaining user-pasted tuples."""
+
+    query: IntegrationQuery
+    cost: float
+
+    def describe(self) -> str:
+        return self.query.describe()

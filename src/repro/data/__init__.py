@@ -1,0 +1,11 @@
+"""Synthetic data generation: word banks and the hurricane-relief scenario."""
+
+from .names import SEED_CITIES, person_name, phone_number, shelter_name
+from .scenario import Scenario, ShelterRecord, build_scenario
+from .supplies import DepotRecord, SuppliesScenario, build_supplies_scenario
+
+__all__ = [
+    "DepotRecord", "SEED_CITIES", "Scenario", "ShelterRecord", "SuppliesScenario",
+    "build_scenario", "build_supplies_scenario",
+    "person_name", "phone_number", "shelter_name",
+]

@@ -1,0 +1,115 @@
+"""Deterministic word banks for synthetic data generation.
+
+The hurricane-relief scenario (Example 1 and the Section 8 demo) needs
+plausible shelter names, street names, contact people, and phone numbers.
+Everything here is generated from fixed word banks and a seeded RNG so the
+whole scenario — and therefore every test and benchmark — is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..util.rng import make_rng
+
+# Cities from the paper's screenshots (Coconut Creek, Oakland Park appear in
+# Figure 1) plus the Broward County area the scenario is set in.
+SEED_CITIES = (
+    "Coconut Creek",
+    "Oakland Park",
+    "Pompano Beach",
+    "Fort Lauderdale",
+    "Hollywood",
+    "Plantation",
+    "Sunrise",
+    "Margate",
+    "Tamarac",
+    "Davie",
+    "Coral Springs",
+    "Deerfield Beach",
+)
+
+CITY_PREFIXES = ("Lake", "Palm", "Cypress", "Sea", "Bay", "Pine", "Sand", "Ocean")
+CITY_SUFFIXES = ("Grove", "Harbor", "Springs", "Ridge", "Shores", "Terrace", "Point", "Villas")
+
+STREET_NAMES = (
+    "Monarch", "Andrews", "Atlantic", "Cypress", "Federal", "Commercial",
+    "Sample", "Copans", "Hillsboro", "Sunrise", "Riverside", "Seabreeze",
+    "Banyan", "Orange", "Poinciana", "Mangrove", "Heron", "Pelican",
+    "Ibis", "Osprey", "Flamingo", "Dolphin", "Manatee", "Tarpon",
+)
+STREET_SUFFIXES = ("Blvd", "Ave", "St", "Rd", "Dr", "Way", "Ct", "Ln")
+STREET_DIRECTIONS = ("", "", "", "N", "S", "E", "W", "NE", "NW", "SE", "SW")
+
+SCHOOL_KINDS = ("High", "Middle", "Elementary")
+SHELTER_KINDS = (
+    "{name} {kind} School",
+    "{name} Community Center",
+    "{name} Recreation Center",
+    "{name} Civic Center",
+)
+SHELTER_NAME_WORDS = (
+    "Monarch", "North Andrews Gardens", "Pompano Beach", "Coral Glades",
+    "Everglades", "Seminole", "Flamingo", "Heron Heights", "Sawgrass",
+    "Cypress Bay", "Silver Lakes", "Park Trails", "Eagle Point",
+    "Sandpiper", "Tradewinds", "Riverglades", "Quiet Waters",
+    "Winston Park", "Forest Hills", "Atlantic West", "Banyan Creek",
+    "Palmview", "Tedder", "Norcrest", "Croissant Park", "Harbordale",
+)
+
+FIRST_NAMES = (
+    "Maria", "James", "Linda", "Robert", "Patricia", "Michael", "Barbara",
+    "William", "Elizabeth", "David", "Jennifer", "Richard", "Susan",
+    "Joseph", "Jessica", "Thomas", "Sarah", "Carlos", "Nancy", "Daniel",
+    "Karen", "Luis", "Betty", "Kevin", "Sandra", "Jason", "Ashley",
+)
+LAST_NAMES = (
+    "Garcia", "Smith", "Johnson", "Rodriguez", "Williams", "Martinez",
+    "Brown", "Jones", "Hernandez", "Miller", "Davis", "Lopez", "Gonzalez",
+    "Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Perez",
+)
+
+AREA_CODES = ("954", "754", "305", "561")
+
+
+def generated_city_names(count: int, seed: int | random.Random | None = None) -> list[str]:
+    """Deterministically generate *count* city names beyond the seed list."""
+    rng = make_rng(seed)
+    names: list[str] = []
+    seen = set(SEED_CITIES)
+    while len(names) < count:
+        name = f"{rng.choice(CITY_PREFIXES)} {rng.choice(CITY_SUFFIXES)}"
+        if name not in seen:
+            seen.add(name)
+            names.append(name)
+    return names
+
+
+def street_address(rng: random.Random) -> str:
+    """One street address line, e.g. ``1445 NW Monarch Blvd``."""
+    number = rng.randint(100, 9900)
+    direction = rng.choice(STREET_DIRECTIONS)
+    name = rng.choice(STREET_NAMES)
+    suffix = rng.choice(STREET_SUFFIXES)
+    middle = f"{direction} {name}".strip()
+    return f"{number} {middle} {suffix}"
+
+
+def shelter_name(rng: random.Random, used: set[str]) -> str:
+    """A unique shelter name like ``Monarch High School``."""
+    for _ in range(1000):
+        template = rng.choice(SHELTER_KINDS)
+        base = rng.choice(SHELTER_NAME_WORDS)
+        name = template.format(name=base, kind=rng.choice(SCHOOL_KINDS))
+        if name not in used:
+            used.add(name)
+            return name
+    raise RuntimeError("exhausted shelter name space")
+
+
+def person_name(rng: random.Random) -> str:
+    return f"{rng.choice(FIRST_NAMES)} {rng.choice(LAST_NAMES)}"
+
+
+def phone_number(rng: random.Random) -> str:
+    return f"({rng.choice(AREA_CODES)}) {rng.randint(200, 999)}-{rng.randint(1000, 9999)}"

@@ -1,0 +1,337 @@
+"""The hurricane-relief scenario (Example 1 and the Section 8 demo).
+
+Builds, from one seed, a mutually consistent world:
+
+- a **gazetteer** of addresses with zips and geocodes;
+- a **TV-news website** listing shelters (optionally across several pages,
+  with configurable template noise, per the structure-learner ablations);
+- a **contacts spreadsheet** whose shelter names are noisy variants of the
+  website's names (exercising record linking);
+- the **predefined services** (zip resolver, geocoder, place resolver,
+  reverse directory, conversions);
+- extra local-repository sources (damage reports, road conditions) that give
+  the integration learner additional column suggestions to choose among;
+- a **ground-truth integrated table** used by evaluations.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..substrate.documents.render import ListingTemplate, render_detail_page
+from ..substrate.documents.spreadsheet import Sheet, Workbook
+from ..substrate.documents.textdoc import TextDocument
+from ..substrate.documents.website import Website, paged_url
+from ..substrate.relational.catalog import Catalog, SourceMetadata
+from ..substrate.relational.relation import Relation
+from ..substrate.relational.schema import (
+    CITY,
+    NAME,
+    NUMBER,
+    PHONE,
+    STREET,
+    TEXT,
+    Attribute,
+    Schema,
+)
+from ..substrate.services.gazetteer import Address, Gazetteer
+from ..substrate.services.registry import ServiceRegistry
+from ..util.rng import derive_rng, make_rng
+from .names import person_name, phone_number, shelter_name
+
+DAMAGE_LEVELS = ("none", "minor", "moderate", "severe", "catastrophic")
+ROAD_STATUSES = ("open", "open", "flooded", "closed", "debris")
+
+
+@dataclass
+class ShelterRecord:
+    """Ground truth for one shelter."""
+
+    name: str
+    address: Address
+    contact: str
+    phone: str
+    noisy_name: str  # as it appears in the contacts spreadsheet
+    capacity: int = 0
+
+    def as_row(self) -> dict[str, Any]:
+        return {
+            "Name": self.name,
+            "Street": self.address.street,
+            "City": self.address.city,
+            "Zip": self.address.zip,
+            "Lat": self.address.lat,
+            "Lon": self.address.lon,
+            "Contact": self.contact,
+            "Phone": self.phone,
+            "Capacity": self.capacity,
+        }
+
+
+def _noisy_shelter_name(name: str, rng: random.Random, level: float) -> str:
+    """Perturb a shelter name the way a hand-typed contact list would.
+
+    Perturbations: abbreviation (High School → HS), dropped suffix words,
+    character typos. ``level`` in [0, 1] scales how many perturbations fire.
+    """
+    noisy = name
+    if rng.random() < level:
+        noisy = (
+            noisy.replace("High School", "HS")
+            .replace("Middle School", "MS")
+            .replace("Elementary School", "Elem")
+        )
+    if rng.random() < level * 0.7 and noisy.endswith(("Center", "School")):
+        noisy = noisy.rsplit(" ", 1)[0]
+    if rng.random() < level * 0.5 and len(noisy) > 6:
+        # One transposition typo away from the true name.
+        position = rng.randrange(1, len(noisy) - 2)
+        if noisy[position].isalpha() and noisy[position + 1].isalpha():
+            noisy = (
+                noisy[:position]
+                + noisy[position + 1]
+                + noisy[position]
+                + noisy[position + 2 :]
+            )
+    return noisy
+
+
+@dataclass
+class Scenario:
+    """Everything the examples, tests, and benchmarks need, in one object."""
+
+    seed: int
+    gazetteer: Gazetteer
+    shelters: list[ShelterRecord]
+    website: Website
+    contacts_workbook: Workbook
+    situation_report: TextDocument
+    registry: ServiceRegistry
+    catalog: Catalog
+    shelter_columns: tuple[str, ...] = ("Name", "Street", "City")
+    list_path: str = "shelters"
+    pages: int = 1
+
+    # -- ground truth -----------------------------------------------------------
+    def truth_rows(self) -> list[dict[str, Any]]:
+        return [shelter.as_row() for shelter in self.shelters]
+
+    def truth_shelter_rows(self) -> list[dict[str, Any]]:
+        return [
+            {column: row[column] for column in self.shelter_columns}
+            for row in self.truth_rows()
+        ]
+
+    def shelter_by_name(self, name: str) -> ShelterRecord:
+        for shelter in self.shelters:
+            if shelter.name == name:
+                return shelter
+        raise KeyError(name)
+
+    def list_urls(self) -> list[str]:
+        if self.pages == 1:
+            return [self.website.absolute(self.list_path)]
+        return [
+            self.website.absolute(paged_url(self.list_path, page))
+            for page in range(1, self.pages + 1)
+        ]
+
+    @property
+    def contacts_sheet(self) -> Sheet:
+        return self.contacts_workbook.first_sheet
+
+
+def build_scenario(
+    seed: int = 0,
+    n_shelters: int = 12,
+    noise: int = 1,
+    pages: int = 1,
+    listing_style: str = "table",
+    name_noise: float = 0.8,
+    n_cities: int = 8,
+    link_details: bool = False,
+    form_site: bool = False,
+) -> Scenario:
+    """Construct the full hurricane-relief world.
+
+    ``noise`` is the page-template noise level (0–3); ``name_noise`` controls
+    how mangled the contact spreadsheet's shelter names are; ``pages`` splits
+    the shelter listing across several ``?page=k`` pages. ``link_details``
+    makes each listed shelter name link to its per-record detail page (the
+    hierarchical-site case); ``form_site`` additionally serves per-city
+    result pages behind a search form (``/search`` -> ``shelters?city=X``).
+    """
+    rng = make_rng(seed)
+    gazetteer = Gazetteer(n_cities=n_cities, streets_per_city=30, seed=derive_rng(rng, "gaz"))
+
+    # -- shelters ---------------------------------------------------------------
+    shelter_rng = derive_rng(rng, "shelters")
+    cities = gazetteer.cities[: max(3, n_cities // 2)]
+    addresses = gazetteer.sample(n_shelters, seed=derive_rng(rng, "addr"), cities=cities)
+    used_names: set[str] = set()
+    shelters: list[ShelterRecord] = []
+    for address in addresses:
+        name = shelter_name(shelter_rng, used_names)
+        shelters.append(
+            ShelterRecord(
+                name=name,
+                address=address,
+                contact=person_name(shelter_rng),
+                phone=phone_number(shelter_rng),
+                noisy_name=_noisy_shelter_name(name, shelter_rng, name_noise),
+                capacity=shelter_rng.randrange(60, 600, 20),
+            )
+        )
+
+    # -- the TV-news website ------------------------------------------------------
+    website = Website("http://channel7news.example")
+    template = ListingTemplate(
+        columns=("Name", "Street", "City"),
+        style=listing_style,
+        noise=noise,
+        seed=derive_rng(rng, "render").randrange(2**31),
+        link_field="__detail__" if link_details else None,
+    )
+    records = [
+        {
+            "Name": s.name,
+            "Street": s.address.street,
+            "City": s.address.city,
+            "__detail__": f"/shelter/{index}",
+        }
+        for index, s in enumerate(shelters)
+    ]
+    per_page = (len(records) + pages - 1) // pages
+    for page_number in range(1, pages + 1):
+        chunk = records[(page_number - 1) * per_page : page_number * per_page]
+        nav = [
+            (f"Page {k}", paged_url("shelters", k))
+            for k in range(1, pages + 1)
+            if k != page_number
+        ]
+        path = "shelters" if pages == 1 else paged_url("shelters", page_number)
+        website.add_page(
+            path,
+            template.render(chunk, title="Hurricane Shelters - Channel 7", nav_links=nav),
+            title="Hurricane Shelters",
+        )
+    if form_site:
+        # Per-city result pages behind a search form: the paper's "pages
+        # accessible via a form" case. Same template, city-filtered rows.
+        form_cities = sorted({s.address.city for s in shelters})
+        for city in form_cities:
+            chunk = [r for r in records if r["City"] == city]
+            website.add_page(
+                f"shelters?city={city.replace(' ', '+')}",
+                template.render(chunk, title=f"Shelters in {city}"),
+                title=f"Shelters in {city}",
+            )
+        website.add_form(
+            "search",
+            ["city"],
+            lambda values: f"shelters?city={values['city'].replace(' ', '+')}",
+        )
+    for index, shelter in enumerate(shelters):
+        website.add_page(
+            f"shelter/{index}",
+            render_detail_page(
+                {
+                    "Name": shelter.name,
+                    "Street": shelter.address.street,
+                    "City": shelter.address.city,
+                    "Phone": shelter.phone,
+                },
+                fields=("Name", "Street", "City", "Phone"),
+                title_field="Name",
+            ),
+            title=shelter.name,
+        )
+
+    # -- the contacts spreadsheet ----------------------------------------------------
+    workbook = Workbook("ShelterContacts")
+    sheet = workbook.new_sheet("Contacts", header=["Shelter", "Contact", "Phone", "Address"])
+    contact_order = list(shelters)
+    derive_rng(rng, "contact-order").shuffle(contact_order)
+    for shelter in contact_order:
+        sheet.append_row(
+            [
+                shelter.noisy_name,
+                shelter.contact,
+                shelter.phone,
+                f"{shelter.address.street}, {shelter.address.city}",
+            ]
+        )
+
+    # -- the FEMA situation report (Word-like text document) ----------------------------
+    report_lines = [
+        "SHELTER STATUS REPORT",
+        "County Emergency Operations Center",
+        "",
+        "Summary: all listed facilities operational as of this morning.",
+        "",
+    ]
+    for s in shelters:
+        report_lines.extend(
+            [
+                f"Name: {s.name}",
+                f"Street: {s.address.street}",
+                f"City: {s.address.city}",
+                f"Capacity: {s.capacity}",
+                "",
+            ]
+        )
+    report_lines.append("END OF REPORT")
+    situation_report = TextDocument(
+        name="SituationReport", text="\n".join(report_lines)
+    )
+
+    # -- services -------------------------------------------------------------------
+    places = {
+        s.name: {
+            "Street": s.address.street,
+            "City": s.address.city,
+            "Lat": s.address.lat,
+            "Lon": s.address.lon,
+        }
+        for s in shelters
+    }
+    contacts_for_directory = [{"Name": s.contact, "Phone": s.phone} for s in shelters]
+    registry = (
+        ServiceRegistry(gazetteer)
+        .install_location_services()
+        .install_conversion_services()
+        .install_place_resolver(places)
+        .install_directories(contacts_for_directory)
+    )
+
+    # -- catalog with local-repository sources -----------------------------------------
+    catalog = Catalog()
+    registry.register_all(catalog)
+
+    damage_schema = Schema([Attribute("City", CITY), Attribute("Damage", TEXT)])
+    damage = Relation("DamageReports", damage_schema)
+    damage_rng = derive_rng(rng, "damage")
+    for city in gazetteer.cities:
+        damage.add([city, damage_rng.choice(DAMAGE_LEVELS)])
+    catalog.add_relation(damage, SourceMetadata(origin="import"))
+
+    roads_schema = Schema([Attribute("City", CITY), Attribute("RoadStatus", TEXT)])
+    roads = Relation("RoadConditions", roads_schema)
+    roads_rng = derive_rng(rng, "roads")
+    for city in gazetteer.cities:
+        roads.add([city, roads_rng.choice(ROAD_STATUSES)])
+    catalog.add_relation(roads, SourceMetadata(origin="import"))
+
+    return Scenario(
+        seed=seed if isinstance(seed, int) else 0,
+        gazetteer=gazetteer,
+        shelters=shelters,
+        website=website,
+        contacts_workbook=workbook,
+        situation_report=situation_report,
+        registry=registry,
+        catalog=catalog,
+        pages=pages,
+    )

@@ -1,0 +1,140 @@
+"""The supplies-depot scenario: unit conversion in the integration loop.
+
+Section 4 lists "currency and unit conversion" among the predefined
+services, and the demo plan (Section 8) promises auto-completion "including
+joins, unions, and unit conversion". This second domain exercises that
+path: relief depots report stock quantities in mixed imperial units; the
+target table needs everything in kilograms.
+
+The canonical flow (see ``tests/test_supplies.py`` and the
+``advanced_workspace`` example family):
+
+1. import the depot listing from the logistics website;
+2. flash-fill a constant ``To`` column (``"kg"``) — a one-keystroke
+   demonstration of the desired output unit;
+3. the unit-converter service edge becomes applicable (its ``Value``,
+   ``From``, ``To`` inputs are all present), and the ``Converted`` column
+   auto-completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..substrate.documents.render import ListingTemplate
+from ..substrate.documents.website import Website
+from ..substrate.relational.catalog import Catalog, SourceMetadata
+from ..substrate.relational.relation import Relation
+from ..substrate.relational.schema import (
+    CITY,
+    NUMBER,
+    PLACE,
+    TEXT,
+    Attribute,
+    Schema,
+)
+from ..substrate.services.conversion import UNIT_TO_BASE, make_unit_converter
+from ..substrate.services.gazetteer import Gazetteer
+from ..util.rng import derive_rng, make_rng
+
+ITEMS = ("Bottled Water", "Blankets", "MRE Rations", "Tarps", "Medical Kits", "Sandbags")
+WEIGHT_UNITS = ("lb", "ton", "kg", "oz")
+
+
+@dataclass
+class DepotRecord:
+    """Ground truth for one depot stock line."""
+
+    depot: str
+    city: str
+    item: str
+    value: float
+    unit: str
+
+    def kilograms(self) -> float:
+        kind, factor = UNIT_TO_BASE[self.unit]
+        assert kind == "weight"
+        return round(self.value * factor / UNIT_TO_BASE["kg"][1], 6)
+
+    def as_row(self) -> dict[str, Any]:
+        return {
+            "Depot": self.depot,
+            "City": self.city,
+            "Item": self.item,
+            "Value": self.value,
+            "From": self.unit,
+        }
+
+
+@dataclass
+class SuppliesScenario:
+    """The depot world: records, website, catalog with the unit converter."""
+
+    seed: int
+    depots: list[DepotRecord]
+    website: Website
+    catalog: Catalog
+
+    def truth_rows(self) -> list[dict[str, Any]]:
+        return [record.as_row() for record in self.depots]
+
+    def list_url(self) -> str:
+        return self.website.absolute("depots")
+
+
+def build_supplies_scenario(seed: int = 0, n_lines: int = 9, n_cities: int = 5) -> SuppliesScenario:
+    """Build the depot world deterministically from *seed*."""
+    rng = make_rng(seed)
+    gazetteer = Gazetteer(n_cities=n_cities, streets_per_city=5, seed=derive_rng(rng, "gaz"))
+    depot_rng = derive_rng(rng, "depots")
+    records: list[DepotRecord] = []
+    for index in range(n_lines):
+        city = gazetteer.cities[index % len(gazetteer.cities)]
+        records.append(
+            DepotRecord(
+                depot=f"{city.split()[0]} Depot {index + 1}",
+                city=city,
+                item=depot_rng.choice(ITEMS),
+                value=round(depot_rng.uniform(50, 5000), 1),
+                unit=depot_rng.choice(WEIGHT_UNITS),
+            )
+        )
+
+    website = Website("http://logistics.example")
+    template = ListingTemplate(
+        columns=("Depot", "City", "Item", "Value", "From"),
+        style="table",
+        noise=1,
+        seed=derive_rng(rng, "render").randrange(2**31),
+    )
+    website.add_page(
+        "depots",
+        template.render([r.as_row() for r in records], title="Relief Supply Depots"),
+        title="Relief Supply Depots",
+    )
+
+    catalog = Catalog()
+    catalog.add_service(make_unit_converter(), SourceMetadata(origin="predefined"))
+
+    # A local requirements table: how many kg of each item each city needs.
+    req_schema = Schema(
+        [
+            Attribute("City", CITY),
+            Attribute("Item", TEXT),
+            Attribute("RequiredKg", NUMBER),
+        ]
+    )
+    requirements = Relation("Requirements", req_schema)
+    req_rng = derive_rng(rng, "req")
+    for city in gazetteer.cities:
+        for item in ITEMS[:3]:
+            requirements.add([city, item, req_rng.randrange(100, 3000, 50)])
+    catalog.add_relation(requirements, SourceMetadata(origin="import"))
+
+    return SuppliesScenario(
+        seed=seed if isinstance(seed, int) else 0,
+        depots=records,
+        website=website,
+        catalog=catalog,
+    )

@@ -1,0 +1,92 @@
+"""Exception hierarchy for the CopyCat reproduction.
+
+Every error raised by the library derives from :class:`CopyCatError`, so
+callers can catch a single base class. Sub-hierarchies mirror the major
+subsystems (relational substrate, documents, services, learners, workspace).
+"""
+
+from __future__ import annotations
+
+
+class CopyCatError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(CopyCatError):
+    """A schema is malformed or two schemas are incompatible."""
+
+
+class UnknownAttributeError(SchemaError):
+    """An attribute name was not found in a schema."""
+
+    def __init__(self, name: str, available: tuple[str, ...] = ()):
+        self.name = name
+        self.available = tuple(available)
+        detail = f"unknown attribute {name!r}"
+        if available:
+            detail += f" (available: {', '.join(available)})"
+        super().__init__(detail)
+
+
+class BindingError(CopyCatError):
+    """A service/source was invoked without its required input bindings."""
+
+
+class EvaluationError(CopyCatError):
+    """A query plan could not be evaluated."""
+
+
+class CatalogError(CopyCatError):
+    """A catalog lookup or registration failed."""
+
+
+class DocumentError(CopyCatError):
+    """A document (DOM / spreadsheet / website) operation failed."""
+
+
+class NavigationError(DocumentError):
+    """A URL or page could not be resolved in a simulated website."""
+
+
+class ClipboardError(CopyCatError):
+    """Copy/paste event is malformed or out of order."""
+
+
+class ServiceError(CopyCatError):
+    """A simulated service invocation failed."""
+
+
+class ServiceLookupFailed(ServiceError):
+    """A service could not answer for the given inputs."""
+
+
+class LearningError(CopyCatError):
+    """A learner was used incorrectly or could not form a hypothesis."""
+
+
+class NoHypothesisError(LearningError):
+    """The structure learner found no hypothesis consistent with the examples."""
+
+
+class ProvenanceError(CopyCatError):
+    """A provenance expression is malformed or cannot be evaluated."""
+
+
+class WorkspaceError(CopyCatError):
+    """An invalid workspace interaction (bad cell, bad mode transition)."""
+
+
+class FeedbackError(CopyCatError):
+    """A feedback event could not be routed or applied."""
+
+
+class ExportError(CopyCatError):
+    """Export to an external format failed."""
+
+
+class IntegrationError(CopyCatError):
+    """The integration learner could not build or rank queries."""
+
+
+class GraphError(IntegrationError):
+    """A source-graph operation failed (missing node, disconnected terminals)."""

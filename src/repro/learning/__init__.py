@@ -1,0 +1,1 @@
+"""CopyCat's three learner modules (Figure 3): structure, model, integration."""

@@ -1,0 +1,18 @@
+"""Integration learner: source graph, Steiner search, MIRA, query compilation."""
+
+from .associations import discover_associations, types_compatible
+from .learner import ColumnCompletion, IntegrationLearner
+from .mira import MiraLearner, MiraUpdate
+from .queries import IntegrationQuery, compile_tree, extend_query
+from .source_graph import Association, DEFAULT_COSTS, SourceGraph, SourceNode
+from .spcsh import dijkstra, prune_graph, spcsh_top_k_steiner
+from .steiner import SteinerTree, exact_top_k_steiner, minimum_spanning_tree
+
+__all__ = [
+    "Association", "ColumnCompletion", "DEFAULT_COSTS", "IntegrationLearner",
+    "IntegrationQuery", "MiraLearner", "MiraUpdate", "SourceGraph",
+    "SourceNode", "SteinerTree", "compile_tree", "dijkstra",
+    "discover_associations", "exact_top_k_steiner", "extend_query",
+    "minimum_spanning_tree", "prune_graph", "spcsh_top_k_steiner",
+    "types_compatible",
+]

@@ -1,0 +1,247 @@
+"""The integration learner facade.
+
+Section 4.2 describes its two modes:
+
+1. **Column completions** — "it discovers promising associations (edges in
+   the source graph scoring above a relevance threshold) from the current
+   query's nodes to other sources" and defines a query per association.
+2. **Tuple explanation** — given user-pasted tuples whose attributes span
+   sources, "the learner finds the most likely explanations for the tuples
+   (queries) by discovering Steiner trees connecting the data sources".
+
+Feedback over either mode is converted into MIRA constraints on the shared
+edge-weight vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
+
+from ...errors import GraphError, IntegrationError
+from ...substrate.relational.catalog import Catalog
+from ...substrate.relational.schema import Schema
+from ...util.text import normalize
+from .associations import discover_associations
+from .mira import MiraLearner
+from .queries import IntegrationQuery, LinkerFactory, compile_tree, extend_query
+from .source_graph import Association, SourceGraph
+from .spcsh import spcsh_top_k_steiner
+from .steiner import SteinerTree, exact_top_k_steiner
+
+#: Above this many non-terminal nodes, fall back to SPCSH automatically.
+EXACT_NODE_BUDGET = 14
+
+
+@dataclass
+class ColumnCompletion:
+    """A suggested new column-set: the edge used and the extended query."""
+
+    edge: Association
+    query: IntegrationQuery
+    added_source: str
+    added_attributes: tuple[str, ...]
+    cost: float
+
+    def describe(self) -> str:
+        attrs = ", ".join(self.added_attributes)
+        return f"[{self.cost:.2f}] add {attrs} from {self.added_source} via {self.edge.kind}"
+
+
+class IntegrationLearner:
+    """Maintains the source graph, ranks queries, learns from feedback."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        relevance_threshold: float = 2.0,
+        use_semantic_types: bool = True,
+        linker_factory: LinkerFactory | None = None,
+        margin: float = 0.5,
+    ):
+        self.catalog = catalog
+        self.relevance_threshold = relevance_threshold
+        self.use_semantic_types = use_semantic_types
+        self.linker_factory = linker_factory
+        self._margin = margin
+        self.graph = SourceGraph()
+        self.mira = MiraLearner(
+            self.graph,
+            margin=margin,
+            relevance_threshold=relevance_threshold,
+        )
+        self.refresh()
+
+    # -- graph lifecycle ---------------------------------------------------------
+    def refresh(self) -> SourceGraph:
+        """Rebuild associations for the catalog's current contents.
+
+        Learned edge weights survive the rebuild: an edge re-discovered
+        after a new source import keeps whatever MIRA taught it.
+        """
+        old_weights = dict(self.graph.weights) if self.graph is not None else {}
+        self.graph = discover_associations(
+            self.catalog, use_semantic_types=self.use_semantic_types
+        )
+        for key, weight in old_weights.items():
+            if key in self.graph.weights:
+                self.graph.weights[key] = weight
+        self.mira = MiraLearner(
+            self.graph,
+            margin=self._margin,
+            relevance_threshold=self.relevance_threshold,
+        )
+        return self.graph
+
+    # -- query construction ---------------------------------------------------------
+    def base_query(self, source: str) -> IntegrationQuery:
+        """The starting query: a single source relation (Section 4.2)."""
+        tree = SteinerTree(nodes=frozenset([source]), edges=(), cost=0.0)
+        return compile_tree(tree, self.catalog, self.graph, root=source,
+                            linker_factory=self.linker_factory)
+
+    def column_completions(
+        self,
+        query: IntegrationQuery,
+        k: int = 5,
+        visible_attributes: Sequence[str] | None = None,
+    ) -> list[ColumnCompletion]:
+        """Ranked column auto-completions extending *query*.
+
+        ``visible_attributes`` restricts which of the current query's
+        attributes may feed new edges (the user may have removed columns).
+        """
+        schema = query.output_schema(self.catalog)
+        visible = set(visible_attributes if visible_attributes is not None else schema.names)
+        completions: list[ColumnCompletion] = []
+        seen_feature_sets: set[frozenset[str]] = set()
+        for node in sorted(query.nodes):
+            for edge in self.graph.edges_of(node):
+                other = edge.other(node)
+                if other in query.nodes:
+                    continue
+                if self.graph.cost(edge) > self.relevance_threshold:
+                    continue  # below relevance: not suggested
+                try:
+                    extended = extend_query(
+                        query, edge, self.catalog, self.graph,
+                        linker_factory=self.linker_factory,
+                    )
+                except IntegrationError:
+                    continue
+                # The feeding attributes must still be visible in the table.
+                needed = {l for l, _ in edge.conditions} if edge.left in query.nodes else {
+                    r for _, r in edge.conditions
+                }
+                if edge.kind == "service":
+                    needed = {provider for provider, _ in edge.conditions}
+                if not needed <= visible:
+                    continue
+                if extended.features in seen_feature_sets:
+                    continue
+                seen_feature_sets.add(extended.features)
+                before = set(schema.names)
+                after = extended.output_schema(self.catalog).names
+                added = tuple(name for name in after if name not in before)
+                if not added:
+                    continue
+                completions.append(
+                    ColumnCompletion(
+                        edge=edge,
+                        query=extended,
+                        added_source=other,
+                        added_attributes=added,
+                        cost=extended.cost,
+                    )
+                )
+        completions.sort(key=lambda c: (c.cost, c.added_source))
+        return completions[:k]
+
+    def steiner_queries(
+        self,
+        terminals: Iterable[str],
+        k: int = 3,
+        mode: str = "auto",
+        root: str | None = None,
+    ) -> list[IntegrationQuery]:
+        """Top-k queries connecting *terminals* (the pasted tuple's sources)."""
+        terminal_list = sorted(set(terminals))
+        extras = len(self.graph) - len(terminal_list)
+        if mode == "exact" or (mode == "auto" and extras <= EXACT_NODE_BUDGET):
+            trees = exact_top_k_steiner(self.graph, terminal_list, k=k)
+        elif mode in ("spcsh", "auto"):
+            trees = spcsh_top_k_steiner(self.graph, terminal_list, k=k)
+        else:
+            raise IntegrationError(f"unknown Steiner mode {mode!r}")
+        queries = []
+        for tree in trees:
+            try:
+                queries.append(
+                    compile_tree(tree, self.catalog, self.graph, root=root,
+                                 linker_factory=self.linker_factory)
+                )
+            except IntegrationError:
+                continue  # tree not orientable into an executable plan
+        return queries
+
+    # -- terminal identification -------------------------------------------------------
+    def identify_terminals(
+        self, columns: Mapping[str, Sequence[Any]]
+    ) -> dict[str, str]:
+        """Map each pasted attribute to its most plausible source.
+
+        Evidence per (attribute, source): attribute-name match in the
+        source's schema, plus value containment for base relations (the
+        pasted values actually occur in that source's column).
+        """
+        assignment: dict[str, str] = {}
+        for attr_name, values in columns.items():
+            best_source, best_score = None, 0.0
+            normalized = [normalize(str(v)) for v in values if v is not None]
+            for source in self.graph.node_names():
+                node = self.graph.node(source)
+                if attr_name not in node.schema:
+                    continue
+                score = 1.0
+                if not node.is_service:
+                    relation = self.catalog.relation(source)
+                    column = {normalize(str(v)) for v in relation.column(attr_name)}
+                    if normalized:
+                        contained = sum(1 for v in normalized if v in column)
+                        score += 2.0 * contained / len(normalized)
+                else:
+                    # services never *originate* data; weak evidence only
+                    score -= 0.5
+                if score > best_score:
+                    best_source, best_score = source, score
+            if best_source is None:
+                raise GraphError(
+                    f"no source in the graph carries attribute {attr_name!r}"
+                )
+            assignment[attr_name] = best_source
+        return assignment
+
+    def explain_tuples(
+        self, columns: Mapping[str, Sequence[Any]], k: int = 3
+    ) -> list[IntegrationQuery]:
+        """Steiner-mode entry point: pasted columns → ranked queries."""
+        terminals = set(self.identify_terminals(columns).values())
+        return self.steiner_queries(terminals, k=k)
+
+    # -- feedback --------------------------------------------------------------------
+    def accept_query(
+        self, accepted: IntegrationQuery, alternatives: Iterable[IntegrationQuery] = ()
+    ) -> int:
+        updates = self.mira.accept(
+            accepted.features, [alt.features for alt in alternatives]
+        )
+        return updates
+
+    def reject_query(
+        self, rejected: IntegrationQuery, better: Iterable[IntegrationQuery] = ()
+    ) -> int:
+        return self.mira.reject(rejected.features, [b.features for b in better])
+
+    def requery_cost(self, query: IntegrationQuery) -> float:
+        """Query cost under the *current* (post-feedback) weights."""
+        return self.graph.tree_cost(query.edges)

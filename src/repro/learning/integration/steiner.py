@@ -1,0 +1,145 @@
+"""Exact top-k Steiner trees over the source graph.
+
+Section 4.2: "the learner finds the most likely explanations for the tuples
+(queries) by discovering Steiner trees connecting the data sources in the
+source graph. For small source graphs, we can compute the most promising
+queries using an exact top-k Steiner tree algorithm."
+
+The paper formulates exactness via an ILP; with no solver available we get
+exactness by exhaustive enumeration: a minimal Steiner tree over node set S
+is a minimum spanning tree of the subgraph induced by S, so enumerating all
+connected supersets of the terminal set and ranking their induced MSTs
+yields the exact top-k *distinct Steiner node sets* — which is CopyCat's
+query granularity (which sources participate, and through which cheapest
+associations). Complexity is O(2^(n-t)) in the non-terminal count, i.e.
+deliberately exponential; the scaling benchmark (T-S) exhibits exactly this
+blowup, motivating SPCSH.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterable, Sequence
+
+from ...errors import GraphError
+from .source_graph import Association, SourceGraph
+
+
+@dataclass(frozen=True)
+class SteinerTree:
+    """A candidate query skeleton: nodes plus the tree edges joining them."""
+
+    nodes: frozenset[str]
+    edges: tuple[Association, ...]
+    cost: float
+
+    def feature_keys(self) -> frozenset[str]:
+        """The MIRA feature set: one feature per edge (Section 4.2)."""
+        return frozenset(edge.key for edge in self.edges)
+
+    def sort_key(self) -> tuple:
+        return (self.cost, len(self.nodes), tuple(sorted(self.nodes)))
+
+    def __str__(self) -> str:
+        parts = " + ".join(sorted(self.nodes))
+        return f"[{self.cost:.2f}] {parts}"
+
+
+def _min_adjacency(graph: SourceGraph, nodes: frozenset[str]) -> dict[str, list[tuple[float, str, Association]]]:
+    """Cheapest-edge adjacency restricted to *nodes* (parallel edges folded)."""
+    best: dict[tuple[str, str], Association] = {}
+    for edge in graph.edges():
+        if edge.left in nodes and edge.right in nodes:
+            pair = tuple(sorted((edge.left, edge.right)))
+            current = best.get(pair)
+            if current is None or graph.cost(edge) < graph.cost(current):
+                best[pair] = edge
+    adjacency: dict[str, list[tuple[float, str, Association]]] = {n: [] for n in nodes}
+    for (a, b), edge in best.items():
+        cost = graph.cost(edge)
+        adjacency[a].append((cost, b, edge))
+        adjacency[b].append((cost, a, edge))
+    return adjacency
+
+
+def minimum_spanning_tree(
+    graph: SourceGraph, nodes: frozenset[str]
+) -> SteinerTree | None:
+    """Prim's MST over the induced subgraph; None if disconnected."""
+    if not nodes:
+        return None
+    if len(nodes) == 1:
+        return SteinerTree(nodes=nodes, edges=(), cost=0.0)
+    adjacency = _min_adjacency(graph, nodes)
+    start = min(nodes)
+    visited = {start}
+    chosen: list[Association] = []
+    total = 0.0
+    frontier: list[tuple[float, str, str, Association | None]] = []
+    counter = 0  # heap tiebreaker via insertion order of stable iteration
+    heap: list[tuple[float, int, str, Association]] = []
+    for cost, other, edge in adjacency[start]:
+        counter += 1
+        heapq.heappush(heap, (cost, counter, other, edge))
+    while heap and len(visited) < len(nodes):
+        cost, _, node, edge = heapq.heappop(heap)
+        if node in visited:
+            continue
+        visited.add(node)
+        chosen.append(edge)
+        total += cost
+        for next_cost, other, next_edge in adjacency[node]:
+            if other not in visited:
+                counter += 1
+                heapq.heappush(heap, (next_cost, counter, other, next_edge))
+    if len(visited) < len(nodes):
+        return None
+    chosen.sort(key=lambda e: e.key)
+    return SteinerTree(nodes=nodes, edges=tuple(chosen), cost=total)
+
+
+def exact_top_k_steiner(
+    graph: SourceGraph,
+    terminals: Iterable[str],
+    k: int = 3,
+    max_extra_nodes: int | None = None,
+) -> list[SteinerTree]:
+    """The exact top-k distinct-node-set Steiner trees connecting *terminals*.
+
+    ``max_extra_nodes`` optionally caps how many intermediate nodes may be
+    added (the tree "may add any number of intermediate nodes", footnote 3 —
+    but callers with latency budgets can bound the search).
+    """
+    terminal_set = frozenset(terminals)
+    if not terminal_set:
+        raise GraphError("Steiner search needs at least one terminal")
+    for terminal in terminal_set:
+        if not graph.has_node(terminal):
+            raise GraphError(f"terminal {terminal!r} is not in the source graph")
+
+    others = sorted(set(graph.node_names()) - terminal_set)
+    limit = len(others) if max_extra_nodes is None else min(max_extra_nodes, len(others))
+
+    results: list[SteinerTree] = []
+    for extra_count in range(0, limit + 1):
+        for extra in combinations(others, extra_count):
+            tree = minimum_spanning_tree(graph, terminal_set | frozenset(extra))
+            if tree is not None:
+                results.append(tree)
+    results.sort(key=SteinerTree.sort_key)
+
+    # Keep the k cheapest, but drop any tree whose node set strictly
+    # contains a cheaper tree's node set at equal-or-worse cost — adding an
+    # unused intermediate node never yields a genuinely different query.
+    pruned: list[SteinerTree] = []
+    for tree in results:
+        dominated = any(
+            kept.nodes < tree.nodes and kept.cost <= tree.cost for kept in pruned
+        )
+        if not dominated:
+            pruned.append(tree)
+        if len(pruned) >= k:
+            break
+    return pruned

@@ -1,0 +1,21 @@
+"""Model learner: semantic types and functional source descriptions."""
+
+from .patterns import PatternDistribution, TypeSignature, learn_constants
+from .seed import seed_type_learner
+from .source_description import (
+    ServiceStep,
+    SourceDescription,
+    SourceDescriptionLearner,
+)
+from .substitution import Replacement, find_replacements, substitute_service
+from .tokens import LEVEL_CLASS, LEVEL_CONST, LEVEL_KIND, mixed_symbols, value_symbols
+from .type_learner import LearnedType, SemanticTypeLearner, TypeHypothesis
+
+__all__ = [
+    "LEVEL_CLASS", "LEVEL_CONST", "LEVEL_KIND", "LearnedType",
+    "PatternDistribution", "SemanticTypeLearner", "ServiceStep",
+    "Replacement", "SourceDescription", "SourceDescriptionLearner", "TypeHypothesis",
+    "find_replacements", "substitute_service",
+    "TypeSignature", "learn_constants", "mixed_symbols", "seed_type_learner",
+    "value_symbols",
+]

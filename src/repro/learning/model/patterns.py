@@ -1,0 +1,254 @@
+"""Pattern induction and distribution comparison.
+
+A learned semantic type is represented as *distributions of patterns* at
+several generalization levels. Recognition does not require "a perfect
+match. Rather, the system evaluates whether the distribution of matched
+patterns is statistically similar to the matches on the training data"
+(Section 3.2). We compare distributions with cosine similarity and (when
+sample sizes allow) a chi-square goodness-of-fit check.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ...util.text import normalize, tokenize
+from .tokens import LEVEL_CLASS, LEVEL_KIND, mixed_symbols, value_symbols
+
+Pattern = tuple[str, ...]
+
+
+def learn_constants(values: Sequence[str], min_fraction: float = 0.1) -> frozenset[str]:
+    """Surface tokens appearing in at least *min_fraction* of values.
+
+    These become CONST symbols in the mixed pattern language — the stable
+    scaffolding of a format (street suffixes, area-code parentheses, state
+    abbreviations).
+    """
+    if not values:
+        return frozenset()
+    document_frequency: Counter[str] = Counter()
+    for value in values:
+        seen = {token.text for token in tokenize(str(value))}
+        document_frequency.update(seen)
+    threshold = max(2, math.ceil(min_fraction * len(values)))
+    if len(values) == 1:
+        threshold = 1
+    return frozenset(
+        token for token, count in document_frequency.items() if count >= threshold
+    )
+
+
+@dataclass(frozen=True)
+class PatternDistribution:
+    """A normalized histogram over patterns."""
+
+    counts: tuple[tuple[Pattern, int], ...]
+    total: int
+
+    @staticmethod
+    def from_patterns(patterns: Iterable[Pattern]) -> "PatternDistribution":
+        counter = Counter(patterns)
+        items = tuple(sorted(counter.items(), key=lambda kv: (-kv[1], kv[0])))
+        return PatternDistribution(counts=items, total=sum(counter.values()))
+
+    def as_dict(self) -> dict[Pattern, float]:
+        if self.total == 0:
+            return {}
+        return {pattern: count / self.total for pattern, count in self.counts}
+
+    def top(self, k: int = 5) -> list[Pattern]:
+        return [pattern for pattern, _ in self.counts[:k]]
+
+    def cosine(self, other: "PatternDistribution") -> float:
+        """Cosine similarity between the two normalized histograms."""
+        a = self.as_dict()
+        b = other.as_dict()
+        if not a or not b:
+            return 0.0
+        dot = sum(a[p] * b.get(p, 0.0) for p in a)
+        norm_a = math.sqrt(sum(v * v for v in a.values()))
+        norm_b = math.sqrt(sum(v * v for v in b.values()))
+        if norm_a == 0 or norm_b == 0:
+            return 0.0
+        return dot / (norm_a * norm_b)
+
+    def coverage(self, other: "PatternDistribution") -> float:
+        """Fraction of *other*'s mass whose patterns were seen in training."""
+        known = {pattern for pattern, _ in self.counts}
+        b = other.as_dict()
+        return sum(mass for pattern, mass in b.items() if pattern in known)
+
+    def chi_square_statistic(self, observed: "PatternDistribution") -> float:
+        """Chi-square statistic of *observed* counts vs this expected dist.
+
+        Unseen-pattern mass is pooled into a single smoothed "other" cell so
+        novel patterns penalize but do not produce infinities.
+        """
+        expected = self.as_dict()
+        if not expected or observed.total == 0:
+            return float("inf")
+        smoothing = 0.5
+        statistic = 0.0
+        other_observed = 0
+        for pattern, count in observed.counts:
+            if pattern in expected:
+                expected_count = expected[pattern] * observed.total
+                statistic += (count - expected_count) ** 2 / max(expected_count, smoothing)
+            else:
+                other_observed += count
+        statistic += other_observed**2 / smoothing if other_observed else 0.0
+        return statistic
+
+
+@dataclass(frozen=True)
+class TypeSignature:
+    """The full learned representation of one semantic type's format."""
+
+    constants: frozenset[str]
+    mixed: PatternDistribution      # constants + class symbols
+    class_level: PatternDistribution
+    kind_level: PatternDistribution
+    n_values: int
+    mean_length: float
+    vocabulary: frozenset[str] = frozenset()  # normalized full training values
+
+    @staticmethod
+    def from_values(values: Sequence[str]) -> "TypeSignature":
+        values = [str(value) for value in values]
+        constants = learn_constants(values)
+        mixed = PatternDistribution.from_patterns(
+            mixed_symbols(value, constants) for value in values
+        )
+        class_level = PatternDistribution.from_patterns(
+            value_symbols(value, LEVEL_CLASS) for value in values
+        )
+        kind_level = PatternDistribution.from_patterns(
+            value_symbols(value, LEVEL_KIND) for value in values
+        )
+        lengths = [len(value) for value in values] or [0]
+        return TypeSignature(
+            constants=constants,
+            mixed=mixed,
+            class_level=class_level,
+            kind_level=kind_level,
+            n_values=len(values),
+            mean_length=sum(lengths) / len(lengths),
+            vocabulary=frozenset(normalize(value) for value in values),
+        )
+
+    @property
+    def closedness(self) -> float:
+        """1 - distinct/total over training values.
+
+        Near 1 for closed vocabularies (a handful of city names repeated
+        many times); near 0 for open types (streets, person names).
+        """
+        if self.n_values == 0:
+            return 0.0
+        return 1.0 - len(self.vocabulary) / self.n_values
+
+    def merged_with(self, values: Sequence[str]) -> "TypeSignature":
+        """Refine with additional training data (Section 3.2: "patterns can
+        be refined over time as additional training data becomes available").
+
+        Re-derives the signature from the union of implied and new samples by
+        replaying stored counts; counts are exact because we keep histograms.
+        """
+        new = TypeSignature.from_values(values)
+        return TypeSignature(
+            constants=self.constants | new.constants,
+            mixed=_merge(self.mixed, new.mixed),
+            class_level=_merge(self.class_level, new.class_level),
+            kind_level=_merge(self.kind_level, new.kind_level),
+            n_values=self.n_values + new.n_values,
+            mean_length=(
+                self.mean_length * self.n_values + new.mean_length * new.n_values
+            )
+            / max(self.n_values + new.n_values, 1),
+            vocabulary=self.vocabulary | new.vocabulary,
+        )
+
+    def similarity(self, values: Sequence[str]) -> float:
+        """Score how well a candidate column matches this type, in [0, 1].
+
+        Blends cosine similarity at the three levels (specific levels count
+        more when they match) with training-pattern coverage.
+        """
+        values = [str(value) for value in values]
+        if not values:
+            return 0.0
+        candidate_mixed = PatternDistribution.from_patterns(
+            mixed_symbols(value, self.constants) for value in values
+        )
+        candidate_class = PatternDistribution.from_patterns(
+            value_symbols(value, LEVEL_CLASS) for value in values
+        )
+        candidate_kind = PatternDistribution.from_patterns(
+            value_symbols(value, LEVEL_KIND) for value in values
+        )
+        mixed_score = self.mixed.cosine(candidate_mixed)
+        class_score = self.class_level.cosine(candidate_class)
+        kind_score = self.kind_level.cosine(candidate_kind)
+        coverage = self.class_level.coverage(candidate_class)
+        const_hits = self.constant_hit_rate(values)
+        vocab_score = self.vocabulary_score(values)
+        # For closed vocabularies, membership is stronger evidence than the
+        # exact histogram over members (which shifts from source to source),
+        # so weight shifts from the mixed-pattern cosine to vocabulary.
+        shift = 0.15 * self.closedness if self.closedness >= 0.75 else 0.0
+        score = (
+            (0.25 - shift) * mixed_score
+            + 0.15 * class_score
+            + 0.05 * kind_score
+            + 0.15 * coverage
+            + 0.15 * const_hits
+            + (0.25 + shift) * vocab_score
+        )
+        return max(0.0, min(1.0, score))
+
+    def vocabulary_score(self, values: Sequence[str]) -> float:
+        """Vocabulary evidence for the candidate column, in [0, 1].
+
+        For a *closed* training vocabulary (high :attr:`closedness`) the
+        candidate's in-vocabulary rate is direct evidence — hits argue for
+        the type, misses argue against. For an *open* vocabulary the feature
+        is uninformative, so it returns a neutral 0.5: an open type neither
+        gains nor loses from unseen values.
+        """
+        closed = self.closedness
+        if closed < 0.75:
+            return 0.5
+        values = [str(value) for value in values]
+        if not values:
+            return 0.0
+        hits = sum(1 for value in values if normalize(value) in self.vocabulary)
+        return min(1.0, (hits / len(values)) / closed)
+
+    def constant_hit_rate(self, values: Sequence[str]) -> float:
+        """Fraction of candidate tokens drawn from the learned constant set.
+
+        Closed-vocabulary types (cities, states, street suffixes) learn their
+        vocabulary as constants; a candidate column reusing that vocabulary
+        is strong evidence for the type, and distinguishes e.g. ``PR-City``
+        from ``PR-Name`` when both share the CapWord-CapWord shape.
+        """
+        if not self.constants:
+            return 0.0
+        total = hits = 0
+        for value in values:
+            for token in tokenize(str(value)):
+                total += 1
+                if token.text in self.constants:
+                    hits += 1
+        return hits / total if total else 0.0
+
+
+def _merge(a: PatternDistribution, b: PatternDistribution) -> PatternDistribution:
+    counter: Counter[Pattern] = Counter(dict(a.counts))
+    counter.update(dict(b.counts))
+    items = tuple(sorted(counter.items(), key=lambda kv: (-kv[1], kv[0])))
+    return PatternDistribution(counts=items, total=a.total + b.total)

@@ -1,0 +1,184 @@
+"""Service substitution: replacing a broken source with an equivalent one.
+
+Section 3.2: learning functional source descriptions "allows the system to
+better understand a task being performed by a user and to propose sources
+that can fill in gaps for a user ... or even propose replacement sources if
+a source is down, too slow, or does not provide a complete set of results."
+
+:func:`find_replacements` ranks catalog services that behave like a target
+service (by executing both on sample inputs and comparing outputs, via the
+:class:`SourceDescriptionLearner`); :func:`substitute_service` rewrites a
+query plan to use the replacement, renaming its outputs back to the
+original attribute names so downstream operators are untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from ...errors import IntegrationError, LearningError
+from ...substrate.relational.algebra import (
+    DependentJoin,
+    Distinct,
+    Join,
+    Limit,
+    Plan,
+    Project,
+    RecordLinkJoin,
+    Rename,
+    Select,
+    Union,
+)
+from ...substrate.relational.catalog import Catalog
+from .source_description import SourceDescription, SourceDescriptionLearner
+
+
+@dataclass(frozen=True)
+class Replacement:
+    """A drop-in substitute for a service.
+
+    ``input_map`` maps the replacement's inputs to the original service's
+    input names; ``output_map`` maps the replacement's outputs to the
+    original output names they reproduce. ``score`` is the measured
+    agreement on the probe samples.
+    """
+
+    original: str
+    substitute: str
+    input_map: tuple[tuple[str, str], ...]
+    output_map: tuple[tuple[str, str], ...]
+    score: float
+
+    def covers_outputs(self, needed: Sequence[str]) -> bool:
+        provided = {original for _, original in self.output_map}
+        return set(needed) <= provided
+
+    def describe(self) -> str:
+        ins = ", ".join(f"{sub}<={orig}" for sub, orig in self.input_map)
+        outs = ", ".join(f"{sub}->{orig}" for sub, orig in self.output_map)
+        return (
+            f"{self.substitute} for {self.original} "
+            f"[{self.score:.0%}] inputs({ins}) outputs({outs})"
+        )
+
+
+def find_replacements(
+    catalog: Catalog,
+    service_name: str,
+    sample_inputs: Sequence[Mapping[str, Any]],
+    min_score: float = 0.7,
+) -> list[Replacement]:
+    """Rank single-service substitutes for *service_name*.
+
+    The target service must still be callable to generate probe outputs
+    (find replacements *before* the source goes down — e.g. at import time —
+    or supply recorded samples).
+    """
+    target = catalog.service(service_name)
+    candidates = [
+        service for service in catalog.services() if service.name != service_name
+    ]
+    if not candidates:
+        return []
+    learner = SourceDescriptionLearner(candidates)
+    try:
+        descriptions = learner.describe_service(
+            target, sample_inputs, min_score=min_score
+        )
+    except LearningError:
+        return []
+    replacements = []
+    for description in descriptions:
+        if len(description.steps) != 1:
+            continue  # compositions cannot be dropped into one DependentJoin
+        step = description.steps[0]
+        replacements.append(
+            Replacement(
+                original=service_name,
+                substitute=step.service_name,
+                input_map=step.input_map,
+                output_map=step.output_map,
+                score=description.score,
+            )
+        )
+    return replacements
+
+
+def substitute_service(plan: Plan, replacement: Replacement, catalog: Catalog) -> Plan:
+    """Rewrite *plan*, swapping every dependent join on the original service.
+
+    The replacement's outputs are renamed back to the original attribute
+    names, so projections, joins, and the workspace above the rewritten
+    node are unaffected.
+    """
+    rewritten = _rewrite(plan, replacement, catalog)
+    if rewritten is plan:
+        raise IntegrationError(
+            f"plan does not use service {replacement.original!r}"
+        )
+    return rewritten
+
+
+def _rewrite(plan: Plan, replacement: Replacement, catalog: Catalog) -> Plan:
+    if isinstance(plan, DependentJoin):
+        child = _rewrite(plan.child, replacement, catalog)
+        if plan.service != replacement.original:
+            if child is plan.child:
+                return plan
+            return DependentJoin(child=child, service=plan.service, input_map=plan.input_map)
+        # Original input name -> child attribute that supplied it.
+        original_inputs = {svc_input: attr for svc_input, attr in plan.input_map}
+        new_input_map = []
+        for sub_input, orig_input in replacement.input_map:
+            if orig_input not in original_inputs:
+                raise IntegrationError(
+                    f"replacement needs original input {orig_input!r}, which the "
+                    f"plan never bound"
+                )
+            new_input_map.append((sub_input, original_inputs[orig_input]))
+        swapped: Plan = DependentJoin(
+            child=child,
+            service=replacement.substitute,
+            input_map=tuple(new_input_map),
+        )
+        # Rename substitute outputs to the original names; drop extras via
+        # projection onto the original node's output schema.
+        rename = {sub: orig for sub, orig in replacement.output_map if sub != orig}
+        if rename:
+            swapped = Rename(swapped, tuple(rename.items()))
+        original_schema = plan.output_schema(catalog)
+        return Project(swapped, original_schema.names)
+    if isinstance(plan, (Select,)):
+        child = _rewrite(plan.child, replacement, catalog)
+        return plan if child is plan.child else Select(child, plan.predicate)
+    if isinstance(plan, Project):
+        child = _rewrite(plan.child, replacement, catalog)
+        return plan if child is plan.child else Project(child, plan.names)
+    if isinstance(plan, Rename):
+        child = _rewrite(plan.child, replacement, catalog)
+        return plan if child is plan.child else Rename(child, plan.mapping)
+    if isinstance(plan, Distinct):
+        child = _rewrite(plan.child, replacement, catalog)
+        return plan if child is plan.child else Distinct(child)
+    if isinstance(plan, Limit):
+        child = _rewrite(plan.child, replacement, catalog)
+        return plan if child is plan.child else Limit(child, plan.count)
+    if isinstance(plan, Join):
+        left = _rewrite(plan.left, replacement, catalog)
+        right = _rewrite(plan.right, replacement, catalog)
+        if left is plan.left and right is plan.right:
+            return plan
+        return Join(left, right, plan.conditions)
+    if isinstance(plan, RecordLinkJoin):
+        left = _rewrite(plan.left, replacement, catalog)
+        right = _rewrite(plan.right, replacement, catalog)
+        if left is plan.left and right is plan.right:
+            return plan
+        return RecordLinkJoin(left, right, plan.linker, plan.threshold, plan.best_only)
+    if isinstance(plan, Union):
+        parts = tuple(_rewrite(part, replacement, catalog) for part in plan.parts)
+        if all(new is old for new, old in zip(parts, plan.parts)):
+            return plan
+        return Union(parts)
+    return plan

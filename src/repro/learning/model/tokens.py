@@ -1,0 +1,76 @@
+"""Generalized token symbols for the semantic-type pattern language.
+
+Section 3.2: "These patterns are constructed from a rich hypothesis language
+that includes using both the constants in the data fields and generalized
+tokens that describe the data, such as capitalized word, 3-digit number,
+etc."
+
+Symbols form a specificity hierarchy; every surface token can be described at
+three levels:
+
+- level 0 — the **constant** itself (``CONST:Blvd``)
+- level 1 — its **class** (``CAPWORD``, ``3DIGIT``, ``DECIMAL``, ``PUNCT:,``)
+- level 2 — its coarse **kind** (``WORD``, ``NUMBER``, ``PUNCT``)
+"""
+
+from __future__ import annotations
+
+from ...util.text import Token, tokenize
+
+LEVEL_CONST = 0
+LEVEL_CLASS = 1
+LEVEL_KIND = 2
+LEVELS = (LEVEL_CONST, LEVEL_CLASS, LEVEL_KIND)
+
+
+def classify_word(text: str) -> str:
+    """Class symbol for an alphabetic token."""
+    if text.isupper():
+        return "UPPERWORD" if len(text) > 1 else "CAPLETTER"
+    if text[0].isupper() and text[1:].islower():
+        return "CAPWORD"
+    if text.islower():
+        return "LOWERWORD"
+    return "MIXEDWORD"
+
+
+def classify_number(text: str) -> str:
+    """Class symbol for a numeric token: length-specific for short integers."""
+    if "." in text:
+        return "DECIMAL"
+    if len(text) <= 5:
+        return f"{len(text)}DIGIT"
+    return "LONGNUM"
+
+
+def symbolize(token: Token, level: int) -> str:
+    """The symbol describing *token* at generalization *level*."""
+    if level == LEVEL_CONST:
+        return f"CONST:{token.text}"
+    if token.kind == "word":
+        return classify_word(token.text) if level == LEVEL_CLASS else "WORD"
+    if token.kind == "number":
+        return classify_number(token.text) if level == LEVEL_CLASS else "NUMBER"
+    # punctuation keeps its surface at class level: delimiters matter.
+    return f"PUNCT:{token.text}" if level == LEVEL_CLASS else "PUNCT"
+
+
+def value_symbols(value: str, level: int) -> tuple[str, ...]:
+    """Symbol sequence for a whole field value at *level*."""
+    return tuple(symbolize(token, level) for token in tokenize(str(value)))
+
+
+def mixed_symbols(value: str, constants: frozenset[str]) -> tuple[str, ...]:
+    """Class-level symbols, but tokens in *constants* stay as constants.
+
+    This realizes the paper's mixed hypothesis language: frequent surface
+    tokens (``Blvd``, ``FL``, ``(``) are kept verbatim while variable parts
+    generalize to token classes.
+    """
+    out: list[str] = []
+    for token in tokenize(str(value)):
+        if token.text in constants:
+            out.append(f"CONST:{token.text}")
+        else:
+            out.append(symbolize(token, LEVEL_CLASS))
+    return tuple(out)

@@ -1,0 +1,121 @@
+"""The semantic-type half of the model learner.
+
+Section 3.2: learning has "a learning phase and a recognition phase". The
+learner keeps a registry of :class:`LearnedType`s; ``recognize`` produces "a
+ranked list of hypotheses for the semantic type of each field", the top one
+being what the workspace proposes in the column-header dropdown (the
+``PR-Street`` / ``PR-City`` suggestions of Figure 1). Users can define a new
+type on the fly, and "once the system learns a new semantic type, this type
+will be immediately available in the same user session".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+from ...errors import LearningError
+from ...substrate.relational.schema import SemanticType
+from .patterns import TypeSignature
+
+
+@dataclass
+class LearnedType:
+    """A semantic type plus its learned pattern signature."""
+
+    semantic_type: SemanticType
+    signature: TypeSignature
+
+    @property
+    def name(self) -> str:
+        return self.semantic_type.name
+
+
+@dataclass(frozen=True)
+class TypeHypothesis:
+    """One ranked recognition hypothesis for a column."""
+
+    semantic_type: SemanticType
+    score: float
+
+    def __str__(self) -> str:
+        return f"{self.semantic_type}({self.score:.3f})"
+
+
+class SemanticTypeLearner:
+    """Registry + learner + recognizer for semantic types."""
+
+    def __init__(self, recognition_threshold: float = 0.5):
+        self._types: dict[str, LearnedType] = {}
+        self.recognition_threshold = recognition_threshold
+
+    # -- learning phase -----------------------------------------------------
+    def learn(self, semantic_type: SemanticType | str, values: Sequence[str]) -> LearnedType:
+        """Learn (or refine) a type from training *values*.
+
+        A string name creates a new user-defined type on the fly.
+        """
+        if isinstance(semantic_type, str):
+            semantic_type = SemanticType(semantic_type, parent="PR-Any")
+        values = [str(value) for value in values if str(value).strip()]
+        if not values:
+            raise LearningError(
+                f"cannot learn type {semantic_type} from zero non-empty values"
+            )
+        existing = self._types.get(semantic_type.name)
+        if existing is None:
+            learned = LearnedType(semantic_type, TypeSignature.from_values(values))
+        else:
+            learned = replace(existing, signature=existing.signature.merged_with(values))
+        self._types[semantic_type.name] = learned
+        return learned
+
+    def forget(self, name: str) -> None:
+        self._types.pop(name, None)
+
+    def known_types(self) -> list[str]:
+        return sorted(self._types)
+
+    def get(self, name: str) -> LearnedType:
+        try:
+            return self._types[name]
+        except KeyError:
+            raise LearningError(f"no learned type named {name!r}") from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._types
+
+    # -- recognition phase --------------------------------------------------
+    def recognize(self, values: Sequence[str], top_k: int | None = None) -> list[TypeHypothesis]:
+        """Ranked type hypotheses for a column of *values*.
+
+        Only hypotheses at or above ``recognition_threshold`` are returned;
+        an empty list means "unknown type — invite the user to define one".
+        """
+        values = [str(value) for value in values if str(value).strip()]
+        if not values:
+            return []
+        hypotheses = [
+            TypeHypothesis(learned.semantic_type, learned.signature.similarity(values))
+            for learned in self._types.values()
+        ]
+        hypotheses = [
+            hypothesis
+            for hypothesis in hypotheses
+            if hypothesis.score >= self.recognition_threshold
+        ]
+        hypotheses.sort(key=lambda h: (-h.score, h.semantic_type.name))
+        if top_k is not None:
+            hypotheses = hypotheses[:top_k]
+        return hypotheses
+
+    def best_type(self, values: Sequence[str]) -> SemanticType | None:
+        """The top hypothesis's type, or None below threshold."""
+        ranked = self.recognize(values, top_k=1)
+        return ranked[0].semantic_type if ranked else None
+
+    def recognize_table(
+        self, columns: Sequence[Sequence[str]], top_k: int = 3
+    ) -> list[list[TypeHypothesis]]:
+        """Recognize every column of an extracted table (Figure 1 flow)."""
+        return [self.recognize(column, top_k=top_k) for column in columns]

@@ -1,0 +1,24 @@
+"""Structure learner: expert committee, clustering, projection, fallback."""
+
+from .clustering import cluster_candidates, subsumes
+from .experts import (
+    DEFAULT_PAGE_EXPERTS,
+    DataTypeExpert,
+    Expert,
+    ListLayoutExpert,
+    SheetExpert,
+    TableLayoutExpert,
+    TemplateGrammarExpert,
+)
+from .hypotheses import ProjectionHypothesis, RelationalCandidate, find_projections
+from .learner import GeneralizationResult, StructureLearner
+from .wrapper_induction import ColumnRuleSet, LandmarkRule, induce_table, learn_column_rules
+
+__all__ = [
+    "ColumnRuleSet", "DEFAULT_PAGE_EXPERTS", "DataTypeExpert", "Expert",
+    "GeneralizationResult", "LandmarkRule", "ListLayoutExpert",
+    "ProjectionHypothesis", "RelationalCandidate", "SheetExpert",
+    "StructureLearner", "TableLayoutExpert", "TemplateGrammarExpert",
+    "cluster_candidates", "find_projections", "induce_table",
+    "learn_column_rules", "subsumes",
+]

@@ -1,0 +1,117 @@
+"""Hierarchical-site crawling: list pages linking to detail pages.
+
+Section 2.2: the structure learner "learns extractors that crawl the
+document structure of the source (including hierarchical Web sites as well
+as documents or forms with multiple segments)". A common hierarchy is a
+list page whose records link to per-record *detail* pages carrying extra
+attributes (our scenario's detail pages add the shelter Phone).
+
+:class:`DetailCrawlExpert` detects record-level link families on a page,
+fetches each linked page, extracts its labeled fields (``dl``/``dt``/``dd``
+definition lists, or two-cell label/value tables), and emits a widened
+relational candidate: anchor text followed by the detail attributes. The
+projection machinery then lets a user example like ``(Name, Phone)``
+generalize even though Phone never appears on the list page.
+"""
+
+from __future__ import annotations
+
+from urllib.parse import urlparse
+
+from ...substrate.documents.dom import DomNode
+from ...substrate.documents.website import Page, Website
+from .hypotheses import RelationalCandidate
+
+
+def _link_families(page: Page, site: Website, min_size: int = 3) -> list[list[DomNode]]:
+    """Groups of same-family anchors on the page (record-level links)."""
+    anchors = [
+        node
+        for node in page.dom.find_all("a")
+        if "href" in node.attrs and node.text_content().strip()
+    ]
+    by_shape: dict[tuple, list[DomNode]] = {}
+    for anchor in anchors:
+        href = site.absolute(anchor.attrs["href"])
+        if not site.has_page(href):
+            continue
+        parsed = urlparse(href)
+        segments = tuple(
+            "<n>" if part.isdigit() else part for part in parsed.path.split("/")
+        )
+        by_shape.setdefault(segments, []).append(anchor)
+    return [group for group in by_shape.values() if len(group) >= min_size]
+
+
+def _detail_fields(page: Page) -> list[tuple[str, str]]:
+    """(label, value) pairs from a detail page.
+
+    Supports ``<dl><dt>label<dd>value`` definition lists and two-cell
+    ``<tr><td>label<td>value`` tables.
+    """
+    fields: list[tuple[str, str]] = []
+    for dl in page.dom.find_all("dl"):
+        label = None
+        for child in dl.children:
+            if child.tag == "dt":
+                label = child.text_content()
+            elif child.tag == "dd" and label is not None:
+                fields.append((label, child.text_content()))
+                label = None
+    if fields:
+        return fields
+    for table in page.dom.find_all("table"):
+        for row in table.find_all("tr"):
+            cells = [c for c in row.children if c.tag in ("td", "th")]
+            if len(cells) == 2:
+                fields.append((cells[0].text_content(), cells[1].text_content()))
+    return fields
+
+
+class DetailCrawlExpert:
+    """Builds widened candidates by following record links to detail pages.
+
+    Unlike the per-page experts this one needs the website handle, so the
+    structure learner instantiates it per generalization call.
+    """
+
+    name = "detail-crawl"
+    base_score = 2.2
+
+    def __init__(self, site: Website, max_pages: int = 60):
+        self.site = site
+        self.max_pages = max_pages
+
+    def propose_from_page(self, page: Page) -> list[RelationalCandidate]:
+        candidates: list[RelationalCandidate] = []
+        for family_index, family in enumerate(_link_families(page, self.site)):
+            records: list[list[str]] = []
+            field_names: tuple[str, ...] | None = None
+            urls: list[str] = []
+            for anchor in family[: self.max_pages]:
+                href = self.site.absolute(anchor.attrs["href"])
+                detail = self.site.fetch(href)
+                fields = _detail_fields(detail)
+                if not fields:
+                    continue
+                names = tuple(label for label, _ in fields)
+                if field_names is None:
+                    field_names = names
+                elif names != field_names:
+                    continue  # inconsistent detail template; skip the page
+                records.append(
+                    [anchor.text_content()] + [value for _, value in fields]
+                )
+                urls.append(href)
+            if len(records) >= 3 and field_names is not None:
+                candidates.append(
+                    RelationalCandidate(
+                        records=records,
+                        n_columns=1 + len(field_names),
+                        support=[self.name],
+                        score=self.base_score + 0.05 * len(records),
+                        origin=f"detail#{family_index}({', '.join(field_names)})",
+                        page_urls=tuple(urls),
+                    )
+                )
+        return candidates

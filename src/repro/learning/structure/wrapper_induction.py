@@ -1,0 +1,258 @@
+"""Landmark-based wrapper induction: the sequential-covering fallback.
+
+Section 3.1: "If this method cannot find a consistent hypothesis, the system
+falls back on a sequential covering approach based on more traditional
+wrapper induction techniques [Muslea/Minton/Knoblock-style]."
+
+Rules are (left-landmark, right-landmark) pairs over the serialized HTML: a
+value is whatever sits between an occurrence of the left landmark and the
+next occurrence of the right landmark. Sequential covering learns a *set* of
+rules per column: learn the most specific rule consistent with the first
+uncovered example, remove everything it covers, repeat.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Sequence
+
+from ...errors import NoHypothesisError
+from ...util.strings import longest_common_suffix
+
+MAX_LANDMARK = 24   # landmark context window, characters
+MIN_LANDMARK = 2
+MAX_VALUE_LEN = 120
+
+
+@dataclass(frozen=True)
+class LandmarkRule:
+    """Extract text between ``left`` and ``right`` landmarks."""
+
+    left: str
+    right: str
+
+    def extract(self, text: str) -> list[tuple[int, str]]:
+        """All (position, value) matches in *text*, clean and bounded.
+
+        Every occurrence of the left landmark is considered independently
+        (a consuming regex scan would let one occurrence swallow the next
+        record's landmark); the value runs to the nearest right landmark.
+        """
+        out: list[tuple[int, str]] = []
+        cursor = 0
+        while True:
+            left_at = text.find(self.left, cursor)
+            if left_at < 0:
+                break
+            content_start = left_at + len(self.left)
+            right_at = text.find(self.right, content_start)
+            if right_at < 0:
+                break
+            value = text[content_start:right_at].strip()
+            if (
+                value
+                and len(value) <= MAX_VALUE_LEN
+                and "<" not in value
+                and ">" not in value
+            ):
+                out.append((content_start, value))
+            cursor = left_at + 1
+        return out
+
+    def __str__(self) -> str:
+        return f"...{self.left!r} [VALUE] {self.right!r}..."
+
+
+@dataclass
+class ColumnRuleSet:
+    """The learned rules for one column (usually one; more under variation)."""
+
+    rules: list[LandmarkRule]
+
+    def extract(self, text: str) -> list[tuple[int, str]]:
+        matches: list[tuple[int, str]] = []
+        seen_positions: set[int] = set()
+        for rule in self.rules:
+            for position, value in rule.extract(text):
+                if position not in seen_positions:
+                    seen_positions.add(position)
+                    matches.append((position, value))
+        matches.sort()
+        return matches
+
+
+def _occurrences(html: str, value: str) -> list[int]:
+    positions = []
+    start = 0
+    while True:
+        index = html.find(value, start)
+        if index < 0:
+            return positions
+        positions.append(index)
+        start = index + 1
+
+
+def _context_rule(html: str, positions_and_values: list[tuple[int, str]]) -> LandmarkRule | None:
+    """Most specific rule consistent with the given occurrences.
+
+    Left landmark = longest common suffix of the prefixes before each
+    occurrence; right landmark = longest common prefix of the suffixes after.
+    """
+    lefts = [html[max(0, pos - MAX_LANDMARK) : pos] for pos, _ in positions_and_values]
+    rights = [
+        html[pos + len(value) : pos + len(value) + MAX_LANDMARK]
+        for pos, value in positions_and_values
+    ]
+    left = lefts[0]
+    for other in lefts[1:]:
+        keep = longest_common_suffix(left, other)
+        left = left[len(left) - keep :] if keep else ""
+    right = rights[0]
+    for other in rights[1:]:
+        keep = 0
+        for a, b in zip(right, other):
+            if a != b:
+                break
+            keep += 1
+        right = right[:keep]
+    if len(left) < MIN_LANDMARK or len(right) < MIN_LANDMARK:
+        return None
+    return _minimize_rule(
+        html="",  # placeholder; minimization happens in learn_column_rules
+        rule=LandmarkRule(left=left, right=right),
+        required=(),
+    )
+
+
+def _minimize_rule(
+    html: str, rule: LandmarkRule, required: tuple[str, ...]
+) -> LandmarkRule:
+    """Shorten landmarks to the shortest pair still covering *required*.
+
+    Maximal landmarks overfit: a right landmark that includes the *next*
+    record's opening tags fails on the last record of a list. Following
+    STALKER's shortest-discriminating-landmark principle, trim the right
+    landmark to its shortest sufficient prefix and the left to its shortest
+    sufficient suffix.
+    """
+    if not html or not required:
+        return rule
+
+    base_count = max(len(rule.extract(html)), 1)
+    # A shorter right landmark may legitimately pick up the tail of a list
+    # (the last record often lacks the inter-record separator: "Creek2</ul>"
+    # has no following "<li>"), but it must not blow the match set up —
+    # grabbing other columns' values would be junk, not tail records. Only
+    # the right landmark is minimized: the left context always exists for
+    # the last record, so it never blocks tail coverage.
+    max_count = base_count + max(2, base_count // 2)
+
+    def acceptable(candidate: LandmarkRule) -> bool:
+        matches = candidate.extract(html)
+        if len(matches) > max_count:
+            return False
+        extracted = {value for _, value in matches}
+        return all(value in extracted for value in required)
+
+    best = rule
+    for right_len in range(1, len(rule.right) + 1):
+        candidate = LandmarkRule(left=rule.left, right=rule.right[:right_len])
+        if acceptable(candidate):
+            best = candidate
+            break
+    return best
+
+
+def learn_column_rules(html: str, examples: Sequence[str]) -> ColumnRuleSet:
+    """Sequential covering over the examples of one column."""
+    pending = [str(example) for example in examples]
+    for example in pending:
+        if not _occurrences(html, example):
+            raise NoHypothesisError(
+                f"example value {example!r} does not occur in the document"
+            )
+    rules: list[LandmarkRule] = []
+    while pending:
+        seedexample = pending[0]
+        # Most specific candidate: rule from the seed's occurrences —
+        # a value repeated across example rows must generalize over as many
+        # document occurrences, otherwise its context stays overly specific
+        # (two rows sharing "Coconut Creek" still have different streets
+        # before it). Then generalize against every other pending example.
+        seed_multiplicity = pending.count(seedexample)
+        seed_positions = _occurrences(html, seedexample)[:seed_multiplicity]
+        group = [(position, seedexample) for position in seed_positions]
+        for other in pending[1:]:
+            trial = group + [(_occurrences(html, other)[0], other)]
+            rule = _context_rule(html, trial)
+            if rule is None:
+                continue
+            extracted_values = {value for _, value in rule.extract(html)}
+            if all(value in extracted_values for _, value in trial):
+                group = trial
+        rule = _context_rule(html, group)
+        if rule is None:
+            raise NoHypothesisError(
+                f"no landmark rule covers example {seedexample!r}"
+            )
+        rule = _minimize_rule(html, rule, tuple(value for _, value in group))
+        extracted_values = {value for _, value in rule.extract(html)}
+        covered = [value for value in pending if value in extracted_values]
+        if seedexample not in covered:
+            raise NoHypothesisError(
+                f"learned rule fails to re-extract its own seed {seedexample!r}"
+            )
+        rules.append(rule)
+        pending = [value for value in pending if value not in set(covered)]
+    return ColumnRuleSet(rules=rules)
+
+
+def induce_table(
+    html: str, example_rows: Sequence[Sequence[str]]
+) -> list[list[str]]:
+    """Learn rules per column and align matches into rows by document order.
+
+    Alignment assumes a row-major template (all of record i's fields precede
+    record i+1's) — true of every list/table template; interleaved noise
+    simply fails alignment for the noisy positions and is dropped.
+    """
+    if not example_rows:
+        raise NoHypothesisError("need at least one example row")
+    width = len(example_rows[0])
+    column_rules = [
+        learn_column_rules(html, [row[j] for row in example_rows])
+        for j in range(width)
+    ]
+    column_matches = [rule_set.extract(html) for rule_set in column_rules]
+    if any(not matches for matches in column_matches):
+        raise NoHypothesisError("a column rule extracted nothing")
+
+    # Row-major merge: repeatedly take the next field of each column in
+    # position order; a row is complete when each column contributed once and
+    # positions are increasing across columns.
+    rows: list[list[str]] = []
+    indices = [0] * width
+    while all(indices[j] < len(column_matches[j]) for j in range(width)):
+        position_cursor = -1
+        row: list[str] = []
+        ok = True
+        for j in range(width):
+            # advance to the first match after the previous column's position
+            while (
+                indices[j] < len(column_matches[j])
+                and column_matches[j][indices[j]][0] <= position_cursor
+            ):
+                indices[j] += 1
+            if indices[j] >= len(column_matches[j]):
+                ok = False
+                break
+            position_cursor, value = column_matches[j][indices[j]]
+            indices[j] += 1
+            row.append(value)
+        if not ok:
+            break
+        rows.append(row)
+    if not rows:
+        raise NoHypothesisError("landmark extraction produced no aligned rows")
+    return rows

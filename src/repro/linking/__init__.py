@@ -1,0 +1,19 @@
+"""Record linking: similarity heuristics, blocking, and the learnable linker."""
+
+from .blocking import candidate_pairs, exact_block_key, full_cross, token_block_key
+from .linker import LearnedLinker, LinkExample, make_name_address_linker
+from .similarity import (
+    DEFAULT_SIMILARITIES,
+    FeatureExtractor,
+    FieldPair,
+    acronym_match,
+    exact_match,
+    prefix_containment,
+)
+
+__all__ = [
+    "DEFAULT_SIMILARITIES", "FeatureExtractor", "FieldPair", "LearnedLinker",
+    "LinkExample", "acronym_match", "candidate_pairs", "exact_block_key",
+    "exact_match", "full_cross", "make_name_address_linker",
+    "prefix_containment", "token_block_key",
+]

@@ -1,0 +1,67 @@
+"""Blocking: cheap candidate-pair generation for record linking.
+
+Comparing every left row against every right row is quadratic; blocking
+restricts comparisons to pairs that share a cheap key (a token, a zip code).
+At CopyCat's scale this is an efficiency courtesy rather than a necessity,
+but the linker uses it so behaviour matches real record-linking pipelines.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+from ..util.text import token_strings
+
+BlockKeyFn = Callable[[Any], Iterable[str]]
+
+
+def token_block_key(attribute: str) -> BlockKeyFn:
+    """Block on each lowercase token of one attribute."""
+
+    def key(row: Any) -> Iterable[str]:
+        value = row.get(attribute) if hasattr(row, "get") else row[attribute]
+        if value is None:
+            return ()
+        return {token.lower() for token in token_strings(str(value)) if len(token) > 1}
+
+    return key
+
+
+def exact_block_key(attribute: str) -> BlockKeyFn:
+    """Block on the exact (lowercased) value of one attribute."""
+
+    def key(row: Any) -> Iterable[str]:
+        value = row.get(attribute) if hasattr(row, "get") else row[attribute]
+        if value is None:
+            return ()
+        return (str(value).strip().lower(),)
+
+    return key
+
+
+def candidate_pairs(
+    left_rows: Sequence[Any],
+    right_rows: Sequence[Any],
+    key_fns: Sequence[tuple[BlockKeyFn, BlockKeyFn]],
+) -> list[tuple[int, int]]:
+    """Index pairs (i, j) sharing at least one block key under any key pair.
+
+    ``key_fns`` is a list of (left_key_fn, right_key_fn) tuples; a pair is a
+    candidate if any function pair produces an overlapping key.
+    """
+    pairs: set[tuple[int, int]] = set()
+    for left_key, right_key in key_fns:
+        index: dict[str, list[int]] = {}
+        for j, row in enumerate(right_rows):
+            for key in right_key(row):
+                index.setdefault(key, []).append(j)
+        for i, row in enumerate(left_rows):
+            for key in left_key(row):
+                for j in index.get(key, ()):
+                    pairs.add((i, j))
+    return sorted(pairs)
+
+
+def full_cross(left_rows: Sequence[Any], right_rows: Sequence[Any]) -> list[tuple[int, int]]:
+    """Every pair — the no-blocking baseline."""
+    return [(i, j) for i in range(len(left_rows)) for j in range(len(right_rows))]

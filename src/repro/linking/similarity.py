@@ -1,0 +1,140 @@
+"""Field-pair similarity features for record linking.
+
+Example 1: "the match might not be a direct lookup, but rather the result of
+approximate record linking techniques ... CopyCat learns the best
+combination of heuristics for this case of record linking". The heuristics
+are feature functions over a pair of field values; the linker learns their
+combination weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from ..util.strings import (
+    jaro_winkler,
+    levenshtein_ratio,
+    ngram_dice,
+    token_jaccard,
+)
+from ..util.text import normalize, token_strings
+
+SimilarityFn = Callable[[str, str], float]
+
+
+def exact_match(a: str, b: str) -> float:
+    """1.0 iff the normalized strings are identical."""
+    return 1.0 if normalize(a) == normalize(b) else 0.0
+
+
+def prefix_containment(a: str, b: str) -> float:
+    """Token-prefix containment: does one string start with the other's tokens?
+
+    Catches truncations like ``"Monarch High School" → "Monarch High"``.
+    """
+    tokens_a = [token.lower() for token in token_strings(a)]
+    tokens_b = [token.lower() for token in token_strings(b)]
+    if not tokens_a or not tokens_b:
+        return 0.0
+    shorter, longer = sorted((tokens_a, tokens_b), key=len)
+    if longer[: len(shorter)] == shorter:
+        return len(shorter) / len(longer)
+    return 0.0
+
+
+def acronym_match(a: str, b: str) -> float:
+    """Abbreviation evidence: ``HS`` vs ``High School``, ``Elem`` etc.
+
+    Scores the fraction of the shorter string's tokens that are prefixes or
+    initials of tokens in the longer string, in order.
+    """
+    tokens_a = [token.lower() for token in token_strings(a)]
+    tokens_b = [token.lower() for token in token_strings(b)]
+    if not tokens_a or not tokens_b:
+        return 0.0
+    short, long_ = sorted((tokens_a, tokens_b), key=len)
+    # Expand potential initialisms: "hs" -> ["h", "s"]
+    expanded: list[str] = []
+    for token in short:
+        if len(token) <= 3 and token.isalpha() and token not in long_:
+            expanded.extend(token)
+        else:
+            expanded.append(token)
+    matched = 0
+    cursor = 0
+    for piece in expanded:
+        while cursor < len(long_):
+            candidate = long_[cursor]
+            cursor += 1
+            if candidate == piece or candidate.startswith(piece):
+                matched += 1
+                break
+    return matched / len(expanded) if expanded else 0.0
+
+
+#: The default heuristic library ("in some cases, use a function from a
+#: predefined library", Section 2.2).
+DEFAULT_SIMILARITIES: dict[str, SimilarityFn] = {
+    "exact": exact_match,
+    "jaro_winkler": jaro_winkler,
+    "levenshtein": levenshtein_ratio,
+    "token_jaccard": token_jaccard,
+    "ngram_dice": ngram_dice,
+    "prefix": prefix_containment,
+    "acronym": acronym_match,
+}
+
+
+@dataclass(frozen=True)
+class FieldPair:
+    """Which left attribute is compared with which right attribute."""
+
+    left: str
+    right: str
+
+    def __str__(self) -> str:
+        return f"{self.left}~{self.right}"
+
+
+class FeatureExtractor:
+    """Computes the named feature vector for a pair of records.
+
+    One feature per (field pair × similarity function); feature names are
+    ``"Name~Shelter:jaro_winkler"`` style, so learned weights are readable.
+    """
+
+    def __init__(
+        self,
+        field_pairs: Sequence[FieldPair],
+        similarities: dict[str, SimilarityFn] | None = None,
+    ):
+        self.field_pairs = list(field_pairs)
+        self.similarities = dict(similarities or DEFAULT_SIMILARITIES)
+
+    def feature_names(self) -> list[str]:
+        return [
+            f"{pair}:{sim_name}"
+            for pair in self.field_pairs
+            for sim_name in self.similarities
+        ]
+
+    def extract(self, left: Any, right: Any) -> dict[str, float]:
+        """Feature vector for (*left*, *right*); inputs are dict-like rows."""
+        features: dict[str, float] = {}
+        for pair in self.field_pairs:
+            value_left = _get(left, pair.left)
+            value_right = _get(right, pair.right)
+            for sim_name, fn in self.similarities.items():
+                key = f"{pair}:{sim_name}"
+                if value_left is None or value_right is None:
+                    features[key] = 0.0
+                else:
+                    features[key] = fn(str(value_left), str(value_right))
+        return features
+
+
+def _get(row: Any, name: str) -> Any:
+    if hasattr(row, "get"):
+        return row.get(name)
+    return row[name]

@@ -1,0 +1,20 @@
+"""How-provenance expressions, semirings, and tuple explanations."""
+
+from .expressions import ONE, ZERO, Plus, Provenance, Times, Var, plus, times, var
+from .semirings import (
+    BOOLEAN,
+    COUNTING,
+    SCORE,
+    TROPICAL,
+    best_score,
+    cheapest_cost,
+    derivation_count,
+    is_derivable,
+)
+
+__all__ = [
+    "BOOLEAN", "COUNTING", "ONE", "SCORE", "TROPICAL", "ZERO",
+    "Plus", "Provenance", "Times", "Var",
+    "best_score", "cheapest_cost", "derivation_count", "is_derivable",
+    "plus", "times", "var",
+]

@@ -1,0 +1,256 @@
+"""Tuple explanations: the "Tuple Explanation pane" of Figure 2.
+
+An explanation visualizes *why* a suggested tuple exists: which source
+tuples contributed which attributes, and how sources are connected (equijoin
+conditions, or dependent joins feeding attribute values into a service).
+Alternative derivations — "when a tuple is produced by more than one query"
+(Section 8) — are each rendered.
+
+Explanations are assembled from two ingredients:
+
+1. the tuple's how-provenance expression (which base tuples were used), and
+2. the *plan* that produced it (how the sources are wired together).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ProvenanceError
+from ..substrate.relational.algebra import DependentJoin, Join, Plan, RecordLinkJoin, walk
+from ..substrate.relational.catalog import Catalog
+from ..substrate.relational.rows import TupleId
+from .expressions import Provenance
+
+
+@dataclass(frozen=True)
+class JoinLink:
+    """An equality link between two sources: left.attr = right.attr."""
+
+    left_source: str
+    left_attr: str
+    right_source: str
+    right_attr: str
+    kind: str = "join"  # "join" | "record-link"
+
+    def __str__(self) -> str:
+        op = "=" if self.kind == "join" else "~"
+        return (
+            f"{self.left_source}.{self.left_attr} {op} "
+            f"{self.right_source}.{self.right_attr}"
+        )
+
+
+@dataclass(frozen=True)
+class ServiceFeed:
+    """A dependent-join arrow: source attribute --> service input."""
+
+    from_source: str
+    from_attr: str
+    service: str
+    service_input: str
+
+    def __str__(self) -> str:
+        return f"{self.from_source}.{self.from_attr} --> {self.service}({self.service_input})"
+
+
+@dataclass
+class SourceContribution:
+    """One source's part in a derivation."""
+
+    source: str
+    kind: str  # "relation" | "service"
+    tuple_ids: list[TupleId] = field(default_factory=list)
+    attributes: tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        ids = ", ".join(str(tid) for tid in sorted(self.tuple_ids))
+        attrs = ", ".join(self.attributes)
+        return f"[{self.kind}] {self.source}({attrs}) via {{{ids}}}"
+
+
+@dataclass
+class Derivation:
+    """One alternative way the tuple was produced."""
+
+    contributions: list[SourceContribution]
+    joins: list[JoinLink]
+    feeds: list[ServiceFeed]
+
+    def sources(self) -> list[str]:
+        return [contribution.source for contribution in self.contributions]
+
+    def render(self, indent: int = 0) -> str:
+        pad = " " * indent
+        lines = [f"{pad}{contribution}" for contribution in self.contributions]
+        for link in self.joins:
+            lines.append(f"{pad}  {link}")
+        for feed in self.feeds:
+            lines.append(f"{pad}  {feed}")
+        return "\n".join(lines)
+
+
+@dataclass
+class Explanation:
+    """All alternative derivations of one tuple, plus the plan that made it."""
+
+    derivations: list[Derivation]
+    plan: Plan | None = None
+
+    @property
+    def alternative_count(self) -> int:
+        return len(self.derivations)
+
+    def render(self) -> str:
+        if not self.derivations:
+            return "(no derivation: tuple is not derivable)"
+        blocks: list[str] = []
+        for i, derivation in enumerate(self.derivations, start=1):
+            header = (
+                f"Derivation {i} of {len(self.derivations)}:"
+                if len(self.derivations) > 1
+                else "Derivation:"
+            )
+            blocks.append(header + "\n" + derivation.render(indent=2))
+        return "\n".join(blocks)
+
+    def uses_service(self, name: str) -> bool:
+        return any(
+            contribution.kind == "service" and contribution.source == name
+            for derivation in self.derivations
+            for contribution in derivation.contributions
+        )
+
+
+def _plan_links(plan: Plan, catalog: Catalog) -> tuple[list[JoinLink], list[ServiceFeed]]:
+    """Extract join conditions and dependent-join arrows from a plan tree.
+
+    Attribute origins are tracked per-subtree: each subtree maps its visible
+    output attribute names to the base source that contributed them.
+    """
+    joins: list[JoinLink] = []
+    feeds: list[ServiceFeed] = []
+
+    def origin_map(node: Plan) -> dict[str, str]:
+        """attribute name -> originating base source, for node's output."""
+        from ..substrate.relational.algebra import (
+            Project,
+            Rename,
+            Scan,
+            Select,
+            Union,
+        )
+
+        if isinstance(node, Scan):
+            return {name: node.source for name in catalog.schema(node.source).names}
+        if isinstance(node, (Select,)):
+            return origin_map(node.child)
+        if isinstance(node, Project):
+            parent = origin_map(node.child)
+            return {name: parent[name] for name in node.names if name in parent}
+        if isinstance(node, Rename):
+            parent = origin_map(node.child)
+            mapping = dict(node.mapping)
+            return {mapping.get(name, name): source for name, source in parent.items()}
+        if isinstance(node, Join):
+            left = origin_map(node.left)
+            right = origin_map(node.right)
+            for left_attr, right_attr in node.conditions:
+                left_src = left.get(left_attr, "?")
+                right_src = right.get(right_attr, "?")
+                joins.append(JoinLink(left_src, left_attr, right_src, right_attr))
+            merged = dict(right)
+            merged.update(left)  # left wins on clashes, matching concat order
+            return merged
+        if isinstance(node, RecordLinkJoin):
+            left = origin_map(node.left)
+            right = origin_map(node.right)
+            left_name = "/".join(sorted(set(left.values()))) or "?"
+            right_name = "/".join(sorted(set(right.values()))) or "?"
+            joins.append(JoinLink(left_name, "*", right_name, "*", kind="record-link"))
+            merged = dict(right)
+            merged.update(left)
+            return merged
+        if isinstance(node, DependentJoin):
+            child_map = origin_map(node.child)
+            service = catalog.service(node.service)
+            for service_input, child_attr in node.input_map:
+                feeds.append(
+                    ServiceFeed(
+                        from_source=child_map.get(child_attr, "?"),
+                        from_attr=child_attr,
+                        service=node.service,
+                        service_input=service_input,
+                    )
+                )
+            merged = dict(child_map)
+            for name in service.output_names:
+                merged[name] = node.service
+            return merged
+        if isinstance(node, Union):
+            merged: dict[str, str] = {}
+            for part in node.parts:
+                for name, source in origin_map(part).items():
+                    merged.setdefault(name, source)
+            return merged
+        # Distinct / Limit / anything single-child and schema-preserving:
+        kids = node.children()
+        if len(kids) == 1:
+            return origin_map(kids[0])
+        return {}
+
+    origin_map(plan)
+    return joins, feeds
+
+
+def explain(
+    prov: Provenance,
+    catalog: Catalog,
+    plan: Plan | None = None,
+) -> Explanation:
+    """Build an :class:`Explanation` for a tuple's provenance.
+
+    *plan*, when provided, enriches each derivation with join conditions and
+    service-feed arrows; without it the explanation still lists contributing
+    sources and tuples.
+    """
+    if prov is None:
+        raise ProvenanceError("cannot explain a tuple without provenance")
+
+    joins: list[JoinLink] = []
+    feeds: list[ServiceFeed] = []
+    if plan is not None:
+        joins, feeds = _plan_links(plan, catalog)
+
+    derivations: list[Derivation] = []
+    for alternative in prov.derivations():
+        by_source: dict[str, list[TupleId]] = {}
+        for tid in sorted(alternative):
+            by_source.setdefault(tid.relation, []).append(tid)
+        contributions: list[SourceContribution] = []
+        for source, tids in sorted(by_source.items()):
+            if catalog.is_service(source):
+                kind = "service"
+                attrs = catalog.service(source).output_names
+            elif source in catalog:
+                kind = "relation"
+                attrs = catalog.schema(source).names
+            else:
+                kind = "relation"
+                attrs = ()
+            contributions.append(
+                SourceContribution(source=source, kind=kind, tuple_ids=tids, attributes=attrs)
+            )
+        present = {contribution.source for contribution in contributions}
+        derivations.append(
+            Derivation(
+                contributions=contributions,
+                joins=[
+                    link
+                    for link in joins
+                    if link.left_source in present or link.right_source in present
+                ],
+                feeds=[feed for feed in feeds if feed.service in present],
+            )
+        )
+    return Explanation(derivations=derivations, plan=plan)

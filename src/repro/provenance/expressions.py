@@ -1,0 +1,266 @@
+"""How-provenance expressions (positive semiring algebra).
+
+CopyCat runs on ORCHESTRA, "which builds a layer over a relational DBMS to
+annotate every answer with data provenance" (Section 2.3). We reproduce that
+contract with *how-provenance* in the positive algebra: every derived tuple
+carries an expression over base-tuple variables where
+
+- ``Times`` (⊗) combines the inputs of a join / dependent join,
+- ``Plus``  (⊕) combines alternative derivations (union, duplicate merge),
+- ``Var``   names a base tuple (:class:`~repro.substrate.relational.rows.TupleId`),
+- ``One`` / ``Zero`` are the multiplicative / additive identities.
+
+Expressions are immutable, hashable, and normalized lightly on construction
+(identity absorption; flattening of nested n-ary operators).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from ..errors import ProvenanceError
+from ..substrate.relational.rows import TupleId
+
+
+class Provenance:
+    """Base class for provenance expressions."""
+
+    __slots__ = ()
+
+    # -- structural API ------------------------------------------------------
+    def variables(self) -> frozenset[TupleId]:
+        """All base-tuple ids mentioned in the expression."""
+        out: set[TupleId] = set()
+        self._collect(out)
+        return frozenset(out)
+
+    def _collect(self, out: set[TupleId]) -> None:
+        raise NotImplementedError
+
+    def derivations(self) -> list[frozenset[TupleId]]:
+        """Expand to a list of alternative derivations (DNF).
+
+        Each derivation is the set of base tuples jointly needed to produce
+        the annotated tuple. This is what the Tuple Explanation pane shows:
+        "alternative explanations (when a tuple is produced by more than one
+        query)" (Section 8, demonstration appendix).
+        """
+        raise NotImplementedError
+
+    def evaluate(self, assign: Callable[[TupleId], object], semiring: "SemiringOps") -> object:
+        """Evaluate under a semiring with *assign* mapping variables to values."""
+        raise NotImplementedError
+
+    # -- operators -------------------------------------------------------------
+    def __mul__(self, other: "Provenance") -> "Provenance":
+        return times(self, other)
+
+    def __add__(self, other: "Provenance") -> "Provenance":
+        return plus(self, other)
+
+
+class SemiringOps:
+    """Operations of a commutative semiring, passed to ``evaluate``."""
+
+    __slots__ = ("zero", "one", "add", "mul")
+
+    def __init__(self, zero, one, add, mul):
+        self.zero = zero
+        self.one = one
+        self.add = add
+        self.mul = mul
+
+
+class _Zero(Provenance):
+    __slots__ = ()
+
+    def _collect(self, out: set[TupleId]) -> None:
+        return None
+
+    def derivations(self) -> list[frozenset[TupleId]]:
+        return []
+
+    def evaluate(self, assign, semiring):
+        return semiring.zero
+
+    def __repr__(self) -> str:
+        return "0"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Zero)
+
+    def __hash__(self) -> int:
+        return hash("provenance-zero")
+
+
+class _One(Provenance):
+    __slots__ = ()
+
+    def _collect(self, out: set[TupleId]) -> None:
+        return None
+
+    def derivations(self) -> list[frozenset[TupleId]]:
+        return [frozenset()]
+
+    def evaluate(self, assign, semiring):
+        return semiring.one
+
+    def __repr__(self) -> str:
+        return "1"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _One)
+
+    def __hash__(self) -> int:
+        return hash("provenance-one")
+
+
+ZERO = _Zero()
+ONE = _One()
+
+
+class Var(Provenance):
+    """A base-tuple variable."""
+
+    __slots__ = ("tuple_id",)
+
+    def __init__(self, tuple_id: TupleId):
+        if not isinstance(tuple_id, TupleId):
+            raise ProvenanceError(f"Var expects a TupleId, got {type(tuple_id).__name__}")
+        self.tuple_id = tuple_id
+
+    def _collect(self, out: set[TupleId]) -> None:
+        out.add(self.tuple_id)
+
+    def derivations(self) -> list[frozenset[TupleId]]:
+        return [frozenset([self.tuple_id])]
+
+    def evaluate(self, assign, semiring):
+        return assign(self.tuple_id)
+
+    def __repr__(self) -> str:
+        return str(self.tuple_id)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Var) and self.tuple_id == other.tuple_id
+
+    def __hash__(self) -> int:
+        return hash(("provenance-var", self.tuple_id))
+
+
+class _Nary(Provenance):
+    __slots__ = ("children",)
+    _symbol = "?"
+
+    def __init__(self, children: Iterable[Provenance]):
+        self.children: tuple[Provenance, ...] = tuple(children)
+
+    def _collect(self, out: set[TupleId]) -> None:
+        for child in self.children:
+            child._collect(out)
+
+    def __iter__(self) -> Iterator[Provenance]:
+        return iter(self.children)
+
+    def __repr__(self) -> str:
+        inner = f" {self._symbol} ".join(repr(child) for child in self.children)
+        return f"({inner})"
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.children == other.children  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.children))
+
+
+class Times(_Nary):
+    """Joint derivation: all children were combined by a join."""
+
+    __slots__ = ()
+    _symbol = "*"
+
+    def derivations(self) -> list[frozenset[TupleId]]:
+        combos: list[frozenset[TupleId]] = [frozenset()]
+        for child in self.children:
+            child_alts = child.derivations()
+            combos = [base | alt for base in combos for alt in child_alts]
+        # De-duplicate while preserving order.
+        seen: set[frozenset[TupleId]] = set()
+        unique: list[frozenset[TupleId]] = []
+        for combo in combos:
+            if combo not in seen:
+                seen.add(combo)
+                unique.append(combo)
+        return unique
+
+    def evaluate(self, assign, semiring):
+        value = semiring.one
+        for child in self.children:
+            value = semiring.mul(value, child.evaluate(assign, semiring))
+        return value
+
+
+class Plus(_Nary):
+    """Alternative derivations: any child independently yields the tuple."""
+
+    __slots__ = ()
+    _symbol = "+"
+
+    def derivations(self) -> list[frozenset[TupleId]]:
+        out: list[frozenset[TupleId]] = []
+        seen: set[frozenset[TupleId]] = set()
+        for child in self.children:
+            for alt in child.derivations():
+                if alt not in seen:
+                    seen.add(alt)
+                    out.append(alt)
+        return out
+
+    def evaluate(self, assign, semiring):
+        value = semiring.zero
+        for child in self.children:
+            value = semiring.add(value, child.evaluate(assign, semiring))
+        return value
+
+
+def times(*parts: Provenance) -> Provenance:
+    """Smart ⊗ constructor: flattens nested Times, absorbs ONE and ZERO."""
+    children: list[Provenance] = []
+    for part in parts:
+        if isinstance(part, _Zero):
+            return ZERO
+        if isinstance(part, _One):
+            continue
+        if isinstance(part, Times):
+            children.extend(part.children)
+        else:
+            children.append(part)
+    if not children:
+        return ONE
+    if len(children) == 1:
+        return children[0]
+    return Times(children)
+
+
+def plus(*parts: Provenance) -> Provenance:
+    """Smart ⊕ constructor: flattens nested Plus, absorbs ZERO, dedups."""
+    children: list[Provenance] = []
+    seen: set[Provenance] = set()
+    for part in parts:
+        if isinstance(part, _Zero):
+            continue
+        flattened = part.children if isinstance(part, Plus) else (part,)
+        for child in flattened:
+            if child not in seen:
+                seen.add(child)
+                children.append(child)
+    if not children:
+        return ZERO
+    if len(children) == 1:
+        return children[0]
+    return Plus(children)
+
+
+def var(relation: str, index: int) -> Var:
+    """Convenience: ``var("Shelters", 3)`` ≡ ``Var(TupleId("Shelters", 3))``."""
+    return Var(TupleId(relation, index))

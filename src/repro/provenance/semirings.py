@@ -1,0 +1,57 @@
+"""Standard semirings for evaluating how-provenance expressions.
+
+The same provenance expression answers several questions depending on the
+semiring it is evaluated under (Green et al.'s framework, which ORCHESTRA
+implements):
+
+- **boolean**: is the tuple still derivable if some base tuples are deleted?
+- **counting**: how many distinct derivations produce the tuple?
+- **score** (Viterbi-like, max/.*): confidence of the best derivation, used to
+  rank auto-complete suggestions from source trust scores.
+- **tropical** (min/+): cost of the cheapest derivation, matching the additive
+  edge-cost model of the integration learner (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from ..substrate.relational.rows import TupleId
+from .expressions import Provenance, SemiringOps
+
+BOOLEAN = SemiringOps(zero=False, one=True, add=lambda a, b: a or b, mul=lambda a, b: a and b)
+COUNTING = SemiringOps(zero=0, one=1, add=lambda a, b: a + b, mul=lambda a, b: a * b)
+SCORE = SemiringOps(zero=0.0, one=1.0, add=max, mul=lambda a, b: a * b)
+TROPICAL = SemiringOps(zero=float("inf"), one=0.0, add=min, mul=lambda a, b: a + b)
+
+
+def _assignment(
+    values: Mapping[TupleId, object] | Callable[[TupleId], object], default: object
+) -> Callable[[TupleId], object]:
+    if callable(values):
+        return values
+    return lambda tid: values.get(tid, default)
+
+
+def is_derivable(expr: Provenance, present: set[TupleId] | frozenset[TupleId]) -> bool:
+    """Boolean semiring: does the tuple survive if only *present* base tuples exist?"""
+    return bool(expr.evaluate(lambda tid: tid in present, BOOLEAN))
+
+
+def derivation_count(expr: Provenance, multiplicity: Mapping[TupleId, int] | None = None) -> int:
+    """Counting semiring: number of derivations (bag semantics)."""
+    if multiplicity is None:
+        assign: Callable[[TupleId], object] = lambda tid: 1
+    else:
+        assign = _assignment(multiplicity, 1)
+    return int(expr.evaluate(assign, COUNTING))  # type: ignore[arg-type]
+
+
+def best_score(expr: Provenance, trust: Mapping[TupleId, float] | Callable[[TupleId], float]) -> float:
+    """Score semiring: confidence of the best derivation given base-tuple trust."""
+    return float(expr.evaluate(_assignment(trust, 1.0), SCORE))  # type: ignore[arg-type]
+
+
+def cheapest_cost(expr: Provenance, cost: Mapping[TupleId, float] | Callable[[TupleId], float]) -> float:
+    """Tropical semiring: cost of the cheapest derivation."""
+    return float(expr.evaluate(_assignment(cost, 0.0), TROPICAL))  # type: ignore[arg-type]

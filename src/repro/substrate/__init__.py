@@ -1,0 +1,1 @@
+"""Substrates: relational engine, simulated documents, simulated services."""

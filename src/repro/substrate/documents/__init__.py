@@ -1,0 +1,16 @@
+"""Simulated documents: DOM pages, spreadsheets, websites, clipboard, apps."""
+
+from .apps import Browser, SpreadsheetApp
+from .clipboard import Clipboard, CopyEvent, PasteEvent, SourceContext
+from .dom import DomNode, document, element
+from .render import ListingTemplate, render_detail_page
+from .spreadsheet import CellRange, CellRef, Sheet, Workbook
+from .textdoc import TextDocument, WordApp
+from .website import Form, Page, Website, paged_url
+
+__all__ = [
+    "Browser", "CellRange", "CellRef", "Clipboard", "CopyEvent", "DomNode",
+    "Form", "ListingTemplate", "Page", "PasteEvent", "Sheet", "SourceContext",
+    "SpreadsheetApp", "TextDocument", "Website", "Workbook", "WordApp", "document", "element",
+    "paged_url", "render_detail_page",
+]

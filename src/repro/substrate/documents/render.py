@@ -1,0 +1,166 @@
+"""Template-driven page rendering with controllable noise.
+
+Synthetic stand-in for the paper's "real Web pages with shelter information"
+(Section 8.1). A :class:`ListingTemplate` renders a list of records into a
+page the way a CMS would: site chrome (masthead, nav, footer), a repeated
+per-record template region, and configurable *noise* — ads interleaved with
+records, inconsistent optional fields, decorative wrappers — which is the
+knob the examples-needed ablation (A-3 in DESIGN.md) sweeps.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from ...util.rng import make_rng
+from .dom import DomNode, document, element
+
+#: Noise levels: 0 = pristine template; 1 = chrome + ads outside the list;
+#: 2 = ads interleaved *inside* the record list; 3 = per-record template
+#: variation (optional fields, nested decoration).
+MAX_NOISE = 3
+
+_AD_TEXTS = (
+    "SPONSORED: Generators in stock now",
+    "Weather alert radios - click here",
+    "Local: traffic updates every 10 minutes",
+    "Donate to the relief fund",
+)
+
+
+@dataclass
+class ListingTemplate:
+    """Renders records into a repeated-template region.
+
+    ``style`` selects the container: ``table`` (rows/cells), ``ul`` (one
+    ``li`` per record with ``span`` fields), or ``div`` (class-tagged divs).
+    """
+
+    columns: Sequence[str]
+    style: str = "table"
+    record_class: str = "record"
+    noise: int = 0
+    seed: int | None = None
+    #: When set, the first column's text links to ``record[link_field]``
+    #: (a per-record detail URL) — the hierarchical-site case.
+    link_field: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.style not in ("table", "ul", "div"):
+            raise ValueError(f"unknown listing style {self.style!r}")
+        if not 0 <= self.noise <= MAX_NOISE:
+            raise ValueError(f"noise must be in [0, {MAX_NOISE}]")
+
+    # -- record rendering -------------------------------------------------------
+    def _record_node(self, record: Mapping[str, Any], rng: random.Random) -> DomNode:
+        values = [str(record[column]) for column in self.columns]
+        decorate = self.noise >= 3 and rng.random() < 0.4
+        href = record.get(self.link_field) if self.link_field else None
+        if self.style == "table":
+            cells = []
+            for i, value in enumerate(values):
+                content: DomNode | str = value
+                if decorate and i == 0:
+                    content = element("b", value)
+                if href and i == 0:
+                    content = element("a", content, href=str(href))
+                cells.append(element("td", content))
+            return element("tr", *cells, cls=self.record_class)
+        if self.style == "ul":
+            spans = [
+                element("span", value, cls=f"f{i}") for i, value in enumerate(values)
+            ]
+            first = element("b", spans[0]) if decorate else spans[0]
+            if href:
+                first = element("a", first, href=str(href))
+            return element("li", first, *spans[1:], cls=self.record_class)
+        # div style
+        parts = [
+            element("div", value, cls=f"field f{i}") for i, value in enumerate(values)
+        ]
+        if decorate:
+            parts.insert(1, element("em", "updated"))
+        return element("div", *parts, cls=self.record_class)
+
+    def _ad_node(self, rng: random.Random) -> DomNode:
+        text = rng.choice(_AD_TEXTS)
+        return element("div", element("a", text, href="/ads/offer"), cls="ad")
+
+    def _container(self, record_nodes: list[DomNode], rng: random.Random) -> DomNode:
+        children: list[DomNode] = []
+        for i, node in enumerate(record_nodes):
+            children.append(node)
+            if self.noise >= 2 and i % 3 == 2:
+                interleaved = self._ad_node(rng)
+                if self.style == "table":
+                    interleaved = element("tr", element("td", interleaved), cls="ad-row")
+                elif self.style == "ul":
+                    interleaved = element("li", interleaved, cls="ad-row")
+                children.append(interleaved)
+        if self.style == "table":
+            header = element(
+                "tr", *[element("th", column) for column in self.columns], cls="hdr"
+            )
+            return element("table", header, *children, cls="listing")
+        if self.style == "ul":
+            return element("ul", *children, cls="listing")
+        return element("div", *children, cls="listing")
+
+    # -- full pages -----------------------------------------------------------
+    def render(
+        self,
+        records: Sequence[Mapping[str, Any]],
+        title: str = "Listing",
+        nav_links: Sequence[tuple[str, str]] = (),
+    ) -> DomNode:
+        """Render a full page DOM for *records*."""
+        rng = make_rng(self.seed)
+        record_nodes = [self._record_node(record, rng) for record in records]
+        listing = self._container(record_nodes, rng)
+
+        body: list[DomNode] = [element("h1", title, cls="masthead")]
+        if self.noise >= 1:
+            body.append(
+                element(
+                    "div",
+                    element("a", "Home", href="/"),
+                    element("a", "Weather", href="/weather"),
+                    element("a", "Traffic", href="/traffic"),
+                    cls="nav",
+                )
+            )
+            body.append(self._ad_node(rng))
+        if nav_links:
+            pager = element(
+                "div",
+                *[element("a", label, href=href) for label, href in nav_links],
+                cls="pager",
+            )
+            body.append(pager)
+        body.append(listing)
+        if self.noise >= 1:
+            body.append(
+                element(
+                    "div",
+                    "Copyright 2008 Channel 7 News. All rights reserved.",
+                    cls="footer",
+                )
+            )
+        return document(*body, title=title)
+
+
+def render_detail_page(
+    record: Mapping[str, Any], fields: Sequence[str], title_field: str
+) -> DomNode:
+    """A per-record detail page (``dl`` of field name/value pairs)."""
+    items: list[DomNode] = []
+    for name in fields:
+        items.append(element("dt", name))
+        items.append(element("dd", str(record[name])))
+    return document(
+        element("h1", str(record[title_field])),
+        element("dl", *items, cls="detail"),
+        title=str(record[title_field]),
+    )

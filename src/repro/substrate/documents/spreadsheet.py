@@ -1,0 +1,184 @@
+"""Spreadsheet (workbook/sheet) document model.
+
+The paper's Example 1 pulls shelter contact information from an Excel
+spreadsheet; the CopyCat wrappers monitor copies from "Microsoft Office
+applications like Word and Excel" (Section 2.3). This module models a
+workbook precisely enough for the structure learner's easy case: "after
+copying just two data items from a column in [a] spreadsheet, it is clear
+that the user's selection should be generalized to include all the
+additional rows in that column with similarly-typed information."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator
+
+from ...errors import DocumentError
+
+
+@dataclass(frozen=True)
+class CellRef:
+    """Zero-based (row, column) reference with A1-style rendering."""
+
+    row: int
+    col: int
+
+    def a1(self) -> str:
+        col = self.col
+        letters = ""
+        while True:
+            letters = chr(ord("A") + col % 26) + letters
+            col = col // 26 - 1
+            if col < 0:
+                break
+        return f"{letters}{self.row + 1}"
+
+    def __str__(self) -> str:
+        return self.a1()
+
+
+@dataclass(frozen=True)
+class CellRange:
+    """An inclusive rectangular range of cells."""
+
+    top: int
+    left: int
+    bottom: int
+    right: int
+
+    def __post_init__(self) -> None:
+        if self.top > self.bottom or self.left > self.right:
+            raise DocumentError(f"inverted cell range {self}")
+
+    @property
+    def height(self) -> int:
+        return self.bottom - self.top + 1
+
+    @property
+    def width(self) -> int:
+        return self.right - self.left + 1
+
+    def cells(self) -> Iterator[CellRef]:
+        for row in range(self.top, self.bottom + 1):
+            for col in range(self.left, self.right + 1):
+                yield CellRef(row, col)
+
+    def __str__(self) -> str:
+        return f"{CellRef(self.top, self.left)}:{CellRef(self.bottom, self.right)}"
+
+
+class Sheet:
+    """A rectangular grid of values with an optional header row."""
+
+    def __init__(self, name: str, header: Iterable[str] | None = None):
+        self.name = name
+        self.header: list[str] = list(header) if header else []
+        self._rows: list[list[Any]] = []
+
+    # -- mutation ------------------------------------------------------------
+    def append_row(self, values: Iterable[Any]) -> int:
+        row = list(values)
+        if self.header and len(row) != len(self.header):
+            raise DocumentError(
+                f"sheet {self.name!r}: row width {len(row)} != header width {len(self.header)}"
+            )
+        self._rows.append(row)
+        return len(self._rows) - 1
+
+    def extend(self, rows: Iterable[Iterable[Any]]) -> None:
+        for row in rows:
+            self.append_row(row)
+
+    # -- access --------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        return len(self._rows)
+
+    @property
+    def n_cols(self) -> int:
+        if self.header:
+            return len(self.header)
+        return max((len(row) for row in self._rows), default=0)
+
+    def cell(self, row: int, col: int) -> Any:
+        try:
+            return self._rows[row][col]
+        except IndexError:
+            raise DocumentError(
+                f"sheet {self.name!r}: no cell at ({row}, {col})"
+            ) from None
+
+    def row(self, index: int) -> list[Any]:
+        return list(self._rows[index])
+
+    def rows(self) -> list[list[Any]]:
+        return [list(row) for row in self._rows]
+
+    def column(self, col: int) -> list[Any]:
+        return [row[col] for row in self._rows]
+
+    def column_by_name(self, name: str) -> list[Any]:
+        if name not in self.header:
+            raise DocumentError(f"sheet {self.name!r}: no header column {name!r}")
+        return self.column(self.header.index(name))
+
+    def region(self, rng: CellRange) -> list[list[Any]]:
+        """Values of a rectangular range as a list of lists."""
+        if rng.bottom >= self.n_rows or rng.right >= self.n_cols:
+            raise DocumentError(f"range {rng} exceeds sheet {self.name!r} bounds")
+        return [
+            [self._rows[r][c] for c in range(rng.left, rng.right + 1)]
+            for r in range(rng.top, rng.bottom + 1)
+        ]
+
+    def region_text(self, rng: CellRange) -> str:
+        """Tab/newline-delimited text, as a spreadsheet copy would yield."""
+        return "\n".join(
+            "\t".join(str(value) for value in row) for row in self.region(rng)
+        )
+
+    def find_value(self, value: Any) -> CellRef | None:
+        for r, row in enumerate(self._rows):
+            for c, cell in enumerate(row):
+                if cell == value:
+                    return CellRef(r, c)
+        return None
+
+    def __repr__(self) -> str:
+        return f"Sheet({self.name!r}, {self.n_rows}x{self.n_cols})"
+
+
+class Workbook:
+    """A named collection of sheets."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._sheets: dict[str, Sheet] = {}
+
+    def add_sheet(self, sheet: Sheet) -> Sheet:
+        if sheet.name in self._sheets:
+            raise DocumentError(f"workbook already has a sheet named {sheet.name!r}")
+        self._sheets[sheet.name] = sheet
+        return sheet
+
+    def new_sheet(self, name: str, header: Iterable[str] | None = None) -> Sheet:
+        return self.add_sheet(Sheet(name, header))
+
+    def sheet(self, name: str) -> Sheet:
+        try:
+            return self._sheets[name]
+        except KeyError:
+            raise DocumentError(f"workbook {self.name!r} has no sheet {name!r}") from None
+
+    def sheet_names(self) -> list[str]:
+        return list(self._sheets)
+
+    @property
+    def first_sheet(self) -> Sheet:
+        if not self._sheets:
+            raise DocumentError(f"workbook {self.name!r} has no sheets")
+        return next(iter(self._sheets.values()))
+
+    def __repr__(self) -> str:
+        return f"Workbook({self.name!r}, sheets={self.sheet_names()})"

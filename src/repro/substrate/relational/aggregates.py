@@ -1,0 +1,158 @@
+"""Grouping and aggregation.
+
+Section 5 ("Complex functions / transforms"): "Sometimes the user will want
+to apply complex operations that are difficult to demonstrate: for
+instance, perform an aggregation or evaluate an arithmetic expression."
+This module supplies the relational side of that: a ``GroupBy`` plan node
+with the standard aggregate functions, evaluated with provenance (a group's
+output tuple is ⊗-derived from every input tuple in the group... which in
+how-provenance is the product of the contributing variables).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from ...errors import EvaluationError
+from ...provenance.expressions import Provenance, times
+from .algebra import Plan
+from .catalog import Catalog
+from .rows import Row
+from .schema import ANY, NUMBER, Attribute, Schema
+
+
+def _numeric(values: list[Any]) -> list[float]:
+    out = []
+    for value in values:
+        if value is None:
+            continue
+        try:
+            out.append(float(value))
+        except (TypeError, ValueError):
+            raise EvaluationError(f"non-numeric value in numeric aggregate: {value!r}")
+    return out
+
+
+def agg_count(values: list[Any]) -> int:
+    return sum(1 for value in values if value is not None)
+
+
+def agg_sum(values: list[Any]) -> float | None:
+    nums = _numeric(values)
+    return sum(nums) if nums else None
+
+
+def agg_avg(values: list[Any]) -> float | None:
+    nums = _numeric(values)
+    return sum(nums) / len(nums) if nums else None
+
+
+def agg_min(values: list[Any]) -> Any:
+    present = [value for value in values if value is not None]
+    return min(present) if present else None
+
+
+def agg_max(values: list[Any]) -> Any:
+    present = [value for value in values if value is not None]
+    return max(present) if present else None
+
+
+def agg_count_distinct(values: list[Any]) -> int:
+    return len({value for value in values if value is not None})
+
+
+AGGREGATES: dict[str, Callable[[list[Any]], Any]] = {
+    "count": agg_count,
+    "sum": agg_sum,
+    "avg": agg_avg,
+    "min": agg_min,
+    "max": agg_max,
+    "count_distinct": agg_count_distinct,
+}
+
+_NUMERIC_AGGS = {"count", "sum", "avg", "count_distinct"}
+
+
+@dataclass(frozen=True)
+class AggSpec:
+    """One aggregate column: ``fn(attribute) AS alias``."""
+
+    fn: str
+    attribute: str
+    alias: str
+
+    def __post_init__(self) -> None:
+        if self.fn not in AGGREGATES:
+            raise EvaluationError(
+                f"unknown aggregate {self.fn!r} (have: {sorted(AGGREGATES)})"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.fn}({self.attribute}) AS {self.alias}"
+
+
+@dataclass(frozen=True)
+class GroupBy(Plan):
+    """Group rows by key attributes and compute aggregates per group.
+
+    With an empty ``keys`` tuple the whole input is one group (global
+    aggregation). Output schema: keys followed by aggregate aliases.
+    """
+
+    child: Plan
+    keys: tuple[str, ...]
+    aggregates: tuple[AggSpec, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "keys", tuple(self.keys))
+        object.__setattr__(self, "aggregates", tuple(self.aggregates))
+        if not self.aggregates and not self.keys:
+            raise EvaluationError("GroupBy needs keys or aggregates")
+        aliases = [spec.alias for spec in self.aggregates]
+        if len(set(aliases) | set(self.keys)) != len(aliases) + len(self.keys):
+            raise EvaluationError("duplicate output names in GroupBy")
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        child_schema = self.child.output_schema(catalog)
+        attrs = [child_schema.attribute(key) for key in self.keys]
+        for spec in self.aggregates:
+            child_schema.position(spec.attribute)  # validate it exists
+            semantic = NUMBER if spec.fn in _NUMERIC_AGGS else ANY
+            attrs.append(Attribute(spec.alias, semantic))
+        return Schema(attrs)
+
+    def describe(self) -> str:
+        keys = ", ".join(self.keys) or "(all)"
+        aggs = ", ".join(str(spec) for spec in self.aggregates)
+        return f"GroupBy[{keys}; {aggs}]"
+
+
+def evaluate_groupby(
+    plan: GroupBy,
+    child_rows: Iterable[tuple[Row, Provenance]],
+    catalog: Catalog,
+) -> list[tuple[Row, Provenance]]:
+    """Evaluator hook for :class:`GroupBy` (wired into the Evaluator)."""
+    schema = plan.output_schema(catalog)
+    groups: dict[tuple, list[tuple[Row, Provenance]]] = {}
+    order: list[tuple] = []
+    for row, prov in child_rows:
+        key = tuple(row[k] for k in plan.keys)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append((row, prov))
+    out: list[tuple[Row, Provenance]] = []
+    for key in order:
+        members = groups[key]
+        values = list(key)
+        for spec in plan.aggregates:
+            column = [row[spec.attribute] for row, _ in members]
+            values.append(AGGREGATES[spec.fn](column))
+        prov = times(*(member_prov for _, member_prov in members))
+        out.append((Row(schema, values), prov))
+    return out

@@ -1,0 +1,305 @@
+"""Logical query plans.
+
+Plans are immutable operator trees. The operator set matches what CopyCat's
+integration learner emits (Section 4): scans of catalog sources, selections,
+projections, equijoins (conjunction of all shared-attribute predicates),
+*dependent joins* that feed attributes into a bound service (the Figure 2
+Zipcode Resolver pattern), record-linking joins (approximate joins), unions
+with null padding, and renames.
+
+``output_schema(catalog)`` computes the schema bottom-up so the workspace
+and suggestion machinery can reason about plans without executing them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+from ...errors import EvaluationError, SchemaError
+from .predicates import Predicate
+from .rows import Row
+from .schema import Schema
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .catalog import Catalog
+
+
+class Plan:
+    """Base class for logical plan nodes."""
+
+    def output_schema(self, catalog: "Catalog") -> Schema:
+        raise NotImplementedError
+
+    def children(self) -> tuple["Plan", ...]:
+        return ()
+
+    def sources(self) -> frozenset[str]:
+        """Names of every base source/service mentioned in the plan."""
+        out: set[str] = set()
+        self._collect_sources(out)
+        return frozenset(out)
+
+    def _collect_sources(self, out: set[str]) -> None:
+        for child in self.children():
+            child._collect_sources(out)
+
+    def describe(self) -> str:
+        """One-line human-readable description (used in explanations)."""
+        raise NotImplementedError
+
+    def render(self, indent: int = 0) -> str:
+        """Multi-line indented tree rendering."""
+        lines = [" " * indent + self.describe()]
+        for child in self.children():
+            lines.append(child.render(indent + 2))
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Scan(Plan):
+    """Scan a named base relation from the catalog."""
+
+    source: str
+
+    def output_schema(self, catalog: "Catalog") -> Schema:
+        return catalog.relation(self.source).schema
+
+    def _collect_sources(self, out: set[str]) -> None:
+        out.add(self.source)
+
+    def describe(self) -> str:
+        return f"Scan({self.source})"
+
+
+@dataclass(frozen=True)
+class Select(Plan):
+    child: Plan
+    predicate: Predicate
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+    def output_schema(self, catalog: "Catalog") -> Schema:
+        return self.child.output_schema(catalog)
+
+    def describe(self) -> str:
+        return f"Select[{self.predicate}]"
+
+
+@dataclass(frozen=True)
+class Project(Plan):
+    child: Plan
+    names: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "names", tuple(self.names))
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+    def output_schema(self, catalog: "Catalog") -> Schema:
+        return self.child.output_schema(catalog).project(self.names)
+
+    def describe(self) -> str:
+        return f"Project[{', '.join(self.names)}]"
+
+
+@dataclass(frozen=True)
+class Rename(Plan):
+    child: Plan
+    mapping: tuple[tuple[str, str], ...]  # (old, new) pairs
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "mapping", tuple(tuple(pair) for pair in self.mapping))
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+    def output_schema(self, catalog: "Catalog") -> Schema:
+        return self.child.output_schema(catalog).rename(dict(self.mapping))
+
+    def describe(self) -> str:
+        pairs = ", ".join(f"{old}->{new}" for old, new in self.mapping)
+        return f"Rename[{pairs}]"
+
+
+@dataclass(frozen=True)
+class Join(Plan):
+    """Equijoin on the conjunction of ``conditions`` (left attr, right attr).
+
+    The paper's default: "If sets of sources have multiple attributes in
+    common, we restrict the queries to match on all the attributes (i.e., we
+    take the conjunction of all possible join predicates)." (Section 4.1)
+    """
+
+    left: Plan
+    right: Plan
+    conditions: tuple[tuple[str, str], ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "conditions", tuple(tuple(c) for c in self.conditions))
+        if not self.conditions:
+            raise EvaluationError("Join requires at least one equality condition")
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.left, self.right)
+
+    def output_schema(self, catalog: "Catalog") -> Schema:
+        left_schema = self.left.output_schema(catalog)
+        right_schema = self.right.output_schema(catalog)
+        right_join_attrs = {right for _, right in self.conditions}
+        remaining = [
+            attr for attr in right_schema if attr.name not in right_join_attrs
+        ]
+        return left_schema.concat(Schema(remaining), disambiguate=True)
+
+    def describe(self) -> str:
+        conds = " AND ".join(f"{l}={r}" for l, r in self.conditions)
+        return f"Join[{conds}]"
+
+
+@dataclass(frozen=True)
+class DependentJoin(Plan):
+    """Feed child attributes into a bound service; append its outputs.
+
+    ``input_map`` maps each *service input* attribute to the child attribute
+    providing its value — the directed arrows in the Figure 2 explanation
+    pane ("The Street and City values are fed into the Zipcode Resolver").
+    """
+
+    child: Plan
+    service: str
+    input_map: tuple[tuple[str, str], ...]  # (service input, child attribute)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "input_map", tuple(tuple(pair) for pair in self.input_map))
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+    def _collect_sources(self, out: set[str]) -> None:
+        out.add(self.service)
+        super()._collect_sources(out)
+
+    def output_schema(self, catalog: "Catalog") -> Schema:
+        child_schema = self.child.output_schema(catalog)
+        service = catalog.service(self.service)
+        mapped_inputs = {service_input for service_input, _ in self.input_map}
+        missing = [name for name in service.input_names if name not in mapped_inputs]
+        if missing:
+            raise SchemaError(
+                f"dependent join on {self.service!r} leaves inputs unbound: {missing}"
+            )
+        for service_input, child_attr in self.input_map:
+            if child_attr not in child_schema:
+                raise SchemaError(
+                    f"dependent join binds {service_input!r} from missing child "
+                    f"attribute {child_attr!r}"
+                )
+        outputs = [service.schema.attribute(name) for name in service.output_names]
+        return child_schema.concat(Schema(outputs), disambiguate=True)
+
+    def describe(self) -> str:
+        binds = ", ".join(f"{svc}<-{attr}" for svc, attr in self.input_map)
+        return f"DependentJoin[{self.service}; {binds}]"
+
+
+@dataclass(frozen=True)
+class RecordLinkJoin(Plan):
+    """Approximate join: link left rows to best-matching right rows.
+
+    ``linker`` scores a (left_row, right_row) pair; pairs scoring at or above
+    ``threshold`` are linked. With ``best_only`` each left row keeps only its
+    highest-scoring match (the Example 1 contact-matching behaviour).
+    """
+
+    left: Plan
+    right: Plan
+    linker: "RowLinker"
+    threshold: float = 0.5
+    best_only: bool = True
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.left, self.right)
+
+    def output_schema(self, catalog: "Catalog") -> Schema:
+        return self.left.output_schema(catalog).concat(
+            self.right.output_schema(catalog), disambiguate=True
+        )
+
+    def describe(self) -> str:
+        mode = "best" if self.best_only else "all"
+        return f"RecordLinkJoin[{self.linker.describe()}; >= {self.threshold}; {mode}]"
+
+
+class RowLinker:
+    """Interface for record-linking scorers used by :class:`RecordLinkJoin`."""
+
+    def score(self, left: Row, right: Row) -> float:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class Union(Plan):
+    """Union with null padding onto the merged (homogeneous) schema."""
+
+    parts: tuple[Plan, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "parts", tuple(self.parts))
+        if not self.parts:
+            raise EvaluationError("Union requires at least one input")
+
+    def children(self) -> tuple[Plan, ...]:
+        return self.parts
+
+    def output_schema(self, catalog: "Catalog") -> Schema:
+        merged = self.parts[0].output_schema(catalog)
+        for part in self.parts[1:]:
+            merged = merged.merge_for_union(part.output_schema(catalog))
+        return merged
+
+    def describe(self) -> str:
+        return f"Union[{len(self.parts)} inputs]"
+
+
+@dataclass(frozen=True)
+class Distinct(Plan):
+    """Set semantics: merge duplicate rows, ⊕-combining their provenance."""
+
+    child: Plan
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+    def output_schema(self, catalog: "Catalog") -> Schema:
+        return self.child.output_schema(catalog)
+
+    def describe(self) -> str:
+        return "Distinct"
+
+
+@dataclass(frozen=True)
+class Limit(Plan):
+    child: Plan
+    count: int
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+    def output_schema(self, catalog: "Catalog") -> Schema:
+        return self.child.output_schema(catalog)
+
+    def describe(self) -> str:
+        return f"Limit[{self.count}]"
+
+
+def walk(plan: Plan) -> Iterable[Plan]:
+    """Pre-order traversal of a plan tree."""
+    yield plan
+    for child in plan.children():
+        yield from walk(child)

@@ -1,0 +1,135 @@
+"""The system catalog.
+
+Section 2.2: "The resulting source description gets added to a system
+catalog." The catalog holds base relations (imported sources) and services
+(bound sources), plus per-source metadata the learners maintain: trust
+scores, provenance of how the source was learned, and learned semantic types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from typing import TYPE_CHECKING
+
+from ...errors import CatalogError
+from .relation import Relation
+from .schema import Schema
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a circular import at runtime
+    from ..services.base import Service
+
+
+@dataclass
+class SourceMetadata:
+    """Learner-maintained bookkeeping for a catalog entry."""
+
+    origin: str = "manual"          # e.g. "paste", "predefined", "import"
+    trust: float = 1.0              # source trust score in [0, 1]
+    url: str | None = None          # where the source was extracted from
+    foreign_keys: dict[str, tuple[str, str]] = field(default_factory=dict)
+    # attribute -> (other source, other attribute); "known links or foreign
+    # keys" seed association edges in the source graph (Section 4.1).
+    notes: dict[str, Any] = field(default_factory=dict)
+
+
+class Catalog:
+    """Named registry of relations and services."""
+
+    def __init__(self) -> None:
+        self._relations: dict[str, Relation] = {}
+        self._services: dict[str, "Service"] = {}
+        self._metadata: dict[str, SourceMetadata] = {}
+
+    # -- registration -----------------------------------------------------------
+    def add_relation(
+        self, relation: Relation, metadata: SourceMetadata | None = None, replace: bool = False
+    ) -> Relation:
+        name = relation.name
+        if not replace and name in self:
+            raise CatalogError(f"catalog already contains a source named {name!r}")
+        self._relations[name] = relation
+        self._services.pop(name, None)
+        self._metadata[name] = metadata or SourceMetadata()
+        return relation
+
+    def add_service(
+        self, service: "Service", metadata: SourceMetadata | None = None, replace: bool = False
+    ) -> "Service":
+        name = service.name
+        if not replace and name in self:
+            raise CatalogError(f"catalog already contains a source named {name!r}")
+        self._services[name] = service
+        self._relations.pop(name, None)
+        self._metadata[name] = metadata or SourceMetadata(origin="predefined")
+        return service
+
+    def remove(self, name: str) -> None:
+        if name not in self:
+            raise CatalogError(f"no source named {name!r} to remove")
+        self._relations.pop(name, None)
+        self._services.pop(name, None)
+        self._metadata.pop(name, None)
+
+    # -- lookup -------------------------------------------------------------------
+    def __contains__(self, name: object) -> bool:
+        return name in self._relations or name in self._services
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            if name in self._services:
+                raise CatalogError(f"{name!r} is a service, not a base relation") from None
+            raise CatalogError(f"no relation named {name!r} in catalog") from None
+
+    def service(self, name: str) -> "Service":
+        try:
+            return self._services[name]
+        except KeyError:
+            if name in self._relations:
+                raise CatalogError(f"{name!r} is a base relation, not a service") from None
+            raise CatalogError(f"no service named {name!r} in catalog") from None
+
+    def schema(self, name: str) -> Schema:
+        if name in self._relations:
+            return self._relations[name].schema
+        if name in self._services:
+            return self._services[name].schema
+        raise CatalogError(f"no source named {name!r} in catalog")
+
+    def is_service(self, name: str) -> bool:
+        return name in self._services
+
+    def metadata(self, name: str) -> SourceMetadata:
+        try:
+            return self._metadata[name]
+        except KeyError:
+            raise CatalogError(f"no source named {name!r} in catalog") from None
+
+    # -- iteration ------------------------------------------------------------------
+    def relation_names(self) -> list[str]:
+        return sorted(self._relations)
+
+    def service_names(self) -> list[str]:
+        return sorted(self._services)
+
+    def source_names(self) -> list[str]:
+        return sorted(set(self._relations) | set(self._services))
+
+    def relations(self) -> Iterator[Relation]:
+        for name in self.relation_names():
+            yield self._relations[name]
+
+    def services(self) -> Iterator["Service"]:
+        for name in self.service_names():
+            yield self._services[name]
+
+    def __len__(self) -> int:
+        return len(self._relations) + len(self._services)
+
+    def __repr__(self) -> str:
+        return (
+            f"Catalog({len(self._relations)} relations, {len(self._services)} services)"
+        )

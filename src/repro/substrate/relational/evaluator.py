@@ -1,0 +1,201 @@
+"""Plan evaluation with provenance annotation.
+
+The evaluator plays the role of ORCHESTRA in CopyCat (Section 2.3): it
+executes logical plans over the catalog and annotates every answer with a
+how-provenance expression, so "feedback on auto-complete data" can be
+converted "into feedback over the queries that created the data".
+
+Evaluation is eager and tuple-at-a-time; relations at the paper's target
+scale ("KB or MB of data, but probably not GB") comfortably fit in memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from ...errors import EvaluationError
+from ...provenance.expressions import ONE, Provenance, Var, plus, times
+from .algebra import (
+    DependentJoin,
+    Distinct,
+    Join,
+    Limit,
+    Plan,
+    Project,
+    RecordLinkJoin,
+    Rename,
+    Scan,
+    Select,
+    Union,
+)
+from .catalog import Catalog
+from .rows import Row
+from .schema import Schema
+
+AnnotatedRow = tuple[Row, Provenance]
+
+
+@dataclass
+class Result:
+    """An evaluated plan: schema plus provenance-annotated rows."""
+
+    schema: Schema
+    rows: list[AnnotatedRow]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def plain_rows(self) -> list[Row]:
+        return [row for row, _ in self.rows]
+
+    def dicts(self) -> list[dict[str, Any]]:
+        return [row.as_dict() for row, _ in self.rows]
+
+    def provenance_of(self, row: Row) -> Provenance:
+        """Combined provenance of every occurrence of *row* in the result."""
+        matches = [prov for candidate, prov in self.rows if candidate == row]
+        if not matches:
+            raise EvaluationError(f"row not present in result: {row!r}")
+        return plus(*matches)
+
+    def merged(self) -> "Result":
+        """Set-semantics view: duplicates merged, provenance ⊕-combined."""
+        order: list[Row] = []
+        merged: dict[Row, Provenance] = {}
+        for row, prov in self.rows:
+            if row in merged:
+                merged[row] = plus(merged[row], prov)
+            else:
+                merged[row] = prov
+                order.append(row)
+        return Result(self.schema, [(row, merged[row]) for row in order])
+
+
+class Evaluator:
+    """Evaluates :class:`~repro.substrate.relational.algebra.Plan` trees."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+
+    def run(self, plan: Plan) -> Result:
+        schema = plan.output_schema(self.catalog)
+        rows = list(self._eval(plan))
+        return Result(schema, rows)
+
+    # -- dispatch -----------------------------------------------------------
+    def _eval(self, plan: Plan) -> Iterable[AnnotatedRow]:
+        method = getattr(self, f"_eval_{type(plan).__name__.lower()}", None)
+        if method is None:
+            raise EvaluationError(f"no evaluator for plan node {type(plan).__name__}")
+        return method(plan)
+
+    def _eval_scan(self, plan: Scan) -> Iterable[AnnotatedRow]:
+        annotated = self.catalog.relation(plan.source).annotated()
+        # Cross-learner feedback (paper §5 "Feedback interaction"): tuple
+        # demotions can mark specific base rows as distrusted; scans skip
+        # them so every downstream suggestion reflects the feedback.
+        distrusted = self.catalog.metadata(plan.source).notes.get("distrusted_rows")
+        if not distrusted:
+            return annotated
+        return [
+            (row, prov)
+            for index, (row, prov) in enumerate(annotated)
+            if index not in distrusted
+        ]
+
+    def _eval_select(self, plan: Select) -> Iterable[AnnotatedRow]:
+        for row, prov in self._eval(plan.child):
+            if plan.predicate.matches(row):
+                yield row, prov
+
+    def _eval_project(self, plan: Project) -> Iterable[AnnotatedRow]:
+        target = plan.output_schema(self.catalog)
+        for row, prov in self._eval(plan.child):
+            yield row.project(plan.names, target), prov
+
+    def _eval_rename(self, plan: Rename) -> Iterable[AnnotatedRow]:
+        target = plan.output_schema(self.catalog)
+        for row, prov in self._eval(plan.child):
+            yield Row(target, row.values), prov
+
+    def _eval_join(self, plan: Join) -> Iterable[AnnotatedRow]:
+        target = plan.output_schema(self.catalog)
+        left_rows = list(self._eval(plan.left))
+        right_rows = list(self._eval(plan.right))
+        right_schema = plan.right.output_schema(self.catalog)
+        left_keys = tuple(left for left, _ in plan.conditions)
+        right_keys = tuple(right for _, right in plan.conditions)
+        # Hash join on the conjunction of all conditions.
+        index: dict[tuple[Any, ...], list[AnnotatedRow]] = {}
+        for row, prov in right_rows:
+            key = tuple(row[name] for name in right_keys)
+            if any(part is None for part in key):
+                continue
+            index.setdefault(key, []).append((row, prov))
+        kept_right = [name for name in right_schema.names if name not in set(right_keys)]
+        for row, prov in left_rows:
+            key = tuple(row[name] for name in left_keys)
+            if any(part is None for part in key):
+                continue
+            for other, other_prov in index.get(key, []):
+                values = list(row.values) + [other[name] for name in kept_right]
+                yield Row(target, values), times(prov, other_prov)
+
+    def _eval_dependentjoin(self, plan: DependentJoin) -> Iterable[AnnotatedRow]:
+        target = plan.output_schema(self.catalog)
+        service = self.catalog.service(plan.service)
+        input_map = dict(plan.input_map)
+        for row, prov in self._eval(plan.child):
+            inputs = {svc_input: row[child_attr] for svc_input, child_attr in input_map.items()}
+            if any(value is None for value in inputs.values()):
+                continue
+            for result in service.invoke(inputs):
+                result_id = service.result_tuple_id(result)
+                values = list(row.values) + [result[name] for name in service.output_names]
+                yield Row(target, values), times(prov, Var(result_id))
+
+    def _eval_recordlinkjoin(self, plan: RecordLinkJoin) -> Iterable[AnnotatedRow]:
+        target = plan.output_schema(self.catalog)
+        left_rows = list(self._eval(plan.left))
+        right_rows = list(self._eval(plan.right))
+        for row, prov in left_rows:
+            scored: list[tuple[float, AnnotatedRow]] = []
+            for other, other_prov in right_rows:
+                score = plan.linker.score(row, other)
+                if score >= plan.threshold:
+                    scored.append((score, (other, other_prov)))
+            if not scored:
+                continue
+            if plan.best_only:
+                scored.sort(key=lambda pair: -pair[0])
+                scored = scored[:1]
+            for _, (other, other_prov) in scored:
+                values = list(row.values) + list(other.values)
+                yield Row(target, values), times(prov, other_prov)
+
+    def _eval_union(self, plan: Union) -> Iterable[AnnotatedRow]:
+        target = plan.output_schema(self.catalog)
+        for part in plan.parts:
+            for row, prov in self._eval(part):
+                yield row.pad_to(target), prov
+
+    def _eval_distinct(self, plan: Distinct) -> Iterable[AnnotatedRow]:
+        inner = Result(plan.output_schema(self.catalog), list(self._eval(plan.child)))
+        return iter(inner.merged().rows)
+
+    def _eval_groupby(self, plan) -> Iterable[AnnotatedRow]:
+        from .aggregates import evaluate_groupby
+
+        return iter(evaluate_groupby(plan, self._eval(plan.child), self.catalog))
+
+    def _eval_limit(self, plan: Limit) -> Iterable[AnnotatedRow]:
+        emitted = 0
+        for row, prov in self._eval(plan.child):
+            if emitted >= plan.count:
+                break
+            emitted += 1
+            yield row, prov

@@ -1,0 +1,173 @@
+"""Selection predicates over rows.
+
+Predicates are small structured objects (not bare lambdas) so that query
+plans remain introspectable — the explanation machinery renders them, and
+tests can assert on their structure.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ...errors import EvaluationError
+from .rows import Row
+
+_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+class Predicate:
+    """Base class; subclasses implement :meth:`matches`."""
+
+    def matches(self, row: Row) -> bool:
+        raise NotImplementedError
+
+    def __call__(self, row: Row) -> bool:
+        return self.matches(row)
+
+    # Combinators -------------------------------------------------------------
+    def __and__(self, other: "Predicate") -> "And":
+        return And((self, other))
+
+    def __or__(self, other: "Predicate") -> "Or":
+        return Or((self, other))
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Compare(Predicate):
+    """``attribute <op> constant`` comparison."""
+
+    attribute: str
+    op: str
+    value: Any
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise EvaluationError(f"unknown comparison operator {self.op!r}")
+
+    def matches(self, row: Row) -> bool:
+        actual = row[self.attribute]
+        if actual is None:
+            return False
+        try:
+            return _OPS[self.op](actual, self.value)
+        except TypeError:
+            return False
+
+    def __str__(self) -> str:
+        return f"{self.attribute} {self.op} {self.value!r}"
+
+
+def eq(attribute: str, value: Any) -> Compare:
+    return Compare(attribute, "==", value)
+
+
+@dataclass(frozen=True)
+class AttrCompare(Predicate):
+    """``left_attribute <op> right_attribute`` comparison within one row."""
+
+    left: str
+    op: str
+    right: str
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise EvaluationError(f"unknown comparison operator {self.op!r}")
+
+    def matches(self, row: Row) -> bool:
+        a, b = row[self.left], row[self.right]
+        if a is None or b is None:
+            return False
+        try:
+            return _OPS[self.op](a, b)
+        except TypeError:
+            return False
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class IsNull(Predicate):
+    attribute: str
+
+    def matches(self, row: Row) -> bool:
+        return row[self.attribute] is None
+
+    def __str__(self) -> str:
+        return f"{self.attribute} IS NULL"
+
+
+@dataclass(frozen=True)
+class NotNull(Predicate):
+    attribute: str
+
+    def matches(self, row: Row) -> bool:
+        return row[self.attribute] is not None
+
+    def __str__(self) -> str:
+        return f"{self.attribute} IS NOT NULL"
+
+
+@dataclass(frozen=True)
+class Contains(Predicate):
+    """Case-insensitive substring containment on a text attribute."""
+
+    attribute: str
+    needle: str
+
+    def matches(self, row: Row) -> bool:
+        value = row[self.attribute]
+        if value is None:
+            return False
+        return self.needle.lower() in str(value).lower()
+
+    def __str__(self) -> str:
+        return f"{self.attribute} CONTAINS {self.needle!r}"
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    parts: tuple[Predicate, ...]
+
+    def matches(self, row: Row) -> bool:
+        return all(part.matches(row) for part in self.parts)
+
+    def __str__(self) -> str:
+        return "(" + " AND ".join(str(part) for part in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    parts: tuple[Predicate, ...]
+
+    def matches(self, row: Row) -> bool:
+        return any(part.matches(row) for part in self.parts)
+
+    def __str__(self) -> str:
+        return "(" + " OR ".join(str(part) for part in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    inner: Predicate
+
+    def matches(self, row: Row) -> bool:
+        return not self.inner.matches(row)
+
+    def __str__(self) -> str:
+        return f"NOT ({self.inner})"
+
+
+TRUE = And(())  # vacuous conjunction

@@ -1,0 +1,85 @@
+"""In-memory relations.
+
+A :class:`Relation` is a named, schema-typed bag of rows. Base relations are
+what the catalog stores for imported sources; every row has a stable
+:class:`~repro.substrate.relational.rows.TupleId` used as its provenance
+variable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping
+
+from ...errors import SchemaError
+from ...provenance.expressions import Provenance, Var
+from .rows import Row, TupleId
+from .schema import Schema
+
+
+class Relation:
+    """A named bag of rows over a fixed schema."""
+
+    def __init__(self, name: str, schema: Schema, rows: Iterable[Row | Mapping[str, Any] | Iterable[Any]] = ()):
+        self.name = name
+        self.schema = schema
+        self._rows: list[Row] = []
+        for row in rows:
+            self.add(row)
+
+    # -- mutation -------------------------------------------------------------
+    def add(self, row: Row | Mapping[str, Any] | Iterable[Any]) -> TupleId:
+        """Append a row (coercing dicts/sequences) and return its TupleId."""
+        if isinstance(row, Row):
+            if row.schema.names != self.schema.names:
+                raise SchemaError(
+                    f"row schema {row.schema.names} does not match relation "
+                    f"{self.name!r} schema {self.schema.names}"
+                )
+            coerced = Row(self.schema, row.values)
+        else:
+            coerced = Row(self.schema, row)
+        self._rows.append(coerced)
+        return TupleId(self.name, len(self._rows) - 1)
+
+    def extend(self, rows: Iterable[Row | Mapping[str, Any] | Iterable[Any]]) -> list[TupleId]:
+        return [self.add(row) for row in rows]
+
+    # -- access ---------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __getitem__(self, index: int) -> Row:
+        return self._rows[index]
+
+    def rows(self) -> list[Row]:
+        return list(self._rows)
+
+    def tuple_id(self, index: int) -> TupleId:
+        if not 0 <= index < len(self._rows):
+            raise IndexError(f"{self.name}: row index {index} out of range")
+        return TupleId(self.name, index)
+
+    def annotated(self) -> list[tuple[Row, Provenance]]:
+        """Rows paired with their provenance variables."""
+        return [
+            (row, Var(TupleId(self.name, index))) for index, row in enumerate(self._rows)
+        ]
+
+    def column(self, attribute: str) -> list[Any]:
+        """All values of one attribute, in row order."""
+        position = self.schema.position(attribute)
+        return [row.values[position] for row in self._rows]
+
+    def distinct_values(self, attribute: str) -> set[Any]:
+        return set(self.column(attribute))
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name!r}, {len(self._rows)} rows, {self.schema!r})"
+
+
+def relation_from_dicts(name: str, schema: Schema, dicts: Iterable[Mapping[str, Any]]) -> Relation:
+    """Build a relation from an iterable of attribute→value mappings."""
+    return Relation(name, schema, dicts)

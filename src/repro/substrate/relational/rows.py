@@ -1,0 +1,125 @@
+"""Rows (tuples) and tuple identities.
+
+A :class:`Row` is an immutable mapping from attribute name to value, bound to
+a :class:`~repro.substrate.relational.schema.Schema`. Every base row carries a
+:class:`TupleId` naming its source relation and position; derived rows are
+produced by the evaluator together with provenance expressions referencing
+these ids (see :mod:`repro.provenance`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Mapping
+
+from ...errors import SchemaError, UnknownAttributeError
+from .schema import Schema
+
+#: Sentinel used for padded attributes in unions (paper Section 4.2 pads with
+#: nulls to homogenize schemas). We use Python ``None`` but expose the name.
+NULL = None
+
+
+@dataclass(frozen=True, order=True)
+class TupleId:
+    """Identity of a base tuple: ``relation`` name plus row ``index``."""
+
+    relation: str
+    index: int
+
+    def __str__(self) -> str:
+        return f"{self.relation}#{self.index}"
+
+
+class Row:
+    """An immutable tuple of values conforming to a schema."""
+
+    __slots__ = ("_schema", "_values")
+
+    def __init__(self, schema: Schema, values: Iterable[Any] | Mapping[str, Any]):
+        if isinstance(values, Mapping):
+            missing = [name for name in schema.names if name not in values]
+            if missing:
+                raise SchemaError(f"row missing values for {missing}")
+            ordered = tuple(values[name] for name in schema.names)
+        else:
+            ordered = tuple(values)
+            if len(ordered) != len(schema):
+                raise SchemaError(
+                    f"row has {len(ordered)} values for {len(schema)}-attribute schema"
+                )
+        self._schema = schema
+        self._values = ordered
+
+    # -- protocol -----------------------------------------------------------
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def values(self) -> tuple[Any, ...]:
+        return self._values
+
+    def __getitem__(self, name: str) -> Any:
+        return self._values[self._schema.position(name)]
+
+    def get(self, name: str, default: Any = None) -> Any:
+        if name not in self._schema:
+            return default
+        return self[name]
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Row)
+            and self._schema.names == other._schema.names
+            and self._values == other._values
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._schema.names, self._values))
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}={value!r}" for name, value in zip(self._schema.names, self._values)
+        )
+        return f"Row({parts})"
+
+    # -- derivations ----------------------------------------------------------
+    def as_dict(self) -> dict[str, Any]:
+        return dict(zip(self._schema.names, self._values))
+
+    def project(self, names: Iterable[str], schema: Schema | None = None) -> "Row":
+        names = list(names)
+        target = schema if schema is not None else self._schema.project(names)
+        return Row(target, [self[name] for name in names])
+
+    def concat(self, other: "Row", schema: Schema) -> "Row":
+        """Concatenate values (caller supplies the combined schema)."""
+        combined = self._values + other._values
+        if len(combined) != len(schema):
+            raise SchemaError(
+                f"concat produced {len(combined)} values for {len(schema)}-attr schema"
+            )
+        return Row(schema, combined)
+
+    def with_value(self, name: str, value: Any) -> "Row":
+        if name not in self._schema:
+            raise UnknownAttributeError(name, self._schema.names)
+        position = self._schema.position(name)
+        values = list(self._values)
+        values[position] = value
+        return Row(self._schema, values)
+
+    def pad_to(self, schema: Schema) -> "Row":
+        """Re-shape onto *schema*, padding unknown attributes with NULL."""
+        return Row(schema, [self.get(name, NULL) for name in schema.names])
+
+    def restricted_equal(self, other: "Row", names: Iterable[str]) -> bool:
+        """Equality restricted to the attributes in *names*."""
+        return all(self.get(name) == other.get(name) for name in names)

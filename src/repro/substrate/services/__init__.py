@@ -1,0 +1,22 @@
+"""Simulated web services with input binding restrictions."""
+
+from .base import FunctionService, Service, TableBackedService
+from .conversion import (
+    EXCHANGE_RATES_USD,
+    UNIT_TO_BASE,
+    make_currency_converter,
+    make_unit_converter,
+)
+from .directory import make_forward_directory, make_reverse_directory
+from .gazetteer import Address, Gazetteer
+from .geocode import PlaceResolver, make_geocoder, make_place_resolver
+from .registry import ServiceRegistry
+from .zipcode import make_city_zip_directory, make_zipcode_resolver
+
+__all__ = [
+    "Address", "EXCHANGE_RATES_USD", "FunctionService", "Gazetteer",
+    "PlaceResolver", "Service", "ServiceRegistry", "TableBackedService",
+    "UNIT_TO_BASE", "make_city_zip_directory", "make_currency_converter",
+    "make_forward_directory", "make_geocoder", "make_place_resolver",
+    "make_reverse_directory", "make_unit_converter", "make_zipcode_resolver",
+]

@@ -1,0 +1,168 @@
+"""Service abstraction: relations with input binding restrictions.
+
+Section 4 of the paper: "Services can be modeled as relations that take
+input parameters (i.e., ... they have input binding restrictions). Predefined
+services include record-linking functions, address resolution, geocoding, and
+currency and unit conversion. We also model Web forms as services that
+require inputs."
+
+A :class:`Service` exposes a schema and a binding pattern; :meth:`invoke`
+takes bound input values and returns the matching output rows. Results are
+deterministic, and may contain *multiple* rows when the lookup is ambiguous —
+the paper's geocoding example ("the shelter name may be ambiguous and might
+return multiple answers").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from ...errors import BindingError, ServiceError
+from ..relational.rows import TupleId
+from ..relational.schema import BindingPattern, Schema
+
+
+class Service:
+    """Abstract simulated web service / Web form."""
+
+    def __init__(self, name: str, schema: Schema, binding: BindingPattern, cost: float = 1.0):
+        binding.validate(schema)
+        if binding.is_free:
+            raise ServiceError(f"service {name!r} must declare at least one input binding")
+        self.name = name
+        self.schema = schema
+        self.binding = binding
+        #: Default invocation cost used when the source graph seeds edge weights.
+        self.cost = cost
+        self._call_count = 0
+        # Interning table assigning stable TupleIds to distinct results, so
+        # provenance over service outputs is well-defined and repeatable.
+        self._result_ids: dict[tuple[Any, ...], TupleId] = {}
+
+    # -- public API ------------------------------------------------------------
+    @property
+    def input_names(self) -> tuple[str, ...]:
+        return self.binding.inputs
+
+    @property
+    def output_names(self) -> tuple[str, ...]:
+        return tuple(name for name in self.schema.names if name not in self.binding.inputs)
+
+    @property
+    def call_count(self) -> int:
+        """Number of :meth:`invoke` calls made (used by latency accounting)."""
+        return self._call_count
+
+    def invoke(self, inputs: Mapping[str, Any]) -> list[dict[str, Any]]:
+        """Invoke the service with *inputs* bound.
+
+        Returns a list of full-schema row dicts (inputs echoed + outputs).
+        An empty list means the lookup failed — the dependent join treats
+        that as "no match" rather than an error.
+        """
+        self.binding.check_bound(inputs.keys())
+        self._call_count += 1
+        results = self._lookup({name: inputs[name] for name in self.binding.inputs})
+        rows: list[dict[str, Any]] = []
+        for result in results:
+            row = {name: inputs[name] for name in self.binding.inputs}
+            for name in self.output_names:
+                if name not in result:
+                    raise ServiceError(
+                        f"service {self.name!r} result missing output {name!r}"
+                    )
+                row[name] = result[name]
+            rows.append(row)
+        return rows
+
+    def result_tuple_id(self, row: Mapping[str, Any]) -> TupleId:
+        """Stable provenance id for a full-schema result *row*."""
+        key = tuple(row[name] for name in self.schema.names)
+        if key not in self._result_ids:
+            self._result_ids[key] = TupleId(self.name, len(self._result_ids))
+        return self._result_ids[key]
+
+    # -- subclass hook --------------------------------------------------------
+    def _lookup(self, inputs: Mapping[str, Any]) -> Sequence[Mapping[str, Any]]:
+        """Produce output rows (dicts over :attr:`output_names`) for *inputs*."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, {self.binding})"
+
+
+class TableBackedService(Service):
+    """A service implemented as an exact-match lookup into a fixed table.
+
+    Rows are full-schema dicts. ``invoke`` matches on the binding inputs with
+    optional value normalization (case-insensitive string compare by
+    default), modeling form-backed sites and resolver services.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        binding: BindingPattern,
+        table: Sequence[Mapping[str, Any]],
+        cost: float = 1.0,
+        normalize_keys: bool = True,
+    ):
+        super().__init__(name, schema, binding, cost=cost)
+        self._normalize = normalize_keys
+        self._index: dict[tuple[Any, ...], list[dict[str, Any]]] = {}
+        for raw in table:
+            missing = [name for name in schema.names if name not in raw]
+            if missing:
+                raise ServiceError(f"service {name!r} table row missing {missing}")
+            row = {attr: raw[attr] for attr in schema.names}
+            key = self._key(row)
+            self._index.setdefault(key, []).append(row)
+
+    def _normalize_value(self, value: Any) -> Any:
+        if self._normalize and isinstance(value, str):
+            return value.strip().lower()
+        return value
+
+    def _key(self, values: Mapping[str, Any]) -> tuple[Any, ...]:
+        return tuple(self._normalize_value(values[name]) for name in self.binding.inputs)
+
+    def _lookup(self, inputs: Mapping[str, Any]) -> Sequence[Mapping[str, Any]]:
+        try:
+            key = self._key(inputs)
+        except KeyError as exc:
+            raise BindingError(f"missing bound input: {exc}") from None
+        return [
+            {name: row[name] for name in self.output_names}
+            for row in self._index.get(key, [])
+        ]
+
+    def all_rows(self) -> list[dict[str, Any]]:
+        """Every row in the backing table (used by source-description learning)."""
+        out: list[dict[str, Any]] = []
+        for rows in self._index.values():
+            out.extend(dict(row) for row in rows)
+        return out
+
+
+class FunctionService(Service):
+    """A service implemented by a pure Python function over the inputs."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        binding: BindingPattern,
+        fn,
+        cost: float = 1.0,
+    ):
+        super().__init__(name, schema, binding, cost=cost)
+        self._fn = fn
+
+    def _lookup(self, inputs: Mapping[str, Any]) -> Sequence[Mapping[str, Any]]:
+        result = self._fn(**inputs)
+        if result is None:
+            return []
+        if isinstance(result, Mapping):
+            return [result]
+        return list(result)

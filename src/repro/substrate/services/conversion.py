@@ -1,0 +1,106 @@
+"""Currency and unit conversion services.
+
+Section 4: "Predefined services include ... currency and unit conversion."
+And the demo plan (Section 8): "including joins, unions, and unit
+conversion." These are :class:`FunctionService`s — pure computations with
+binding restrictions, exercising the non-lookup service path.
+"""
+
+from __future__ import annotations
+
+from ..relational.schema import CURRENCY, NUMBER, TEXT, Attribute, BindingPattern, Schema
+from .base import FunctionService
+
+#: Fixed exchange rates (USD per unit), frozen for reproducibility. Rates are
+#: era-appropriate (late 2008) but their exact values are immaterial.
+EXCHANGE_RATES_USD = {
+    "USD": 1.0,
+    "EUR": 1.39,
+    "GBP": 1.47,
+    "CAD": 0.82,
+    "JPY": 0.0110,
+    "MXN": 0.073,
+}
+
+#: Linear length/weight/volume conversions to a base unit.
+UNIT_TO_BASE = {
+    # length (base: meter)
+    "m": ("length", 1.0),
+    "km": ("length", 1000.0),
+    "mi": ("length", 1609.344),
+    "ft": ("length", 0.3048),
+    "yd": ("length", 0.9144),
+    # weight (base: kilogram)
+    "kg": ("weight", 1.0),
+    "lb": ("weight", 0.45359237),
+    "oz": ("weight", 0.028349523),
+    "ton": ("weight", 907.18474),
+    # volume (base: liter)
+    "l": ("volume", 1.0),
+    "gal": ("volume", 3.785411784),
+    "qt": ("volume", 0.946352946),
+}
+
+
+def _convert_currency(Amount, From, To):
+    try:
+        amount = float(Amount)
+    except (TypeError, ValueError):
+        return []
+    rates = EXCHANGE_RATES_USD
+    src, dst = str(From).upper(), str(To).upper()
+    if src not in rates or dst not in rates:
+        return []
+    converted = amount * rates[src] / rates[dst]
+    return [{"Converted": round(converted, 4)}]
+
+
+def make_currency_converter(name: str = "CurrencyConverter") -> FunctionService:
+    """(Amount, From, To) → Converted using frozen exchange rates."""
+    schema = Schema(
+        [
+            Attribute("Amount", CURRENCY),
+            Attribute("From", TEXT),
+            Attribute("To", TEXT),
+            Attribute("Converted", CURRENCY),
+        ]
+    )
+    return FunctionService(
+        name=name,
+        schema=schema,
+        binding=BindingPattern(inputs=("Amount", "From", "To")),
+        fn=_convert_currency,
+        cost=1.0,
+    )
+
+
+def _convert_unit(Value, From, To):
+    try:
+        value = float(Value)
+    except (TypeError, ValueError):
+        return []
+    src = UNIT_TO_BASE.get(str(From).lower())
+    dst = UNIT_TO_BASE.get(str(To).lower())
+    if src is None or dst is None or src[0] != dst[0]:
+        return []
+    converted = value * src[1] / dst[1]
+    return [{"Converted": round(converted, 6)}]
+
+
+def make_unit_converter(name: str = "UnitConverter") -> FunctionService:
+    """(Value, From, To) → Converted across length/weight/volume units."""
+    schema = Schema(
+        [
+            Attribute("Value", NUMBER),
+            Attribute("From", TEXT),
+            Attribute("To", TEXT),
+            Attribute("Converted", NUMBER),
+        ]
+    )
+    return FunctionService(
+        name=name,
+        schema=schema,
+        binding=BindingPattern(inputs=("Value", "From", "To")),
+        fn=_convert_unit,
+        cost=1.0,
+    )

@@ -1,0 +1,47 @@
+"""Phone directory services.
+
+Section 2.3 (model learner): "a phone number might be looked up in a reverse
+directory to find a person". Forward (Name → Phone) and reverse
+(Phone → Name) directories over the same contact list, so the source
+description learner can discover that one is the inverse of the other.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..relational.schema import NAME, PHONE, Attribute, BindingPattern, Schema
+from .base import TableBackedService
+
+REVERSE_DIRECTORY_NAME = "ReverseDirectory"
+FORWARD_DIRECTORY_NAME = "PhoneDirectory"
+
+
+def make_reverse_directory(
+    contacts: Sequence[Mapping[str, str]], name: str = REVERSE_DIRECTORY_NAME
+) -> TableBackedService:
+    """Phone → Name lookup. *contacts* rows need ``Name`` and ``Phone``."""
+    schema = Schema([Attribute("Phone", PHONE), Attribute("Name", NAME)])
+    table = [{"Phone": row["Phone"], "Name": row["Name"]} for row in contacts]
+    return TableBackedService(
+        name=name,
+        schema=schema,
+        binding=BindingPattern(inputs=("Phone",)),
+        table=table,
+        cost=1.0,
+    )
+
+
+def make_forward_directory(
+    contacts: Sequence[Mapping[str, str]], name: str = FORWARD_DIRECTORY_NAME
+) -> TableBackedService:
+    """Name → Phone lookup over the same contacts."""
+    schema = Schema([Attribute("Name", NAME), Attribute("Phone", PHONE)])
+    table = [{"Name": row["Name"], "Phone": row["Phone"]} for row in contacts]
+    return TableBackedService(
+        name=name,
+        schema=schema,
+        binding=BindingPattern(inputs=("Name",)),
+        table=table,
+        cost=1.0,
+    )

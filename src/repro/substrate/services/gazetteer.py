@@ -1,0 +1,114 @@
+"""Synthetic gazetteer: the geography all location services agree on.
+
+The paper's services (zip-code resolver, geocoder, address resolution) are
+all views over one underlying world. Generating that world once — addresses
+with street, city, state, zip, latitude, longitude — guarantees the
+simulated services are mutually consistent, which the model learner's
+*functional source description* component relies on ("compares the inputs
+and outputs of the new source to the existing sources", Section 3.2).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ...data.names import SEED_CITIES, generated_city_names, street_address
+from ...util.rng import derive_rng, make_rng
+
+
+@dataclass(frozen=True)
+class Address:
+    """One gazetteer entry."""
+
+    street: str
+    city: str
+    state: str
+    zip: str
+    lat: float
+    lon: float
+
+    def key(self) -> tuple[str, str]:
+        return (self.street.lower(), self.city.lower())
+
+
+class Gazetteer:
+    """A deterministic synthetic world of addresses around Broward County."""
+
+    STATE = "FL"
+
+    def __init__(
+        self,
+        n_cities: int = 12,
+        streets_per_city: int = 40,
+        seed: int | random.Random | None = None,
+    ):
+        rng = make_rng(seed)
+        extra_needed = max(0, n_cities - len(SEED_CITIES))
+        self.cities: list[str] = list(SEED_CITIES[:n_cities]) + generated_city_names(
+            extra_needed, derive_rng(rng, "cities")
+        )
+        self._zip_by_city: dict[str, list[str]] = {}
+        self._addresses: list[Address] = []
+        self._by_key: dict[tuple[str, str], Address] = {}
+
+        zip_rng = derive_rng(rng, "zips")
+        next_zip = 33060
+        for city in self.cities:
+            count = zip_rng.randint(1, 3)
+            zips = []
+            for _ in range(count):
+                zips.append(f"{next_zip:05d}")
+                next_zip += zip_rng.randint(1, 4)
+            self._zip_by_city[city] = zips
+
+        addr_rng = derive_rng(rng, "addresses")
+        for city_index, city in enumerate(self.cities):
+            # Anchor each city at a distinct lat/lon cell near (26.2, -80.2).
+            base_lat = 26.0 + 0.05 * (city_index % 7) + 0.01 * (city_index // 7)
+            base_lon = -80.3 + 0.04 * (city_index % 5) + 0.015 * (city_index // 5)
+            streets_seen: set[str] = set()
+            while len(streets_seen) < streets_per_city:
+                street = street_address(addr_rng)
+                if street in streets_seen:
+                    continue
+                streets_seen.add(street)
+                address = Address(
+                    street=street,
+                    city=city,
+                    state=self.STATE,
+                    zip=addr_rng.choice(self._zip_by_city[city]),
+                    lat=round(base_lat + addr_rng.uniform(-0.02, 0.02), 6),
+                    lon=round(base_lon + addr_rng.uniform(-0.02, 0.02), 6),
+                )
+                self._addresses.append(address)
+                self._by_key[address.key()] = address
+
+    # -- lookups ------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._addresses)
+
+    @property
+    def addresses(self) -> list[Address]:
+        return list(self._addresses)
+
+    def lookup(self, street: str, city: str) -> Address | None:
+        return self._by_key.get((street.strip().lower(), city.strip().lower()))
+
+    def zips_for_city(self, city: str) -> list[str]:
+        return list(self._zip_by_city.get(city, []))
+
+    def addresses_in(self, city: str) -> list[Address]:
+        return [address for address in self._addresses if address.city == city]
+
+    def sample(self, count: int, seed: int | random.Random | None = None, cities: list[str] | None = None) -> list[Address]:
+        """Sample *count* distinct addresses (optionally restricted by city)."""
+        rng = make_rng(seed)
+        pool = (
+            [a for a in self._addresses if a.city in set(cities)]
+            if cities is not None
+            else list(self._addresses)
+        )
+        if count > len(pool):
+            raise ValueError(f"cannot sample {count} from {len(pool)} addresses")
+        return rng.sample(pool, count)

@@ -1,0 +1,65 @@
+"""The zip-code resolver service of Figure 2.
+
+"CopyCat has existing knowledge of several data sources and Web services,
+including a zip code resolver that uses Google Maps to find zip codes using
+address information." (Section 2.1). Modeled as a bound relation
+``ZipcodeResolver(Street^, City^, Zip)`` over the gazetteer.
+"""
+
+from __future__ import annotations
+
+from ..relational.schema import (
+    CITY,
+    STREET,
+    ZIPCODE,
+    Attribute,
+    BindingPattern,
+    Schema,
+)
+from .base import TableBackedService
+from .gazetteer import Gazetteer
+
+ZIP_RESOLVER_NAME = "ZipcodeResolver"
+
+
+def make_zipcode_resolver(gazetteer: Gazetteer, name: str = ZIP_RESOLVER_NAME) -> TableBackedService:
+    """Build the (Street, City) → Zip resolver from the gazetteer."""
+    schema = Schema(
+        [
+            Attribute("Street", STREET),
+            Attribute("City", CITY),
+            Attribute("Zip", ZIPCODE),
+        ]
+    )
+    table = [
+        {"Street": address.street, "City": address.city, "Zip": address.zip}
+        for address in gazetteer.addresses
+    ]
+    return TableBackedService(
+        name=name,
+        schema=schema,
+        binding=BindingPattern(inputs=("Street", "City")),
+        table=table,
+        cost=1.0,
+    )
+
+
+def make_city_zip_directory(gazetteer: Gazetteer, name: str = "CityZipDirectory") -> TableBackedService:
+    """A coarser resolver: City → all of its Zip codes (ambiguous outputs).
+
+    Used to exercise the "multiple answers" path: a city with several zip
+    codes returns several rows, and the user must disambiguate.
+    """
+    schema = Schema([Attribute("City", CITY), Attribute("Zip", ZIPCODE)])
+    table = [
+        {"City": city, "Zip": zip_code}
+        for city in gazetteer.cities
+        for zip_code in gazetteer.zips_for_city(city)
+    ]
+    return TableBackedService(
+        name=name,
+        schema=schema,
+        binding=BindingPattern(inputs=("City",)),
+        table=table,
+        cost=1.5,
+    )

@@ -1,0 +1,1 @@
+"""Shared utilities: deterministic RNG, tokenization, string similarity."""

@@ -1,0 +1,141 @@
+"""String similarity measures used by the record linker.
+
+Pure-Python implementations of the classic measures the paper's record
+linking component combines ("the best combination of heuristics", Section 1):
+Levenshtein distance/ratio, Jaro and Jaro-Winkler similarity, token Jaccard,
+and character n-gram (Dice) similarity. All similarities are in [0, 1] with
+1 meaning identical.
+"""
+
+from __future__ import annotations
+
+from .text import normalize, token_strings
+
+
+def levenshtein(a: str, b: str) -> int:
+    """Edit distance between *a* and *b* (insert/delete/substitute, cost 1)."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, char_a in enumerate(a, start=1):
+        current = [i]
+        for j, char_b in enumerate(b, start=1):
+            cost = 0 if char_a == char_b else 1
+            current.append(min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost))
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_ratio(a: str, b: str) -> float:
+    """Similarity derived from edit distance: ``1 - dist / max_len``."""
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 1.0
+    return 1.0 - levenshtein(a, b) / longest
+
+
+def jaro(a: str, b: str) -> float:
+    """Jaro similarity: transposition-aware matching within a sliding window."""
+    if a == b:
+        return 1.0
+    len_a, len_b = len(a), len(b)
+    if len_a == 0 or len_b == 0:
+        return 0.0
+    window = max(len_a, len_b) // 2 - 1
+    window = max(window, 0)
+    matched_a = [False] * len_a
+    matched_b = [False] * len_b
+    matches = 0
+    for i, char in enumerate(a):
+        lo = max(0, i - window)
+        hi = min(len_b, i + window + 1)
+        for j in range(lo, hi):
+            if not matched_b[j] and b[j] == char:
+                matched_a[i] = True
+                matched_b[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    j = 0
+    for i in range(len_a):
+        if matched_a[i]:
+            while not matched_b[j]:
+                j += 1
+            if a[i] != b[j]:
+                transpositions += 1
+            j += 1
+    transpositions //= 2
+    return (
+        matches / len_a + matches / len_b + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def jaro_winkler(a: str, b: str, prefix_scale: float = 0.1) -> float:
+    """Jaro-Winkler: Jaro boosted by the length of the common prefix (≤4)."""
+    base = jaro(a, b)
+    prefix = 0
+    for char_a, char_b in zip(a, b):
+        if char_a != char_b or prefix == 4:
+            break
+        prefix += 1
+    return base + prefix * prefix_scale * (1.0 - base)
+
+
+def token_jaccard(a: str, b: str) -> float:
+    """Jaccard similarity over normalized token sets."""
+    tokens_a = {token.lower() for token in token_strings(a)}
+    tokens_b = {token.lower() for token in token_strings(b)}
+    if not tokens_a and not tokens_b:
+        return 1.0
+    if not tokens_a or not tokens_b:
+        return 0.0
+    return len(tokens_a & tokens_b) / len(tokens_a | tokens_b)
+
+
+def ngrams(value: str, n: int = 2) -> list[str]:
+    """Character n-grams of the normalized string (padded with spaces)."""
+    padded = f" {normalize(value)} "
+    if len(padded) < n:
+        return [padded]
+    return [padded[i : i + n] for i in range(len(padded) - n + 1)]
+
+
+def ngram_dice(a: str, b: str, n: int = 2) -> float:
+    """Dice coefficient over character n-gram multisets."""
+    grams_a = ngrams(a, n)
+    grams_b = ngrams(b, n)
+    if not grams_a and not grams_b:
+        return 1.0
+    counts: dict[str, int] = {}
+    for gram in grams_a:
+        counts[gram] = counts.get(gram, 0) + 1
+    overlap = 0
+    for gram in grams_b:
+        remaining = counts.get(gram, 0)
+        if remaining:
+            counts[gram] = remaining - 1
+            overlap += 1
+    return 2.0 * overlap / (len(grams_a) + len(grams_b))
+
+
+def longest_common_prefix(a: str, b: str) -> int:
+    """Length of the common prefix of *a* and *b*."""
+    count = 0
+    for char_a, char_b in zip(a, b):
+        if char_a != char_b:
+            break
+        count += 1
+    return count
+
+
+def longest_common_suffix(a: str, b: str) -> int:
+    """Length of the common suffix of *a* and *b*."""
+    return longest_common_prefix(a[::-1], b[::-1])

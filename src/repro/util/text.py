@@ -1,0 +1,73 @@
+"""Text utilities shared by the learners.
+
+The model learner's pattern language (Section 3.2 of the paper) works over a
+tokenization of field values; the structure learner and record linker need
+normalized forms of the same strings. Centralizing tokenization keeps all
+components consistent about what a "token" is.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<number>\d+(?:\.\d+)?)      # integers or decimals
+  | (?P<word>[A-Za-z]+)            # alphabetic runs
+  | (?P<space>\s+)                 # whitespace
+  | (?P<punct>[^\w\s])             # single punctuation character
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token: its surface *text* and coarse *kind*.
+
+    Kinds are ``number``, ``word``, ``space``, and ``punct`` — the alphabet
+    the generalized-token patterns in :mod:`repro.learning.model` refine.
+    """
+
+    text: str
+    kind: str
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.kind}:{self.text!r}"
+
+
+def tokenize(value: str, keep_space: bool = False) -> list[Token]:
+    """Tokenize *value* into :class:`Token` objects.
+
+    Whitespace tokens are dropped unless *keep_space* is true; the pattern
+    language treats attribute values as space-separated token sequences.
+    """
+    tokens: list[Token] = []
+    for match in _TOKEN_RE.finditer(value):
+        kind = match.lastgroup or "punct"
+        if kind == "space" and not keep_space:
+            continue
+        tokens.append(Token(match.group(), kind))
+    return tokens
+
+
+def normalize(value: str) -> str:
+    """Lowercase, collapse whitespace, and strip punctuation-adjacent space."""
+    collapsed = re.sub(r"\s+", " ", value.strip())
+    return collapsed.lower()
+
+
+def token_strings(value: str) -> list[str]:
+    """Return just the token surface strings for *value* (no whitespace)."""
+    return [token.text for token in tokenize(value)]
+
+
+def title_case(value: str) -> str:
+    """Title-case words while leaving digits and punctuation untouched."""
+    return re.sub(r"[A-Za-z]+", lambda m: m.group().capitalize(), value)
+
+
+def is_numeric(value: str) -> bool:
+    """True when the whole string is a single (possibly decimal) number."""
+    return bool(re.fullmatch(r"\s*-?\d+(?:\.\d+)?\s*", value))

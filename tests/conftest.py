@@ -1,0 +1,30 @@
+"""Shared fixtures: one scenario and one seeded type learner per session.
+
+Both are deterministic; tests that mutate state build their own instances.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.scenario import Scenario, build_scenario
+from repro.learning.model.seed import seed_type_learner
+from repro.learning.model.type_learner import SemanticTypeLearner
+
+
+@pytest.fixture(scope="session")
+def scenario() -> Scenario:
+    """A mid-sized hurricane-relief world (read-only across tests)."""
+    return build_scenario(seed=5, n_shelters=10, noise=1)
+
+
+@pytest.fixture(scope="session")
+def trained_types() -> SemanticTypeLearner:
+    """Type learner trained on a *different* world than the scenario's."""
+    return seed_type_learner(seed=1)
+
+
+@pytest.fixture()
+def fresh_scenario() -> Scenario:
+    """A scenario safe to mutate (catalog changes, feedback, etc.)."""
+    return build_scenario(seed=5, n_shelters=10, noise=1)

@@ -1,0 +1,291 @@
+"""Tests for the Section-5 extension features: tuple-level feedback with
+source-trust cooperation, union queries, workspace undo, and aggregation
+over the integrated table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CopyCatSession, build_scenario
+from repro.core.workspace import CellState
+from repro.errors import FeedbackError
+from repro.substrate.documents import Browser
+from repro.substrate.relational import AggSpec, GroupBy, Scan
+
+from .test_session import import_shelters, listing_rows
+
+
+@pytest.fixture()
+def integration_env():
+    scenario = build_scenario(seed=5, n_shelters=10, noise=1)
+    session = CopyCatSession(catalog=scenario.catalog, seed=1)
+    browser = Browser(session.clipboard, scenario.website)
+    browser.navigate(scenario.list_urls()[0])
+    import_shelters(scenario, session, browser)
+    session.start_integration("Shelters")
+    return scenario, session
+
+
+class TestTupleFeedback:
+    def test_demote_reduces_trust(self, integration_env):
+        _, session = integration_env
+        before = session.catalog.metadata("Shelters").trust
+        touched = session.demote_row(0)
+        assert "Shelters" in touched
+        assert session.catalog.metadata("Shelters").trust < before
+
+    def test_promote_raises_trust(self, integration_env):
+        _, session = integration_env
+        session.demote_row(0)
+        lowered = session.catalog.metadata("Shelters").trust
+        session.promote_row(0)
+        assert session.catalog.metadata("Shelters").trust > lowered
+
+    def test_trust_clamped_to_bounds(self, integration_env):
+        _, session = integration_env
+        for _ in range(40):
+            session.demote_row(0)
+        assert session.catalog.metadata("Shelters").trust >= 0.05
+        for _ in range(60):
+            session.promote_row(0)
+        assert session.catalog.metadata("Shelters").trust <= 1.0
+
+    def test_distrust_base_rows_reaches_source_learner(self, integration_env):
+        """§5 'Feedback interaction': demoting a tuple marks its base rows
+        distrusted, and every later scan (hence every later suggestion)
+        skips them — integration-mode feedback reaching the source side."""
+        scenario, session = integration_env
+        table = session.workspace.tab(session.OUTPUT_TAB)
+        demoted_name = table.cell(0, 0).value
+        session.demote_row(0, distrust_base_rows=True)
+        notes = session.catalog.metadata("Shelters").notes
+        assert notes.get("distrusted_rows")
+        result = session.engine.run(Scan("Shelters"))
+        names = {row["Name"] for row in result.plain_rows()}
+        assert demoted_name not in names
+        assert len(names) == len(scenario.shelters) - 1
+
+    def test_distrusted_rows_vanish_from_new_suggestions(self, integration_env):
+        _, session = integration_env
+        session.demote_row(0, distrust_base_rows=True)
+        suggestions = session.column_suggestions(k=5, refresh=True)
+        zip_suggestion = next(
+            s for s in suggestions if "Zip" in s.attribute_names
+        )
+        # values still align with the 10 workspace rows, but the demoted
+        # row's lookup comes back empty (its base tuple is gone).
+        assert zip_suggestion.values[0] == (None,)
+        assert zip_suggestion.coverage < 1.0
+
+    def test_feedback_without_provenance_errors(self):
+        scenario = build_scenario(seed=5, n_shelters=4, noise=0)
+        session = CopyCatSession(catalog=scenario.catalog, seed=1)
+        session.workspace.new_tab(session.OUTPUT_TAB)
+        session.workspace.tab(session.OUTPUT_TAB).append_row(["x"])
+        with pytest.raises(FeedbackError):
+            session.demote_row(0)
+
+
+class TestUnionQueries:
+    def test_union_pads_schemas(self, integration_env):
+        scenario, session = integration_env
+        tab = session.union_sources(["DamageReports", "RoadConditions"], tab="Unioned")
+        table = session.workspace.tab(tab)
+        names = [c.name for c in table.columns]
+        assert names == ["City", "Damage", "RoadStatus"]
+        n_cities = len(scenario.gazetteer.cities)
+        assert table.n_rows == 2 * n_cities
+        padded = sum(
+            1 for i in range(table.n_rows) if table.cell(i, 1).value is None
+        )
+        assert padded == n_cities  # RoadConditions rows have no Damage
+
+    def test_union_needs_two_sources(self, integration_env):
+        _, session = integration_env
+        with pytest.raises(FeedbackError):
+            session.union_sources(["DamageReports"])
+
+    def test_union_rows_carry_provenance(self, integration_env):
+        _, session = integration_env
+        session.union_sources(["DamageReports", "RoadConditions"], tab="U2")
+        assert len(session._row_provenance) > 0
+        relations = {
+            tid.relation
+            for prov in session._row_provenance
+            for tid in prov.variables()
+        }
+        assert relations == {"DamageReports", "RoadConditions"}
+
+
+class TestUndo:
+    def test_undo_restores_before_paste(self):
+        scenario = build_scenario(seed=5, n_shelters=6, noise=1)
+        session = CopyCatSession(catalog=scenario.catalog, seed=1)
+        browser = Browser(session.clipboard, scenario.website)
+        browser.navigate(scenario.list_urls()[0])
+        rows = listing_rows(browser)
+        browser.copy_record(rows[0], "Shelters")
+        session.paste()
+        assert session.workspace.has_tab("Shelters")
+        assert session.undo()
+        assert not session.workspace.has_tab("Shelters")
+
+    def test_undo_restores_suggestions_after_accept(self):
+        scenario = build_scenario(seed=5, n_shelters=6, noise=1)
+        session = CopyCatSession(catalog=scenario.catalog, seed=1)
+        browser = Browser(session.clipboard, scenario.website)
+        browser.navigate(scenario.list_urls()[0])
+        rows = listing_rows(browser)
+        browser.copy_record(rows[0], "Shelters")
+        session.paste()
+        table = session.workspace.tab("Shelters")
+        n_suggested = len(table.suggested_row_indices())
+        assert n_suggested > 0
+        session.accept_row_suggestions()
+        assert not session.workspace.tab("Shelters").suggested_row_indices()
+        assert session.undo()
+        assert (
+            len(session.workspace.tab("Shelters").suggested_row_indices())
+            == n_suggested
+        )
+
+    def test_undo_empty_stack(self):
+        session = CopyCatSession(seed=1)
+        assert not session.undo()
+
+    def test_undo_stack_bounded(self):
+        from repro.core.workspace import Workspace
+
+        ws = Workspace()
+        ws.new_tab("T")
+        for _ in range(Workspace.MAX_UNDO + 10):
+            ws.checkpoint()
+        assert len(ws._undo_stack) == Workspace.MAX_UNDO
+
+
+class TestAggregationOverIntegration:
+    def test_shelters_per_city(self, integration_env):
+        scenario, session = integration_env
+        plan = GroupBy(
+            Scan("Shelters"),
+            keys=("City",),
+            aggregates=(AggSpec("count", "Name", "Shelters"),),
+        )
+        result = session.engine.run(plan)
+        total = sum(row["Shelters"] for row in result.plain_rows())
+        assert total == len(scenario.shelters)
+
+    def test_aggregate_provenance_supports_explanation(self, integration_env):
+        _, session = integration_env
+        plan = GroupBy(
+            Scan("Shelters"),
+            keys=("City",),
+            aggregates=(AggSpec("count", "Name", "N"),),
+        )
+        result = session.engine.run(plan)
+        row, prov = result.rows[0]
+        explanation = session.engine.explain_row(prov, plan)
+        assert explanation.derivations
+        assert all(
+            contribution.source == "Shelters"
+            for derivation in explanation.derivations
+            for contribution in derivation.contributions
+        )
+
+
+class TestAlternativeExplanations:
+    """Section 8: tuples produced by more than one query render every
+    derivation in the explanation pane."""
+
+    def test_union_of_two_zip_routes_shows_both_derivations(self, integration_env):
+        scenario, session = integration_env
+        from repro.learning.integration import extend_query
+        from repro.substrate.relational import Project, Union
+
+        learner = session.integration_learner
+        base = learner.base_query("Shelters")
+        zip_edge = next(
+            e for e in learner.graph.edges_of("Shelters")
+            if e.kind == "service" and e.other("Shelters") == "ZipcodeResolver"
+        )
+        directory_edge = next(
+            e for e in learner.graph.edges_of("Shelters")
+            if e.kind == "service" and e.other("Shelters") == "CityZipDirectory"
+        )
+        via_resolver = extend_query(base, zip_edge, session.catalog, learner.graph)
+        via_directory = extend_query(base, directory_edge, session.catalog, learner.graph)
+        names = ("Name", "City", "Zip")
+        union = Union((
+            Project(via_resolver.plan, names),
+            Project(via_directory.plan, names),
+        ))
+        result = session.engine.run(union)
+        # Tuples whose zip both routes agree on have two derivations.
+        multi = [
+            (row, prov) for row, prov in result.rows
+            if len(prov.derivations()) >= 2
+        ]
+        assert multi, "expected at least one doubly-derived tuple"
+        explanation = session.engine.explain_row(multi[0][1], union)
+        assert explanation.alternative_count >= 2
+        rendered = explanation.render()
+        assert "Derivation 1 of" in rendered
+        assert "ZipcodeResolver" in rendered and "CityZipDirectory" in rendered
+
+
+class TestMediatedViews:
+    """Section 1: the workspace can be 'persistently saved as an integrated,
+    mediated view of the data'."""
+
+    def accept_zip(self, session):
+        suggestions = session.column_suggestions(k=8)
+        index = next(
+            i for i, s in enumerate(suggestions)
+            if "Zip" in s.attribute_names and s.source == "ZipcodeResolver"
+        )
+        session.accept_column(index)
+
+    def test_save_view_materializes_into_catalog(self, integration_env):
+        scenario, session = integration_env
+        self.accept_zip(session)
+        relation = session.save_view("SheltersWithZip")
+        assert "SheltersWithZip" in session.catalog.relation_names()
+        assert relation.schema.names == ("Name", "Street", "City", "Zip")
+        assert len(relation) == len(scenario.shelters)
+        assert session.catalog.metadata("SheltersWithZip").origin == "view"
+        assert session.view_names() == ["SheltersWithZip"]
+
+    def test_view_participates_in_future_integration(self, integration_env):
+        _, session = integration_env
+        self.accept_zip(session)
+        session.save_view("SheltersWithZip")
+        # The view is now a graph node other queries can join against.
+        assert session.integration_learner.graph.has_node("SheltersWithZip")
+
+    def test_refresh_view_picks_up_source_changes(self, integration_env):
+        scenario, session = integration_env
+        self.accept_zip(session)
+        session.save_view("SheltersWithZip")
+        # A new shelter appears in the underlying source...
+        extra = scenario.gazetteer.addresses_in(scenario.shelters[0].address.city)[-1]
+        session.catalog.relation("Shelters").add(
+            ["Brand New Shelter", extra.street, extra.city]
+        )
+        refreshed = session.refresh_view("SheltersWithZip")
+        names = {row["Name"] for row in (r.as_dict() for r in refreshed)}
+        assert "Brand New Shelter" in names
+        assert len(refreshed) == len(scenario.shelters) + 1
+
+    def test_unknown_view(self, integration_env):
+        _, session = integration_env
+        with pytest.raises(FeedbackError):
+            session.refresh_view("Nope")
+        with pytest.raises(FeedbackError):
+            session.view_definition("Nope")
+
+    def test_view_definition_describes_query(self, integration_env):
+        _, session = integration_env
+        self.accept_zip(session)
+        session.save_view("V")
+        definition = session.view_definition("V")
+        assert "ZipcodeResolver" in definition.describe()

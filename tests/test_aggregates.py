@@ -1,0 +1,121 @@
+"""Tests for grouping and aggregation (§5 'Complex functions')."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.provenance.expressions import Times
+from repro.substrate.relational import (
+    AggSpec,
+    Catalog,
+    Evaluator,
+    GroupBy,
+    Relation,
+    Scan,
+    Select,
+    eq,
+    schema_of,
+)
+
+
+@pytest.fixture()
+def catalog():
+    cat = Catalog()
+    rel = Relation("Shelters", schema_of("City", "Beds", "Open"))
+    rel.extend(
+        [
+            ["Creek", 120, "yes"],
+            ["Creek", 80, "yes"],
+            ["Park", 60, "no"],
+            ["Park", None, "yes"],
+            ["Lauderdale", 200, "yes"],
+        ]
+    )
+    cat.add_relation(rel)
+    return cat
+
+
+class TestGroupBy:
+    def test_grouped_sum_and_count(self, catalog):
+        plan = GroupBy(
+            Scan("Shelters"),
+            keys=("City",),
+            aggregates=(AggSpec("sum", "Beds", "TotalBeds"), AggSpec("count", "Beds", "N")),
+        )
+        result = Evaluator(catalog).run(plan)
+        by_city = {row["City"]: row for row in result.plain_rows()}
+        assert by_city["Creek"]["TotalBeds"] == 200
+        assert by_city["Creek"]["N"] == 2
+        assert by_city["Park"]["TotalBeds"] == 60
+        assert by_city["Park"]["N"] == 1  # None not counted
+
+    def test_global_aggregation(self, catalog):
+        plan = GroupBy(Scan("Shelters"), keys=(), aggregates=(AggSpec("max", "Beds", "MaxBeds"),))
+        result = Evaluator(catalog).run(plan)
+        assert len(result) == 1
+        assert result.plain_rows()[0]["MaxBeds"] == 200
+
+    def test_avg_and_min(self, catalog):
+        plan = GroupBy(
+            Scan("Shelters"),
+            keys=("City",),
+            aggregates=(AggSpec("avg", "Beds", "Avg"), AggSpec("min", "Beds", "Min")),
+        )
+        by_city = {row["City"]: row for row in Evaluator(catalog).run(plan).plain_rows()}
+        assert by_city["Creek"]["Avg"] == pytest.approx(100.0)
+        assert by_city["Creek"]["Min"] == 80
+
+    def test_count_distinct(self, catalog):
+        plan = GroupBy(
+            Scan("Shelters"), keys=(), aggregates=(AggSpec("count_distinct", "City", "Cities"),)
+        )
+        assert Evaluator(catalog).run(plan).plain_rows()[0]["Cities"] == 3
+
+    def test_empty_group_values(self, catalog):
+        plan = GroupBy(
+            Select(Scan("Shelters"), eq("City", "Park")),
+            keys=("City",),
+            aggregates=(AggSpec("sum", "Beds", "S"), AggSpec("avg", "Beds", "A")),
+        )
+        row = Evaluator(catalog).run(plan).plain_rows()[0]
+        assert row["S"] == 60 and row["A"] == 60
+
+    def test_provenance_is_group_product(self, catalog):
+        plan = GroupBy(Scan("Shelters"), keys=("City",), aggregates=(AggSpec("count", "Beds", "N"),))
+        result = Evaluator(catalog).run(plan)
+        creek_row = next(rp for rp in result.rows if rp[0]["City"] == "Creek")
+        assert isinstance(creek_row[1], Times)
+        assert len(creek_row[1].variables()) == 2
+
+    def test_schema_types(self, catalog):
+        plan = GroupBy(Scan("Shelters"), keys=("City",), aggregates=(AggSpec("sum", "Beds", "S"),))
+        schema = plan.output_schema(catalog)
+        assert schema.names == ("City", "S")
+        assert schema.attribute("S").semantic_type.name == "PR-Number"
+
+    def test_validation(self, catalog):
+        with pytest.raises(EvaluationError):
+            AggSpec("median", "Beds", "M")
+        with pytest.raises(EvaluationError):
+            GroupBy(Scan("Shelters"), keys=(), aggregates=())
+        with pytest.raises(EvaluationError):
+            GroupBy(
+                Scan("Shelters"),
+                keys=("City",),
+                aggregates=(AggSpec("sum", "Beds", "City"),),
+            )
+
+    def test_non_numeric_sum_raises(self, catalog):
+        plan = GroupBy(Scan("Shelters"), keys=(), aggregates=(AggSpec("sum", "Open", "S"),))
+        with pytest.raises(EvaluationError):
+            Evaluator(catalog).run(plan)
+
+    def test_unknown_aggregate_attribute(self, catalog):
+        plan = GroupBy(Scan("Shelters"), keys=(), aggregates=(AggSpec("sum", "Nope", "S"),))
+        with pytest.raises(Exception):
+            plan.output_schema(catalog)
+
+    def test_describe(self, catalog):
+        plan = GroupBy(Scan("Shelters"), keys=("City",), aggregates=(AggSpec("sum", "Beds", "S"),))
+        assert "GroupBy[City; sum(Beds) AS S]" == plan.describe()

@@ -1,0 +1,168 @@
+"""Edge-case tests across modules: plan compilation orientation, explanation
+origin tracking through unions, detail-crawl limits, and export corners."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import IntegrationError
+from repro.learning.integration import (
+    Association,
+    SourceGraph,
+    SourceNode,
+    SteinerTree,
+    compile_tree,
+)
+from repro.provenance.explain import explain
+from repro.substrate.relational import (
+    Attribute,
+    Catalog,
+    Evaluator,
+    Project,
+    Relation,
+    Scan,
+    Schema,
+    Union,
+    schema_of,
+)
+from repro.substrate.relational.schema import NAME, PLACE
+
+
+def two_relation_world():
+    catalog = Catalog()
+    left = Relation("L", Schema([Attribute("Name", PLACE), Attribute("X", NAME)]))
+    left.extend([["Monarch High", "a"], ["Tedder Center", "b"]])
+    right = Relation("R", Schema([Attribute("Alias", PLACE), Attribute("Y", NAME)]))
+    right.extend([["Monarch HS", "p"], ["Tedder Cntr", "q"]])
+    catalog.add_relation(left)
+    catalog.add_relation(right)
+    graph = SourceGraph()
+    graph.add_node(SourceGraph.node_from_catalog(catalog, "L"))
+    graph.add_node(SourceGraph.node_from_catalog(catalog, "R"))
+    edge = graph.add_edge(
+        Association("L", "R", "record-link", (("Name", "Alias"),))
+    )
+    return catalog, graph, edge
+
+
+class TestCompileOrientation:
+    def test_record_link_compiles_from_either_root(self):
+        catalog, graph, edge = two_relation_world()
+        tree = SteinerTree(
+            nodes=frozenset({"L", "R"}), edges=(edge,), cost=graph.cost(edge)
+        )
+        for root in ("L", "R"):
+            query = compile_tree(tree, catalog, graph, root=root)
+            result = Evaluator(catalog).run(query.plan)
+            assert len(result) == 2  # both rows link across the typo gap
+
+    def test_link_conditions_orient_with_root(self):
+        catalog, graph, edge = two_relation_world()
+        tree = SteinerTree(
+            nodes=frozenset({"L", "R"}), edges=(edge,), cost=graph.cost(edge)
+        )
+        query = compile_tree(tree, catalog, graph, root="R")
+        # Root R means the linker compares R.Alias against L.Name.
+        assert "RecordLinkJoin" in query.plan.describe()
+        schema = query.output_schema(catalog)
+        assert schema.names[0] == "Alias"
+
+
+class TestExplainThroughUnion:
+    def test_union_origin_falls_back_to_first_branch(self):
+        catalog = Catalog()
+        a = Relation("A", schema_of("City", "V"))
+        a.add(["Creek", 1])
+        b = Relation("B", schema_of("City", "W"))
+        b.add(["Creek", 2])
+        catalog.add_relation(a)
+        catalog.add_relation(b)
+        plan = Union((Scan("A"), Scan("B")))
+        result = Evaluator(catalog).run(plan)
+        for row, prov in result.rows:
+            explanation = explain(prov, catalog, plan)
+            assert explanation.derivations
+            sources = explanation.derivations[0].sources()
+            assert sources in (["A"], ["B"])
+
+    def test_projection_narrows_origins(self):
+        catalog = Catalog()
+        a = Relation("A", schema_of("City", "V"))
+        a.add(["Creek", 1])
+        catalog.add_relation(a)
+        plan = Project(Scan("A"), ("City",))
+        result = Evaluator(catalog).run(plan)
+        _, prov = result.rows[0]
+        explanation = explain(prov, catalog, plan)
+        assert explanation.derivations[0].sources() == ["A"]
+
+
+class TestDetailCrawlLimits:
+    def test_max_pages_cap(self):
+        from repro.data import build_scenario
+        from repro.learning.structure.hierarchy import DetailCrawlExpert
+
+        scenario = build_scenario(seed=5, n_shelters=8, link_details=True)
+        page = scenario.website.fetch(scenario.list_urls()[0])
+        crawler = DetailCrawlExpert(scenario.website, max_pages=4)
+        candidates = crawler.propose_from_page(page)
+        assert candidates
+        assert all(len(c.records) <= 4 for c in candidates)
+
+    def test_inconsistent_detail_templates_skipped(self):
+        from repro.learning.structure.hierarchy import DetailCrawlExpert
+        from repro.substrate.documents import Website, document, element
+
+        site = Website("http://x.test")
+        anchors = []
+        for i in range(4):
+            # Two detail layouts: even pages use (P, Q), odd use (P, R).
+            labels = ("P", "Q") if i % 2 == 0 else ("P", "R")
+            items = []
+            for label in labels:
+                items.append(element("dt", label))
+                items.append(element("dd", f"{label.lower()}{i}"))
+            site.add_page(f"d/{i}", document(element("dl", *items)))
+            anchors.append(element("a", f"Item {i}", href=f"/d/{i}"))
+        site.add_page("list", document(element("ul", *[element("li", a) for a in anchors])))
+        candidates = DetailCrawlExpert(site).propose_from_page(site.fetch("list"))
+        # Only the majority-consistent subset (first template seen) survives.
+        if candidates:
+            for candidate in candidates:
+                assert len({tuple(r) for r in candidate.records}) == len(candidate.records)
+
+
+class TestViewsOnlyServiceTree:
+    def test_compile_rejects_tree_without_relations(self):
+        catalog, graph, _ = two_relation_world()
+        from repro.substrate.relational.schema import BindingPattern
+        from repro.substrate.services.base import TableBackedService
+
+        svc = TableBackedService(
+            "Svc", schema_of("K", "V"), BindingPattern(inputs=("K",)), []
+        )
+        catalog.add_service(svc)
+        graph.add_node(SourceGraph.node_from_catalog(catalog, "Svc"))
+        tree = SteinerTree(nodes=frozenset({"Svc"}), edges=(), cost=0.0)
+        with pytest.raises(IntegrationError):
+            compile_tree(tree, catalog, graph)
+
+
+class TestExportCorners:
+    def test_xml_roundtrip_safe_for_floats(self):
+        from repro.core.export import to_xml
+
+        xml = to_xml([{"Lat": 26.01, "Lon": -80.29}])
+        assert "<Lat>26.01</Lat>" in xml
+
+    def test_map_markers_accept_string_coordinates(self):
+        from repro.core.export import to_map_markers
+
+        markers = to_map_markers([{"Lat": "26.5", "Lon": "-80.1"}])
+        assert markers[0]["lat"] == 26.5
+
+    def test_csv_non_string_header_values(self):
+        from repro.core.export import to_csv
+
+        csv = to_csv([{"n": 1, "b": True}])
+        assert csv.split("\n")[1] == "1,True"

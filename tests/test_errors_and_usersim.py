@@ -1,0 +1,128 @@
+"""Tests for the exception hierarchy and the SCP user simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.errors as errors
+from repro import Browser, CopyCatSession, build_scenario
+from repro.core.usersim import KeystrokeModel, ScpUser
+
+from .test_session import listing_rows
+
+
+class TestErrorHierarchy:
+    ALL_ERRORS = [
+        errors.SchemaError,
+        errors.UnknownAttributeError,
+        errors.BindingError,
+        errors.EvaluationError,
+        errors.CatalogError,
+        errors.DocumentError,
+        errors.NavigationError,
+        errors.ClipboardError,
+        errors.ServiceError,
+        errors.ServiceLookupFailed,
+        errors.LearningError,
+        errors.NoHypothesisError,
+        errors.ProvenanceError,
+        errors.WorkspaceError,
+        errors.FeedbackError,
+        errors.ExportError,
+        errors.IntegrationError,
+        errors.GraphError,
+    ]
+
+    def test_every_error_is_copycat_error(self):
+        for error_type in self.ALL_ERRORS:
+            assert issubclass(error_type, errors.CopyCatError)
+
+    def test_sub_hierarchies(self):
+        assert issubclass(errors.NavigationError, errors.DocumentError)
+        assert issubclass(errors.NoHypothesisError, errors.LearningError)
+        assert issubclass(errors.GraphError, errors.IntegrationError)
+        assert issubclass(errors.UnknownAttributeError, errors.SchemaError)
+        assert issubclass(errors.ServiceLookupFailed, errors.ServiceError)
+
+    def test_unknown_attribute_message(self):
+        error = errors.UnknownAttributeError("Zip", ("Name", "City"))
+        assert "Zip" in str(error)
+        assert "Name" in str(error)
+        assert error.available == ("Name", "City")
+
+    def test_persistence_error_is_copycat_error(self):
+        from repro.io import PersistenceError
+
+        assert issubclass(PersistenceError, errors.CopyCatError)
+
+    def test_single_catch_site(self):
+        """A caller can guard any library call with one except clause."""
+        from repro.substrate.relational import Catalog
+
+        with pytest.raises(errors.CopyCatError):
+            Catalog().relation("nope")
+
+
+class TestScpUserSimulator:
+    def make_env(self, n_shelters=8):
+        scenario = build_scenario(seed=5, n_shelters=n_shelters, noise=1)
+        session = CopyCatSession(catalog=scenario.catalog, seed=1)
+        browser = Browser(session.clipboard, scenario.website)
+        browser.navigate(scenario.list_urls()[0])
+        return scenario, session, browser
+
+    def test_import_counts_interactions(self):
+        scenario, session, browser = self.make_env()
+        user = ScpUser(session)
+        records = listing_rows(browser)
+        expected = [
+            [r["Name"], r["Street"], r["City"]] for r in scenario.truth_shelter_rows()
+        ]
+        ok = user.import_from_listing(
+            browser, records, "Shelters", ["Name", "Street", "City"], expected
+        )
+        assert ok
+        # One example paste sufficed, each suggested row confirmed.
+        assert user.counter.copies == 1
+        assert user.counter.accepts == (len(expected) - 1) + 1  # rows + save
+        assert user.counter.typed_chars == len("NameStreetCity")
+        assert "Shelters" in session.catalog.relation_names()
+
+    def test_import_gives_up_gracefully(self):
+        scenario, session, browser = self.make_env()
+        user = ScpUser(session)
+        records = listing_rows(browser)
+        wrong_target = [["Nope", "Nope", "Nope"]]
+        ok = user.import_from_listing(
+            browser, records, "Shelters", ["A", "B", "C"], wrong_target, max_examples=2
+        )
+        assert not ok
+        assert "Shelters" not in session.catalog.relation_names()
+
+    def test_extend_rejects_when_nothing_wanted(self):
+        scenario, session, browser = self.make_env()
+        user = ScpUser(session)
+        records = listing_rows(browser)
+        expected = [
+            [r["Name"], r["Street"], r["City"]] for r in scenario.truth_shelter_rows()
+        ]
+        user.import_from_listing(
+            browser, records, "Shelters", ["Name", "Street", "City"], expected
+        )
+        session.start_integration("Shelters")
+        added = user.extend_with_columns({"DoesNotExist": "Nowhere"}, max_rounds=3)
+        assert added == []
+        assert user.counter.rejects == 3  # one rejection per fruitless round
+
+    def test_keystroke_model_is_used(self):
+        scenario, session, browser = self.make_env()
+        pricey = KeystrokeModel(select_cost=100)
+        user = ScpUser(session, model=pricey)
+        records = listing_rows(browser)
+        expected = [
+            [r["Name"], r["Street"], r["City"]] for r in scenario.truth_shelter_rows()
+        ]
+        user.import_from_listing(
+            browser, records, "Shelters", ["Name", "Street", "City"], expected
+        )
+        assert user.keystrokes > 100

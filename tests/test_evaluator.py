@@ -1,0 +1,208 @@
+"""Tests for plan evaluation with provenance annotation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EvaluationError, SchemaError
+from repro.provenance.expressions import Plus, Times, Var
+from repro.substrate.relational import (
+    Catalog,
+    DependentJoin,
+    Distinct,
+    Evaluator,
+    Join,
+    Limit,
+    Project,
+    RecordLinkJoin,
+    Relation,
+    Rename,
+    Row,
+    RowLinker,
+    Scan,
+    Select,
+    Union,
+    eq,
+    schema_of,
+)
+from repro.substrate.relational.schema import BindingPattern, Schema
+from repro.substrate.services.base import TableBackedService
+
+
+@pytest.fixture()
+def catalog():
+    cat = Catalog()
+    shelters = Relation("S", schema_of("Name", "City"))
+    shelters.extend([["Monarch", "Creek"], ["Tedder", "Park"], ["Norcrest", "Creek"]])
+    cat.add_relation(shelters)
+    damage = Relation("D", schema_of("City", "Damage"))
+    damage.extend([["Creek", "minor"], ["Park", "severe"]])
+    cat.add_relation(damage)
+    zips = TableBackedService(
+        "Z",
+        schema_of("City", "Zip"),
+        BindingPattern(inputs=("City",)),
+        [{"City": "Creek", "Zip": "33063"}, {"City": "Park", "Zip": "33309"}],
+    )
+    cat.add_service(zips)
+    return cat
+
+
+def run(catalog, plan):
+    return Evaluator(catalog).run(plan)
+
+
+class TestScanSelectProject:
+    def test_scan_provenance(self, catalog):
+        result = run(catalog, Scan("S"))
+        assert len(result) == 3
+        assert [str(p) for _, p in result.rows] == ["S#0", "S#1", "S#2"]
+
+    def test_select(self, catalog):
+        result = run(catalog, Select(Scan("S"), eq("City", "Creek")))
+        assert {row["Name"] for row in result.plain_rows()} == {"Monarch", "Norcrest"}
+
+    def test_project(self, catalog):
+        result = run(catalog, Project(Scan("S"), ("City",)))
+        assert result.schema.names == ("City",)
+        assert len(result) == 3
+
+    def test_project_unknown_column(self, catalog):
+        with pytest.raises(Exception):
+            run(catalog, Project(Scan("S"), ("Nope",)))
+
+    def test_rename(self, catalog):
+        result = run(catalog, Rename(Scan("S"), (("Name", "Shelter"),)))
+        assert result.schema.names == ("Shelter", "City")
+
+    def test_limit(self, catalog):
+        result = run(catalog, Limit(Scan("S"), 2))
+        assert len(result) == 2
+
+
+class TestJoin:
+    def test_equijoin_drops_right_key(self, catalog):
+        result = run(catalog, Join(Scan("S"), Scan("D"), (("City", "City"),)))
+        assert result.schema.names == ("Name", "City", "Damage")
+        assert len(result) == 3
+
+    def test_join_provenance_is_times(self, catalog):
+        result = run(catalog, Join(Scan("S"), Scan("D"), (("City", "City"),)))
+        _, prov = result.rows[0]
+        assert isinstance(prov, Times)
+        assert len(prov.variables()) == 2
+
+    def test_join_requires_conditions(self, catalog):
+        with pytest.raises(EvaluationError):
+            Join(Scan("S"), Scan("D"), ())
+
+    def test_join_skips_nulls(self, catalog):
+        rel = Relation("N", schema_of("City", "X"))
+        rel.extend([[None, 1], ["Creek", 2]])
+        catalog.add_relation(rel)
+        result = run(catalog, Join(Scan("N"), Scan("D"), (("City", "City"),)))
+        assert len(result) == 1
+
+
+class TestDependentJoin:
+    def test_outputs_appended(self, catalog):
+        plan = DependentJoin(Scan("S"), "Z", (("City", "City"),))
+        result = run(catalog, plan)
+        assert result.schema.names == ("Name", "City", "Zip")
+        zips = {row["City"]: row["Zip"] for row in result.plain_rows()}
+        assert zips == {"Creek": "33063", "Park": "33309"}
+
+    def test_provenance_includes_service_result(self, catalog):
+        plan = DependentJoin(Scan("S"), "Z", (("City", "City"),))
+        result = run(catalog, plan)
+        _, prov = result.rows[0]
+        relations = {tid.relation for tid in prov.variables()}
+        assert relations == {"S", "Z"}
+
+    def test_unbound_input_detected_in_schema(self, catalog):
+        plan = DependentJoin(Scan("S"), "Z", ())
+        with pytest.raises(SchemaError, match="unbound"):
+            plan.output_schema(catalog)
+
+    def test_missing_child_attr(self, catalog):
+        plan = DependentJoin(Scan("D"), "Z", (("City", "Nope"),))
+        with pytest.raises(SchemaError):
+            plan.output_schema(catalog)
+
+    def test_null_inputs_skipped(self, catalog):
+        rel = Relation("N", schema_of("City",))
+        rel.extend([[None], ["Creek"]])
+        catalog.add_relation(rel)
+        result = run(catalog, DependentJoin(Scan("N"), "Z", (("City", "City"),)))
+        assert len(result) == 1
+
+
+class _FirstLetterLinker(RowLinker):
+    def score(self, left: Row, right: Row) -> float:
+        return 1.0 if str(left["Name"])[0] == str(right["Alias"])[0] else 0.0
+
+
+class TestRecordLinkJoin:
+    def test_best_only_links_each_left_once(self, catalog):
+        aliases = Relation("A", schema_of("Alias",))
+        aliases.extend([["Monty"], ["Ted"], ["Morris"]])
+        catalog.add_relation(aliases)
+        plan = RecordLinkJoin(Scan("S"), Scan("A"), _FirstLetterLinker(), threshold=0.5)
+        result = run(catalog, plan)
+        names = {(row["Name"], row["Alias"]) for row in result.plain_rows()}
+        # Monarch matches Monty (first M-alias); Tedder matches Ted.
+        assert ("Monarch", "Monty") in names
+        assert ("Tedder", "Ted") in names
+        assert len([1 for row in result.plain_rows() if row["Name"] == "Monarch"]) == 1
+
+    def test_threshold_filters(self, catalog):
+        aliases = Relation("A2", schema_of("Alias",))
+        aliases.extend([["Zeta"]])
+        catalog.add_relation(aliases)
+        plan = RecordLinkJoin(Scan("S"), Scan("A2"), _FirstLetterLinker(), threshold=0.5)
+        assert len(run(catalog, plan)) == 0
+
+
+class TestUnionDistinct:
+    def test_union_pads_with_nulls(self, catalog):
+        plan = Union((Project(Scan("S"), ("City",)), Scan("D")))
+        result = run(catalog, plan)
+        assert result.schema.names == ("City", "Damage")
+        padded = [row for row in result.plain_rows() if row["Damage"] is None]
+        assert len(padded) == 3
+
+    def test_union_needs_input(self):
+        with pytest.raises(EvaluationError):
+            Union(())
+
+    def test_distinct_merges_provenance_with_plus(self, catalog):
+        plan = Distinct(Project(Scan("S"), ("City",)))
+        result = run(catalog, plan)
+        assert len(result) == 2
+        creek_prov = result.provenance_of(Row(result.schema, ["Creek"]))
+        assert isinstance(creek_prov, Plus)
+        assert len(creek_prov.variables()) == 2  # S#0 and S#2 both derive Creek
+
+    def test_result_merged_idempotent(self, catalog):
+        result = run(catalog, Distinct(Project(Scan("S"), ("City",))))
+        assert len(result.merged()) == len(result)
+
+    def test_provenance_of_missing_row(self, catalog):
+        result = run(catalog, Scan("D"))
+        with pytest.raises(EvaluationError):
+            result.provenance_of(Row(result.schema, ["Nowhere", "none"]))
+
+
+class TestPlanIntrospection:
+    def test_sources(self, catalog):
+        plan = DependentJoin(Join(Scan("S"), Scan("D"), (("City", "City"),)), "Z", (("City", "City"),))
+        assert plan.sources() == frozenset({"S", "D", "Z"})
+
+    def test_render_tree(self, catalog):
+        plan = Select(Scan("S"), eq("City", "Creek"))
+        text = plan.render()
+        assert "Select" in text and "Scan(S)" in text
+
+    def test_dicts(self, catalog):
+        result = run(catalog, Scan("D"))
+        assert result.dicts()[0] == {"City": "Creek", "Damage": "minor"}

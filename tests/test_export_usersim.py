@@ -1,0 +1,131 @@
+"""Tests for exporters, the keystroke model, and the user simulators."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.export import to_csv, to_map_html, to_map_markers, to_xml
+from repro.core.usersim import InteractionCounter, KeystrokeModel, ManualUser
+from repro.core.workspace import CellState, WorkspaceTable
+from repro.errors import ExportError
+
+
+ROWS = [
+    {"Name": "Monarch", "Lat": 26.01, "Lon": -80.29, "Zip": "33063"},
+    {"Name": "Tedder, Jr", "Lat": 26.05, "Lon": -80.27, "Zip": None},
+]
+
+
+class TestXml:
+    def test_structure(self):
+        xml = to_xml(ROWS, root="shelters", row_element="shelter")
+        assert xml.startswith('<?xml version="1.0"')
+        assert xml.count("<shelter>") == 2
+        assert "<Name>Monarch</Name>" in xml
+
+    def test_null_becomes_empty_element(self):
+        assert "<Zip/>" in to_xml(ROWS)
+
+    def test_escaping(self):
+        xml = to_xml([{"a": "x < y & z"}])
+        assert "x &lt; y &amp; z" in xml
+
+    def test_bad_attribute_names_sanitized(self):
+        xml = to_xml([{"2 bad name!": 1}])
+        assert "<f_2_bad_name_>" in xml
+
+    def test_workspace_table_input(self):
+        table = WorkspaceTable("T")
+        table.append_row(["a"], state=CellState.USER)
+        table.set_column_label(0, "X")
+        table.append_row(["b"], state=CellState.SUGGESTED)
+        xml = to_xml(table)
+        assert xml.count("<row>") == 1  # suggestions not exported
+
+
+class TestCsv:
+    def test_header_and_rows(self):
+        csv = to_csv(ROWS)
+        lines = csv.split("\n")
+        assert lines[0] == "Name,Lat,Lon,Zip"
+        assert lines[1].startswith("Monarch,26.01")
+
+    def test_quoting(self):
+        csv = to_csv(ROWS)
+        assert '"Tedder, Jr"' in csv
+
+    def test_quote_escaping(self):
+        csv = to_csv([{"a": 'say "hi"'}])
+        assert '"say ""hi"""' in csv
+
+    def test_empty(self):
+        assert to_csv([]) == ""
+
+    def test_none_rendered_empty(self):
+        assert to_csv(ROWS).split("\n")[2].endswith(",")
+
+
+class TestMapExport:
+    def test_markers_skip_unmappable(self):
+        markers = to_map_markers([{"Lat": "x", "Lon": 1}, ROWS[0]], label_attr="Name")
+        assert len(markers) == 1
+        assert markers[0]["label"] == "Monarch"
+
+    def test_map_html_embeds_payload(self):
+        html = to_map_html(ROWS, label_attr="Name", title="Shelters & Map")
+        assert "Shelters &amp; Map" in html
+        payload = html.split('id="markers">')[1].split("</script>")[0]
+        markers = json.loads(payload)
+        assert len(markers) == 2
+        assert markers[0]["info"]["Zip"] == "33063"
+
+    def test_map_html_requires_mappable_rows(self):
+        with pytest.raises(ExportError):
+            to_map_html([{"Name": "x"}])
+
+    def test_center_is_mean(self):
+        html = to_map_html(ROWS)
+        assert 'data-center-lat="26.030000"' in html
+
+
+class TestKeystrokeModel:
+    def test_counter_arithmetic(self):
+        model = KeystrokeModel(select_cost=4, copy_cost=2, paste_cost=2, accept_cost=1)
+        counter = InteractionCounter(model=model)
+        counter.record_copy_paste()
+        counter.record_accept()
+        counter.record_typing("abc")
+        assert counter.keystrokes == 4 + 2 + 2 + 1 + 3
+
+    def test_copy_paste_helper(self):
+        assert KeystrokeModel().copy_paste() == 8
+
+    def test_multiple_selections(self):
+        counter = InteractionCounter()
+        counter.record_copy_paste(selections=3)
+        assert counter.selections == 3
+        assert counter.copies == 1
+
+
+class TestManualUser:
+    def test_cost_scales_with_cells(self):
+        user = ManualUser()
+        small = user.complete([{"a": 1}] * 5, ["a"])
+        large = user.complete([{"a": 1}] * 10, ["a"])
+        assert large.keystrokes > small.keystrokes
+
+    def test_source_switches_cost_extra(self):
+        user = ManualUser()
+        single = user.complete([{"a": 1, "b": 2}] * 5, ["a", "b"])
+        split = user.complete(
+            [{"a": 1, "b": 2}] * 5, ["a", "b"], per_source_columns=[["a"], ["b"]]
+        )
+        assert split.keystrokes > single.keystrokes
+
+    def test_headers_typed_once(self):
+        user = ManualUser()
+        result = user.complete([], ["Name", "Zip"])
+        assert result.keystrokes == len("Name") + len("Zip")
+        assert result.correct

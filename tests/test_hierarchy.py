@@ -1,0 +1,157 @@
+"""Tests for hierarchical-site support: detail-page crawling and
+form-backed result pages (§2.2 / §3.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Browser, CopyCatSession, build_scenario
+from repro.learning.model import seed_type_learner
+from repro.learning.structure import StructureLearner
+from repro.learning.structure.hierarchy import DetailCrawlExpert, _detail_fields
+from repro.substrate.documents import Clipboard, document, element
+
+
+def listing_records(browser, style="table"):
+    tag = {"table": "tr", "ul": "li"}[style]
+    container = browser.page.dom.find({"table": "table", "ul": "ul"}[style], "listing")
+    return [n for n in container.children if n.tag == tag and "record" in n.css_classes]
+
+
+class TestDetailCrawl:
+    def test_detail_fields_from_dl(self):
+        scenario = build_scenario(seed=5, n_shelters=6, link_details=True)
+        page = scenario.website.fetch("shelter/0")
+        fields = _detail_fields(page)
+        names = [name for name, _ in fields]
+        assert names == ["Name", "Street", "City", "Phone"]
+
+    def test_detail_fields_from_two_cell_table(self):
+        dom = document(
+            element(
+                "table",
+                element("tr", element("td", "Phone"), element("td", "555-1212")),
+                element("tr", element("td", "Name"), element("td", "Monarch")),
+            )
+        )
+        from repro.substrate.documents.website import Page
+
+        fields = _detail_fields(Page(url="x", dom=dom))
+        assert ("Phone", "555-1212") in fields
+
+    def test_crawler_builds_widened_candidate(self):
+        scenario = build_scenario(seed=5, n_shelters=8, link_details=True)
+        page = scenario.website.fetch(scenario.list_urls()[0])
+        crawler = DetailCrawlExpert(scenario.website)
+        candidates = crawler.propose_from_page(page)
+        assert candidates
+        best = max(candidates, key=lambda c: len(c.records))
+        assert len(best.records) == 8
+        assert best.n_columns == 5  # anchor + Name, Street, City, Phone
+        phones = {record[4] for record in best.records}
+        assert phones == {s.phone for s in scenario.shelters}
+
+    def test_crawler_ignores_unlinked_listing(self):
+        scenario = build_scenario(seed=5, n_shelters=8, link_details=False)
+        page = scenario.website.fetch(scenario.list_urls()[0])
+        candidates = DetailCrawlExpert(scenario.website).propose_from_page(page)
+        assert candidates == []
+
+    def test_generalize_field_only_on_detail_pages(self, trained_types):
+        """The Phone column exists only on detail pages; pasting
+        (Name, Phone) examples must still generalize — the hierarchical
+        crawl supplies the widened table."""
+        scenario = build_scenario(seed=5, n_shelters=8, link_details=True)
+        clip = Clipboard()
+        browser = Browser(clip, scenario.website)
+        browser.navigate(scenario.list_urls()[0])
+        learner = StructureLearner(type_learner=trained_types)
+        examples = [
+            [s.name, s.phone] for s in scenario.shelters[:2]
+        ]
+        records = listing_records(browser)
+        event = browser.copy_record(records[0], "Shelters")
+        result = learner.generalize(event, examples)
+        assert result.hypotheses
+        rows = result.best.rows()
+        expected = sorted((s.name, s.phone) for s in scenario.shelters)
+        assert sorted(map(tuple, rows)) == expected
+        assert "detail-crawl" in result.best.candidate.support
+
+    def test_crawl_can_be_disabled(self, trained_types):
+        scenario = build_scenario(seed=5, n_shelters=8, link_details=True)
+        clip = Clipboard()
+        browser = Browser(clip, scenario.website)
+        browser.navigate(scenario.list_urls()[0])
+        learner = StructureLearner(type_learner=trained_types, crawl_detail_pages=False)
+        examples = [[s.name, s.phone] for s in scenario.shelters[:2]]
+        records = listing_records(browser)
+        event = browser.copy_record(records[0], "Shelters")
+        result = learner.generalize(event, examples)
+        assert not any(
+            "detail-crawl" in h.candidate.support for h in result.hypotheses
+        )
+
+
+class TestFormSite:
+    def test_form_resolves_to_city_page(self):
+        scenario = build_scenario(seed=5, n_shelters=10, form_site=True)
+        city = scenario.shelters[0].address.city
+        page = scenario.website.submit_form("search", {"city": city})
+        text = page.dom.text_content()
+        mine = [s for s in scenario.shelters if s.address.city == city]
+        others = [s for s in scenario.shelters if s.address.city != city]
+        assert all(s.name in text for s in mine)
+        assert all(s.name not in text for s in others)
+
+    def test_form_result_pages_form_url_family(self):
+        scenario = build_scenario(seed=5, n_shelters=10, form_site=True)
+        cities = sorted({s.address.city for s in scenario.shelters})
+        first = f"shelters?city={cities[0].replace(' ', '+')}"
+        family = scenario.website.url_family(first)
+        assert len(family) == len(cities)
+
+    def test_generalize_across_form_results(self, trained_types):
+        """Pasting from one city's result page generalizes across every
+        city's page (the paper's 'pages accessible via a form')."""
+        scenario = build_scenario(seed=5, n_shelters=10, form_site=True, noise=1)
+        clip = Clipboard()
+        browser = Browser(clip, scenario.website)
+        city = sorted({s.address.city for s in scenario.shelters})[0]
+        browser.submit_form("search", {"city": city})
+        learner = StructureLearner(type_learner=trained_types)
+        records = listing_records(browser)
+        event = browser.copy_record(records[0], "Shelters")
+        in_city = [
+            [s.name, s.address.street, s.address.city]
+            for s in scenario.shelters
+            if s.address.city == city
+        ]
+        result = learner.generalize(event, in_city[:1])
+        rows = result.best.rows()
+        expected = sorted(
+            (s.name, s.address.street, s.address.city) for s in scenario.shelters
+        )
+        assert sorted(map(tuple, rows)) == expected
+        assert "url-pattern" in result.best.candidate.support
+
+    def test_base_listing_not_merged_into_form_family(self):
+        scenario = build_scenario(seed=5, n_shelters=10, form_site=True)
+        family = scenario.website.url_family("shelters")
+        assert family == [scenario.website.absolute("shelters")]
+
+    def test_session_import_via_form(self, trained_types):
+        scenario = build_scenario(seed=5, n_shelters=10, form_site=True, noise=1)
+        session = CopyCatSession(
+            catalog=scenario.catalog,
+            seed=1,
+            type_learner=trained_types,
+            structure_learner=StructureLearner(type_learner=trained_types),
+        )
+        browser = Browser(session.clipboard, scenario.website)
+        city = sorted({s.address.city for s in scenario.shelters})[0]
+        browser.submit_form("search", {"city": city})
+        records = listing_records(browser)
+        browser.copy_record(records[0], "Shelters")
+        outcome = session.paste()
+        assert outcome.n_suggested_rows == len(scenario.shelters) - 1

@@ -1,0 +1,267 @@
+"""Tests for the source graph, association discovery, Steiner search, and
+SPCSH pruning."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.errors import GraphError
+from repro.learning.integration import (
+    Association,
+    SourceGraph,
+    SourceNode,
+    dijkstra,
+    discover_associations,
+    exact_top_k_steiner,
+    minimum_spanning_tree,
+    prune_graph,
+    spcsh_top_k_steiner,
+    types_compatible,
+)
+from repro.substrate.relational import schema_of
+from repro.substrate.relational.schema import ANY, CITY, NAME, PLACE, STREET, ZIPCODE
+
+
+def simple_graph(edge_list, costs=None):
+    """Build a graph of plain relation nodes from (a, b) pairs."""
+    graph = SourceGraph()
+    nodes = sorted({n for pair in edge_list for n in pair})
+    for name in nodes:
+        graph.add_node(SourceNode(name=name, schema=schema_of("x"), is_service=False))
+    for index, (a, b) in enumerate(edge_list):
+        cost = None if costs is None else costs[index]
+        graph.add_edge(
+            Association(left=a, right=b, kind="join", conditions=(("x", "x"),)),
+            cost=cost,
+        )
+    return graph
+
+
+class TestSourceGraph:
+    def test_edge_requires_nodes(self):
+        graph = SourceGraph()
+        graph.add_node(SourceNode("A", schema_of("x"), False))
+        with pytest.raises(GraphError):
+            graph.add_edge(Association("A", "B", "join", (("x", "x"),)))
+
+    def test_self_loop_rejected(self):
+        graph = SourceGraph()
+        graph.add_node(SourceNode("A", schema_of("x"), False))
+        with pytest.raises(GraphError):
+            graph.add_edge(Association("A", "A", "join", (("x", "x"),)))
+
+    def test_duplicate_edge_is_idempotent(self):
+        graph = simple_graph([("A", "B")])
+        edge = Association("A", "B", "join", (("x", "x"),))
+        graph.add_edge(edge, cost=9.0)  # same key: keeps the original weight
+        assert graph.n_edges == 1
+        assert graph.cost(edge) == 1.0
+
+    def test_default_costs_by_kind(self):
+        assert Association("A", "B", "join", ()).default_cost() == 1.0
+        assert Association("A", "B", "record-link", ()).default_cost() == 1.5
+        matcher = Association("A", "B", "matcher", (), confidence=0.6)
+        assert matcher.default_cost() == pytest.approx(1.8 + 0.4)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(GraphError):
+            Association("A", "B", "teleport", ())
+
+    def test_edge_other_and_touches(self):
+        edge = Association("A", "B", "join", ())
+        assert edge.other("A") == "B"
+        assert edge.touches("B")
+        with pytest.raises(GraphError):
+            edge.other("C")
+
+    def test_tree_cost_sums_weights(self):
+        graph = simple_graph([("A", "B"), ("B", "C")], costs=[1.5, 2.5])
+        assert graph.tree_cost(graph.edges()) == pytest.approx(4.0)
+
+    def test_render_lists_nodes_and_edges(self):
+        graph = simple_graph([("A", "B")])
+        text = graph.render()
+        assert "[source] A(x)" in text
+        assert "c=1.00" in text
+
+
+class TestAssociationDiscovery:
+    def test_types_compatible(self):
+        assert types_compatible(CITY, CITY)
+        assert types_compatible(ZIPCODE, ZIPCODE.retyped if False else ZIPCODE)
+        assert types_compatible(ANY, CITY)
+        assert not types_compatible(CITY, STREET)
+
+    def test_scenario_graph_has_zip_service_edge(self, fresh_scenario):
+        from repro.substrate.relational import Attribute, Relation, Schema
+
+        cat = fresh_scenario.catalog
+        shelters = Relation(
+            "Shelters",
+            Schema([Attribute("Name", PLACE), Attribute("Street", STREET), Attribute("City", CITY)]),
+        )
+        for row in fresh_scenario.truth_shelter_rows():
+            shelters.add(row)
+        cat.add_relation(shelters)
+        graph = discover_associations(cat)
+        zip_edges = [
+            e for e in graph.edges_of("Shelters")
+            if e.kind == "service" and e.other("Shelters") == "ZipcodeResolver"
+        ]
+        assert len(zip_edges) == 1
+        assert set(zip_edges[0].conditions) == {("Street", "Street"), ("City", "City")}
+
+    def test_join_edge_uses_conjunction_of_shared_attrs(self, fresh_scenario):
+        from repro.substrate.relational import Attribute, Relation, Schema
+
+        cat = fresh_scenario.catalog
+        a = Relation("A1", Schema([Attribute("City", CITY), Attribute("Zip", ZIPCODE), Attribute("P", ANY)]))
+        b = Relation("B1", Schema([Attribute("City", CITY), Attribute("Zip", ZIPCODE), Attribute("Q", ANY)]))
+        cat.add_relation(a)
+        cat.add_relation(b)
+        graph = discover_associations(cat)
+        joins = [
+            e for e in graph.edges_of("A1") if e.kind == "join" and e.other("A1") == "B1"
+        ]
+        assert len(joins) == 1
+        assert set(joins[0].conditions) == {("City", "City"), ("Zip", "Zip")}
+
+    def test_semantic_types_constrain_edges(self, fresh_scenario):
+        with_types = discover_associations(fresh_scenario.catalog, use_semantic_types=True)
+        without = discover_associations(fresh_scenario.catalog, use_semantic_types=False)
+        assert without.n_edges > with_types.n_edges
+
+    def test_foreign_key_edges(self, fresh_scenario):
+        from repro.substrate.relational import Relation, SourceMetadata, schema_of as sof
+
+        cat = fresh_scenario.catalog
+        cat.add_relation(Relation("Orders", sof("oid", "cid")))
+        cat.add_relation(
+            Relation("Customers", sof("cid", "name")),
+            SourceMetadata(foreign_keys={"cid": ("Orders", "cid")}),
+        )
+        graph = discover_associations(cat)
+        fk = [e for e in graph.edges_of("Customers") if e.kind == "fk"]
+        assert fk and fk[0].conditions == (("cid", "cid"),)
+
+    def test_record_link_edge_between_name_like_types(self, fresh_scenario):
+        from repro.substrate.relational import Attribute, Relation, Schema
+
+        cat = fresh_scenario.catalog
+        cat.add_relation(Relation("W1", Schema([Attribute("Name", PLACE)])))
+        cat.add_relation(Relation("C1", Schema([Attribute("Shelter", NAME)])))
+        graph = discover_associations(cat)
+        links = [e for e in graph.edges_of("W1") if e.kind == "record-link"]
+        assert any(("Name", "Shelter") in e.conditions or ("Shelter", "Name") in e.conditions for e in links)
+
+
+class TestSteiner:
+    def test_single_terminal_is_trivial(self):
+        graph = simple_graph([("A", "B")])
+        trees = exact_top_k_steiner(graph, ["A"], k=2)
+        assert trees[0].cost == 0.0
+        assert trees[0].nodes == frozenset({"A"})
+
+    def test_direct_edge_beats_detour(self):
+        graph = simple_graph(
+            [("A", "B"), ("A", "C"), ("C", "B")], costs=[1.0, 0.2, 0.2]
+        )
+        trees = exact_top_k_steiner(graph, ["A", "B"], k=2)
+        # Detour via C costs 0.4 < direct 1.0.
+        assert trees[0].nodes == frozenset({"A", "B", "C"})
+        assert trees[0].cost == pytest.approx(0.4)
+        assert trees[1].nodes == frozenset({"A", "B"})
+
+    def test_steiner_node_added_when_needed(self):
+        # A and B only connect through hub H.
+        graph = simple_graph([("A", "H"), ("H", "B")])
+        trees = exact_top_k_steiner(graph, ["A", "B"], k=1)
+        assert trees[0].nodes == frozenset({"A", "B", "H"})
+        assert len(trees[0].edges) == 2
+
+    def test_disconnected_terminals_give_nothing(self):
+        graph = simple_graph([("A", "B")])
+        graph.add_node(SourceNode("Z", schema_of("x"), False))
+        assert exact_top_k_steiner(graph, ["A", "Z"], k=3) == []
+
+    def test_unknown_terminal(self):
+        graph = simple_graph([("A", "B")])
+        with pytest.raises(GraphError):
+            exact_top_k_steiner(graph, ["A", "Nope"])
+
+    def test_top_k_ordering_and_dominance(self):
+        graph = simple_graph(
+            [("A", "B"), ("A", "C"), ("C", "B"), ("A", "D"), ("D", "B")],
+            costs=[1.0, 0.3, 0.3, 5.0, 5.0],
+        )
+        trees = exact_top_k_steiner(graph, ["A", "B"], k=4)
+        costs = [tree.cost for tree in trees]
+        assert costs == sorted(costs)
+        # The D detour (cost 10) is dominated only if it superset-contains a
+        # cheaper tree's nodes; {A,B,D} is not a superset of {A,B,C}, so it
+        # may appear, but never before the cheaper ones.
+        assert trees[0].cost == pytest.approx(0.6)
+
+    def test_mst_none_when_disconnected(self):
+        graph = simple_graph([("A", "B")])
+        graph.add_node(SourceNode("Z", schema_of("x"), False))
+        assert minimum_spanning_tree(graph, frozenset({"A", "Z"})) is None
+
+    def test_mst_picks_cheapest_parallel_edge(self):
+        graph = simple_graph([("A", "B")], costs=[2.0])
+        graph.add_edge(
+            Association("A", "B", "record-link", (("x", "x"),)), cost=0.5
+        )
+        tree = minimum_spanning_tree(graph, frozenset({"A", "B"}))
+        assert tree.cost == pytest.approx(0.5)
+        assert tree.edges[0].kind == "record-link"
+
+
+class TestSpcsh:
+    def grid_graph(self, n=5):
+        """An n x n grid of unit-cost edges."""
+        edges = []
+        for r, c in itertools.product(range(n), range(n)):
+            if c + 1 < n:
+                edges.append((f"n{r}_{c}", f"n{r}_{c+1}"))
+            if r + 1 < n:
+                edges.append((f"n{r}_{c}", f"n{r+1}_{c}"))
+        return simple_graph(edges)
+
+    def test_dijkstra_distances(self):
+        graph = simple_graph([("A", "B"), ("B", "C")], costs=[1.0, 2.0])
+        dist = dijkstra(graph, "A")
+        assert dist == {"A": 0.0, "B": 1.0, "C": 3.0}
+
+    def test_prune_keeps_terminals_connected(self):
+        graph = self.grid_graph(5)
+        terminals = ["n0_0", "n4_4"]
+        pruned = prune_graph(graph, terminals, stretch=1.0)
+        dist = dijkstra(pruned, "n0_0")
+        assert dist.get("n4_4") == pytest.approx(8.0)
+
+    def test_prune_shrinks_graph(self):
+        graph = self.grid_graph(6)
+        pruned = prune_graph(graph, ["n0_0", "n0_5"], stretch=1.0)
+        assert len(pruned) < len(graph)
+
+    def test_spcsh_matches_exact_optimum_on_grid(self):
+        graph = self.grid_graph(4)
+        terminals = ["n0_0", "n3_3", "n0_3"]
+        exact = exact_top_k_steiner(graph, terminals, k=1)
+        approx = spcsh_top_k_steiner(graph, terminals, k=1, stretch=1.2)
+        assert approx[0].cost == pytest.approx(exact[0].cost)
+
+    def test_spcsh_cost_never_better_than_exact(self):
+        graph = self.grid_graph(4)
+        terminals = ["n0_0", "n3_0", "n0_3"]
+        exact = exact_top_k_steiner(graph, terminals, k=1)
+        approx = spcsh_top_k_steiner(graph, terminals, k=1)
+        assert approx[0].cost >= exact[0].cost - 1e-9
+
+    def test_feature_keys_are_edge_keys(self):
+        graph = simple_graph([("A", "B")])
+        tree = exact_top_k_steiner(graph, ["A", "B"], k=1)[0]
+        assert tree.feature_keys() == frozenset({graph.edges()[0].key})

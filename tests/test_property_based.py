@@ -1,0 +1,252 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.provenance.expressions import ONE, ZERO, Provenance, plus, times, var
+from repro.provenance.semirings import (
+    best_score,
+    cheapest_cost,
+    derivation_count,
+    is_derivable,
+)
+from repro.substrate.relational import Relation, Row, schema_of
+from repro.substrate.relational.rows import TupleId
+from repro.util.strings import (
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    levenshtein_ratio,
+    ngram_dice,
+    token_jaccard,
+)
+from repro.util.text import normalize, tokenize
+
+short_text = st.text(alphabet=string.ascii_letters + string.digits + " .-,", max_size=30)
+words = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=12)
+
+
+# ---------------------------------------------------------------- strings
+@given(short_text, short_text)
+def test_levenshtein_symmetry(a, b):
+    assert levenshtein(a, b) == levenshtein(b, a)
+
+
+@given(short_text, short_text)
+def test_levenshtein_identity_of_indiscernibles(a, b):
+    assert (levenshtein(a, b) == 0) == (a == b)
+
+
+@given(short_text, short_text, short_text)
+def test_levenshtein_triangle_inequality(a, b, c):
+    assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+
+@given(short_text, short_text)
+def test_similarities_bounded(a, b):
+    for fn in (jaro, jaro_winkler, levenshtein_ratio, token_jaccard, ngram_dice):
+        value = fn(a, b)
+        assert 0.0 <= value <= 1.0 + 1e-9
+
+
+@given(short_text)
+def test_similarity_reflexive(a):
+    assert jaro(a, a) in (0.0, 1.0)  # 0.0 only for empty string
+    assert levenshtein_ratio(a, a) == 1.0
+    assert token_jaccard(a, a) == 1.0
+
+
+@given(short_text, short_text)
+def test_jaro_symmetry(a, b):
+    assert jaro(a, b) == jaro(b, a)
+
+
+# ---------------------------------------------------------------- tokenizer
+@given(short_text)
+def test_tokenize_covers_non_space_text(value):
+    tokens = tokenize(value)
+    reassembled = "".join(token.text for token in tokens)
+    assert reassembled == "".join(value.split())
+
+
+@given(short_text)
+def test_normalize_idempotent(value):
+    assert normalize(normalize(value)) == normalize(value)
+
+
+# ---------------------------------------------------------------- provenance
+def provenance_exprs(max_vars: int = 4) -> st.SearchStrategy[Provenance]:
+    leaves = st.one_of(
+        st.builds(lambda i: var("R", i), st.integers(0, max_vars - 1)),
+        st.just(ONE),
+        st.just(ZERO),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.builds(lambda xs: times(*xs), st.lists(children, min_size=1, max_size=3)),
+            st.builds(lambda xs: plus(*xs), st.lists(children, min_size=1, max_size=3)),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=8)
+
+
+@given(provenance_exprs())
+@settings(max_examples=200)
+def test_derivations_agree_with_boolean_semiring(expr):
+    """A tuple is derivable from base set S iff some derivation ⊆ S."""
+    universe = expr.variables()
+    subsets = [frozenset(), universe]
+    if universe:
+        first = next(iter(sorted(universe)))
+        subsets.append(universe - {first})
+        subsets.append(frozenset({first}))
+    for subset in subsets:
+        via_boolean = is_derivable(expr, subset)
+        via_derivations = any(d <= subset for d in expr.derivations())
+        assert via_boolean == via_derivations
+
+
+@given(provenance_exprs())
+@settings(max_examples=200)
+def test_counting_at_least_distinct_derivations(expr):
+    """With unit multiplicities, the count ≥ number of *distinct* derivations
+    (duplicates under idempotent-set view may be counted multiple times)."""
+    assert derivation_count(expr) >= 0
+    if expr.derivations():
+        assert derivation_count(expr) >= 1
+    else:
+        assert derivation_count(expr) == 0
+
+
+@given(provenance_exprs())
+@settings(max_examples=100)
+def test_score_bounded_by_one_for_unit_trust(expr):
+    score = best_score(expr, lambda tid: 1.0)
+    assert score in (0.0, 1.0)
+
+
+@given(provenance_exprs())
+@settings(max_examples=100)
+def test_tropical_cost_nonnegative_for_nonnegative_weights(expr):
+    cost = cheapest_cost(expr, lambda tid: float(tid.index))
+    assert cost >= 0.0 or cost == float("inf")
+
+
+@given(provenance_exprs(), provenance_exprs())
+@settings(max_examples=100)
+def test_plus_is_commutative_for_derivations(a, b):
+    left = {frozenset(d) for d in plus(a, b).derivations()}
+    right = {frozenset(d) for d in plus(b, a).derivations()}
+    assert left == right
+
+
+@given(provenance_exprs(), provenance_exprs())
+@settings(max_examples=100)
+def test_times_zero_annihilates(a, b):
+    assert times(a, ZERO).derivations() == []
+
+
+# ---------------------------------------------------------------- rows
+@given(st.lists(st.integers(), min_size=3, max_size=3))
+def test_row_pad_to_self_is_identity(values):
+    schema = schema_of("a", "b", "c")
+    row = Row(schema, values)
+    assert row.pad_to(schema) == row
+
+
+@given(st.lists(st.lists(st.integers(), min_size=2, max_size=2), max_size=10))
+def test_relation_tuple_ids_sequential(rows):
+    schema = schema_of("x", "y")
+    relation = Relation("R", schema)
+    tids = [relation.add(row) for row in rows]
+    assert tids == [TupleId("R", i) for i in range(len(rows))]
+    assert len(relation) == len(rows)
+
+
+# ---------------------------------------------------------------- workspace
+@given(st.lists(st.lists(st.text(max_size=5), min_size=2, max_size=2), min_size=1, max_size=8))
+def test_workspace_accept_then_committed_counts(rows):
+    from repro.core.workspace import CellState, WorkspaceTable
+
+    table = WorkspaceTable("T")
+    table.append_rows(rows[:1], state=CellState.USER)
+    table.append_rows(rows[1:], state=CellState.SUGGESTED)
+    suggested = len(rows) - 1
+    assert len(table.suggested_row_indices()) == suggested
+    table.accept_rows()
+    assert len(table.committed_rows()) == len(rows)
+
+
+# ---------------------------------------------------------------- transforms
+@given(
+    st.lists(
+        st.tuples(words, words),
+        min_size=2,
+        max_size=5,
+    )
+)
+def test_transform_learner_consistent_on_training_examples(pairs):
+    """Whatever the learner returns must reproduce every training example."""
+    from repro.learning.transforms import TransformLearner
+
+    examples = [({"a": a}, a.upper()) for a, _ in pairs]
+    ranked = TransformLearner().learn(examples)
+    for transform in ranked:
+        for row, target in examples:
+            produced = transform.apply(row)
+            assert produced is not None
+            assert str(produced) == str(target)
+
+
+@given(st.lists(st.floats(min_value=-1000, max_value=1000, allow_nan=False), min_size=2, max_size=6))
+def test_transform_learner_recovers_linear_maps(xs):
+    from repro.learning.transforms import TransformLearner
+
+    xs = sorted(set(round(x, 3) for x in xs))
+    if len(xs) < 2:
+        return
+    examples = [({"x": x}, 2.0 * x + 1.0) for x in xs]
+    best = TransformLearner().best(examples)
+    for x in xs:
+        assert abs(best.apply({"x": x}) - (2.0 * x + 1.0)) < 1e-4
+
+
+@given(st.lists(st.tuples(words, words), min_size=2, max_size=5, unique_by=lambda p: p[0]))
+def test_transform_concat_recovered(pairs):
+    from repro.learning.transforms import TransformLearner
+
+    examples = [({"a": a, "b": b}, f"{a} {b}") for a, b in pairs]
+    best = TransformLearner().best(examples)
+    for (a, b), (row, target) in zip(pairs, examples):
+        assert str(best.apply(row)) == target
+
+
+# ---------------------------------------------------------------- undo
+@given(
+    st.lists(st.lists(st.text(max_size=5), min_size=2, max_size=2), min_size=1, max_size=6),
+    st.lists(st.lists(st.text(max_size=5), min_size=2, max_size=2), min_size=0, max_size=6),
+)
+def test_workspace_undo_is_inverse_of_checkpointed_mutation(first, second):
+    """checkpoint(); mutate; undo() restores the observable table state."""
+    from repro.core.workspace import CellState, Workspace
+
+    ws = Workspace()
+    table = ws.new_tab("T")
+    table.append_rows(first, state=CellState.USER)
+    before_rows = [table.row_values(i) for i in range(table.n_rows)]
+    before_cols = [c.name for c in table.columns]
+
+    ws.checkpoint()
+    table.append_rows(second, state=CellState.SUGGESTED)
+    if table.n_cols:
+        table.set_column_label(0, "Mutated")
+    assert ws.undo()
+
+    restored = ws.tab("T")
+    assert [restored.row_values(i) for i in range(restored.n_rows)] == before_rows
+    assert [c.name for c in restored.columns] == before_cols

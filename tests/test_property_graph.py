@@ -1,0 +1,192 @@
+"""Property-based tests (hypothesis) for Steiner search and MIRA invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.learning.integration import (
+    Association,
+    MiraLearner,
+    SourceGraph,
+    SourceNode,
+    dijkstra,
+    exact_top_k_steiner,
+    minimum_spanning_tree,
+    prune_graph,
+    spcsh_top_k_steiner,
+)
+from repro.substrate.relational import schema_of
+
+
+@st.composite
+def graphs(draw, max_nodes: int = 8):
+    """Connected random graphs with positive edge costs."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    names = [f"N{i}" for i in range(n)]
+    graph = SourceGraph()
+    for name in names:
+        graph.add_node(SourceNode(name, schema_of("x"), False))
+    # Random spanning tree for connectivity.
+    order = draw(st.permutations(names))
+    costs = draw(
+        st.lists(
+            st.floats(min_value=0.1, max_value=5.0, allow_nan=False),
+            min_size=n - 1,
+            max_size=n - 1,
+        )
+    )
+    for (a, b), cost in zip(zip(order, order[1:]), costs):
+        graph.add_edge(Association(a, b, "join", (("x", "x"),)), cost=cost)
+    # Extra chords.
+    n_extra = draw(st.integers(min_value=0, max_value=n))
+    for _ in range(n_extra):
+        i = draw(st.integers(0, n - 1))
+        j = draw(st.integers(0, n - 1))
+        if i == j:
+            continue
+        cost = draw(st.floats(min_value=0.1, max_value=5.0, allow_nan=False))
+        graph.add_edge(
+            Association(names[min(i, j)], names[max(i, j)], "join", (("x", "x"),)),
+            cost=cost,
+        )
+    return graph
+
+
+@st.composite
+def graphs_with_terminals(draw, max_nodes: int = 8, max_terminals: int = 3):
+    graph = draw(graphs(max_nodes))
+    names = graph.node_names()
+    count = draw(st.integers(min_value=1, max_value=min(max_terminals, len(names))))
+    terminals = draw(
+        st.lists(st.sampled_from(names), min_size=count, max_size=count, unique=True)
+    )
+    return graph, terminals
+
+
+@given(graphs_with_terminals())
+@settings(max_examples=60, deadline=None)
+def test_steiner_tree_connects_terminals(data):
+    graph, terminals = data
+    trees = exact_top_k_steiner(graph, terminals, k=2)
+    assume(trees)
+    for tree in trees:
+        assert set(terminals) <= tree.nodes
+        # Tree property: |edges| = |nodes| - 1, and edges stay inside nodes.
+        assert len(tree.edges) == len(tree.nodes) - 1
+        for edge in tree.edges:
+            assert edge.left in tree.nodes and edge.right in tree.nodes
+        # Float summation order differs between Prim and this comprehension.
+        assert tree.cost == pytest.approx(sum(graph.cost(edge) for edge in tree.edges))
+
+
+@given(graphs_with_terminals())
+@settings(max_examples=60, deadline=None)
+def test_top_k_is_sorted_and_distinct(data):
+    graph, terminals = data
+    trees = exact_top_k_steiner(graph, terminals, k=4)
+    costs = [tree.cost for tree in trees]
+    assert costs == sorted(costs)
+    node_sets = [tree.nodes for tree in trees]
+    assert len(node_sets) == len(set(node_sets))
+
+
+@given(graphs_with_terminals())
+@settings(max_examples=40, deadline=None)
+def test_spcsh_never_beats_exact(data):
+    graph, terminals = data
+    exact = exact_top_k_steiner(graph, terminals, k=1)
+    approx = spcsh_top_k_steiner(graph, terminals, k=1)
+    assume(exact and approx)
+    assert approx[0].cost >= exact[0].cost - 1e-9
+
+
+@given(graphs_with_terminals())
+@settings(max_examples=40, deadline=None)
+def test_pruned_graph_preserves_terminal_distances_at_stretch_one(data):
+    graph, terminals = data
+    assume(len(terminals) >= 2)
+    pruned = prune_graph(graph, terminals, stretch=1.0)
+    base = dijkstra(graph, terminals[0])
+    after = dijkstra(pruned, terminals[0])
+    for terminal in terminals[1:]:
+        if terminal in base:
+            assert after.get(terminal) is not None
+            assert abs(after[terminal] - base[terminal]) < 1e-6
+
+
+@given(graphs())
+@settings(max_examples=60, deadline=None)
+def test_mst_is_spanning_and_minimal_vs_dijkstra_bound(graph):
+    nodes = frozenset(graph.node_names())
+    tree = minimum_spanning_tree(graph, nodes)
+    assert tree is not None
+    assert tree.nodes == nodes
+    assert len(tree.edges) == len(nodes) - 1
+    # Any single edge's cost is an upper bound on the MST's cheapest edge.
+    if tree.edges:
+        cheapest_edge = min(graph.cost(edge) for edge in graph.edges())
+        assert min(graph.cost(edge) for edge in tree.edges) >= cheapest_edge - 1e-9
+
+
+@given(
+    graphs(),
+    st.integers(min_value=0, max_value=10),
+)
+@settings(max_examples=60, deadline=None)
+def test_mira_rank_update_enforces_margin(graph, seed):
+    import random
+
+    rng = random.Random(seed)
+    edges = [edge.key for edge in graph.edges()]
+    if len(edges) < 2:
+        return
+    preferred = frozenset(rng.sample(edges, k=max(1, len(edges) // 2)))
+    other = frozenset(rng.sample(edges, k=max(1, len(edges) // 3)))
+    if preferred == other:
+        return
+    mira = MiraLearner(graph, margin=0.3, aggressiveness=100.0)
+
+    def violation() -> float:
+        return max(0.0, mira.cost(preferred) + mira.margin - mira.cost(other))
+
+    before = violation()
+    updated = mira.rank_update(preferred, other)
+    if updated:
+        # The violation strictly decreases; it reaches zero unless the
+        # min-cost floor stopped a preferred edge from dropping further.
+        after = violation()
+        assert after < before
+        floored = any(
+            abs(graph.weights[key] - mira.min_cost) < 1e-9
+            for key in (preferred - other)
+        )
+        if not floored:
+            assert after <= 1e-6
+    else:
+        assert before <= 1e-9 or (
+            not (preferred - other) and not (other - preferred)
+        )
+
+
+@given(graphs())
+@settings(max_examples=40, deadline=None)
+def test_mira_weights_never_below_floor(graph):
+    mira = MiraLearner(graph, margin=1.0, aggressiveness=100.0, min_cost=0.05)
+    edges = [edge.key for edge in graph.edges()]
+    for i in range(min(5, len(edges))):
+        mira.promote(frozenset([edges[i]]))
+        mira.rank_update(frozenset([edges[i]]), frozenset(edges[:1]))
+    assert all(weight >= 0.05 - 1e-12 for weight in graph.weights.values())
+
+
+@given(graphs_with_terminals())
+@settings(max_examples=30, deadline=None)
+def test_demote_removes_tree_from_threshold(data):
+    graph, terminals = data
+    trees = exact_top_k_steiner(graph, terminals, k=1)
+    assume(trees and trees[0].edges)
+    mira = MiraLearner(graph, margin=0.5, aggressiveness=100.0, relevance_threshold=2.0)
+    mira.demote(trees[0].feature_keys())
+    assert mira.cost(trees[0].feature_keys()) >= 2.0 + 0.5 - 1e-6

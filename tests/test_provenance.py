@@ -1,0 +1,215 @@
+"""Tests for how-provenance expressions, semirings, and explanations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProvenanceError
+from repro.provenance.expressions import (
+    ONE,
+    ZERO,
+    Plus,
+    Times,
+    Var,
+    plus,
+    times,
+    var,
+)
+from repro.provenance.semirings import (
+    best_score,
+    cheapest_cost,
+    derivation_count,
+    is_derivable,
+)
+from repro.provenance.explain import explain
+from repro.substrate.relational import (
+    Catalog,
+    DependentJoin,
+    Join,
+    Relation,
+    Scan,
+    TupleId,
+    schema_of,
+)
+from repro.substrate.relational.schema import BindingPattern
+from repro.substrate.services.base import TableBackedService
+
+
+class TestConstructors:
+    def test_times_absorbs_one(self):
+        assert times(ONE, var("R", 0)) == var("R", 0)
+
+    def test_times_annihilates_on_zero(self):
+        assert times(var("R", 0), ZERO) is ZERO
+
+    def test_times_flattens(self):
+        expr = times(times(var("A", 0), var("B", 0)), var("C", 0))
+        assert isinstance(expr, Times)
+        assert len(expr.children) == 3
+
+    def test_plus_absorbs_zero(self):
+        assert plus(ZERO, var("R", 0)) == var("R", 0)
+
+    def test_plus_dedups(self):
+        expr = plus(var("R", 0), var("R", 0))
+        assert expr == var("R", 0)
+
+    def test_plus_flattens(self):
+        expr = plus(plus(var("A", 0), var("B", 0)), var("C", 0))
+        assert isinstance(expr, Plus)
+        assert len(expr.children) == 3
+
+    def test_empty_times_is_one(self):
+        assert times() is ONE
+
+    def test_empty_plus_is_zero(self):
+        assert plus() is ZERO
+
+    def test_var_requires_tuple_id(self):
+        with pytest.raises(ProvenanceError):
+            Var("not-a-tuple-id")  # type: ignore[arg-type]
+
+    def test_operator_sugar(self):
+        expr = var("A", 0) * var("B", 0) + var("C", 0)
+        assert isinstance(expr, Plus)
+
+
+class TestDerivations:
+    def test_var_single_derivation(self):
+        assert var("R", 1).derivations() == [frozenset({TupleId("R", 1)})]
+
+    def test_times_combines(self):
+        expr = times(var("A", 0), var("B", 0))
+        assert expr.derivations() == [frozenset({TupleId("A", 0), TupleId("B", 0)})]
+
+    def test_plus_alternatives(self):
+        expr = plus(var("A", 0), var("B", 0))
+        assert len(expr.derivations()) == 2
+
+    def test_distribution(self):
+        # (a + b) * c has two derivations: {a,c} and {b,c}
+        expr = times(plus(var("A", 0), var("B", 0)), var("C", 0))
+        derivations = expr.derivations()
+        assert frozenset({TupleId("A", 0), TupleId("C", 0)}) in derivations
+        assert frozenset({TupleId("B", 0), TupleId("C", 0)}) in derivations
+
+    def test_one_derivation_is_empty_set(self):
+        assert ONE.derivations() == [frozenset()]
+
+    def test_zero_has_no_derivations(self):
+        assert ZERO.derivations() == []
+
+    def test_variables(self):
+        expr = times(plus(var("A", 0), var("B", 0)), var("C", 0))
+        assert expr.variables() == {TupleId("A", 0), TupleId("B", 0), TupleId("C", 0)}
+
+
+class TestSemirings:
+    def setup_method(self):
+        # (a + b) * c
+        self.a, self.b, self.c = TupleId("A", 0), TupleId("B", 0), TupleId("C", 0)
+        self.expr = times(plus(Var(self.a), Var(self.b)), Var(self.c))
+
+    def test_boolean_derivable(self):
+        assert is_derivable(self.expr, {self.a, self.c})
+        assert is_derivable(self.expr, {self.b, self.c})
+
+    def test_boolean_deleting_c_kills_it(self):
+        assert not is_derivable(self.expr, {self.a, self.b})
+
+    def test_counting(self):
+        assert derivation_count(self.expr) == 2
+
+    def test_counting_with_multiplicity(self):
+        assert derivation_count(self.expr, {self.a: 3, self.b: 1, self.c: 2}) == 8
+
+    def test_best_score(self):
+        score = best_score(self.expr, {self.a: 0.9, self.b: 0.5, self.c: 0.8})
+        assert score == pytest.approx(0.72)
+
+    def test_cheapest_cost(self):
+        cost = cheapest_cost(self.expr, {self.a: 2.0, self.b: 1.0, self.c: 3.0})
+        assert cost == pytest.approx(4.0)
+
+    def test_score_of_zero(self):
+        assert best_score(ZERO, {}) == 0.0
+
+
+class TestExplain:
+    @pytest.fixture()
+    def setup(self):
+        cat = Catalog()
+        shelters = Relation("Shelters", schema_of("Name", "Street", "City"))
+        shelters.add(["Monarch", "1445 Monarch Blvd", "Coconut Creek"])
+        cat.add_relation(shelters)
+        svc = TableBackedService(
+            "ZipcodeResolver",
+            schema_of("Street", "City", "Zip"),
+            BindingPattern(inputs=("Street", "City")),
+            [{"Street": "1445 Monarch Blvd", "City": "Coconut Creek", "Zip": "33063"}],
+        )
+        cat.add_service(svc)
+        plan = DependentJoin(
+            Scan("Shelters"), "ZipcodeResolver", (("Street", "Street"), ("City", "City"))
+        )
+        from repro.substrate.relational import Evaluator
+
+        result = Evaluator(cat).run(plan)
+        return cat, plan, result
+
+    def test_figure2_explanation_structure(self, setup):
+        cat, plan, result = setup
+        _, prov = result.rows[0]
+        explanation = explain(prov, cat, plan)
+        assert explanation.alternative_count == 1
+        derivation = explanation.derivations[0]
+        assert derivation.sources() == ["Shelters", "ZipcodeResolver"]
+        feeds = [str(feed) for feed in derivation.feeds]
+        assert "Shelters.Street --> ZipcodeResolver(Street)" in feeds
+        assert "Shelters.City --> ZipcodeResolver(City)" in feeds
+
+    def test_render_mentions_service(self, setup):
+        cat, plan, result = setup
+        _, prov = result.rows[0]
+        text = explain(prov, cat, plan).render()
+        assert "ZipcodeResolver" in text
+        assert "-->" in text
+
+    def test_uses_service(self, setup):
+        cat, plan, result = setup
+        _, prov = result.rows[0]
+        explanation = explain(prov, cat, plan)
+        assert explanation.uses_service("ZipcodeResolver")
+        assert not explanation.uses_service("Geocoder")
+
+    def test_alternative_derivations_render(self, setup):
+        cat, plan, _ = setup
+        expr = plus(var("Shelters", 0), var("Shelters", 0) * var("ZipcodeResolver", 0))
+        explanation = explain(expr, cat)
+        assert explanation.alternative_count == 2
+        assert "Derivation 1 of 2" in explanation.render()
+
+    def test_explain_without_plan(self, setup):
+        cat, _, result = setup
+        _, prov = result.rows[0]
+        explanation = explain(prov, cat)
+        assert explanation.derivations[0].feeds == []
+        assert len(explanation.derivations[0].contributions) == 2
+
+    def test_join_link_extraction(self, setup):
+        cat, _, _ = setup
+        damage = Relation("D", schema_of("City", "Damage"))
+        damage.add(["Coconut Creek", "minor"])
+        cat.add_relation(damage)
+        plan = Join(Scan("Shelters"), Scan("D"), (("City", "City"),))
+        from repro.substrate.relational import Evaluator
+
+        result = Evaluator(cat).run(plan)
+        _, prov = result.rows[0]
+        explanation = explain(prov, cat, plan)
+        joins = [str(link) for link in explanation.derivations[0].joins]
+        assert "Shelters.City = D.City" in joins
+
+    def test_underivable(self, setup):
+        cat, _, _ = setup
+        assert explain(ZERO, cat).render().startswith("(no derivation")

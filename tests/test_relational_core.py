@@ -1,0 +1,231 @@
+"""Tests for rows, relations, predicates, and the catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CatalogError, SchemaError
+from repro.substrate.relational import (
+    And,
+    AttrCompare,
+    Catalog,
+    Compare,
+    Contains,
+    IsNull,
+    Not,
+    NotNull,
+    Or,
+    Relation,
+    Row,
+    SourceMetadata,
+    TupleId,
+    eq,
+    schema_of,
+)
+from repro.substrate.relational.predicates import TRUE
+from repro.substrate.services.base import TableBackedService
+from repro.substrate.relational.schema import BindingPattern, Schema
+
+
+@pytest.fixture()
+def abc_schema():
+    return schema_of("a", "b", "c")
+
+
+class TestRow:
+    def test_from_sequence(self, abc_schema):
+        row = Row(abc_schema, [1, 2, 3])
+        assert row["b"] == 2
+        assert row.values == (1, 2, 3)
+
+    def test_from_mapping(self, abc_schema):
+        row = Row(abc_schema, {"c": 3, "a": 1, "b": 2})
+        assert row.values == (1, 2, 3)
+
+    def test_mapping_missing_value(self, abc_schema):
+        with pytest.raises(SchemaError, match="missing"):
+            Row(abc_schema, {"a": 1})
+
+    def test_wrong_arity(self, abc_schema):
+        with pytest.raises(SchemaError):
+            Row(abc_schema, [1, 2])
+
+    def test_get_default(self, abc_schema):
+        row = Row(abc_schema, [1, 2, 3])
+        assert row.get("z", "dflt") == "dflt"
+
+    def test_project(self, abc_schema):
+        row = Row(abc_schema, [1, 2, 3]).project(["c", "a"])
+        assert row.values == (3, 1)
+
+    def test_with_value(self, abc_schema):
+        row = Row(abc_schema, [1, 2, 3]).with_value("b", 99)
+        assert row["b"] == 99
+
+    def test_pad_to(self, abc_schema):
+        padded = Row(schema_of("a"), [1]).pad_to(abc_schema)
+        assert padded.values == (1, None, None)
+
+    def test_restricted_equal(self, abc_schema):
+        r1 = Row(abc_schema, [1, 2, 3])
+        r2 = Row(abc_schema, [1, 9, 3])
+        assert r1.restricted_equal(r2, ["a", "c"])
+        assert not r1.restricted_equal(r2, ["b"])
+
+    def test_equality_requires_same_names(self):
+        assert Row(schema_of("a"), [1]) != Row(schema_of("b"), [1])
+
+    def test_hashable(self, abc_schema):
+        assert len({Row(abc_schema, [1, 2, 3]), Row(abc_schema, [1, 2, 3])}) == 1
+
+    def test_as_dict(self, abc_schema):
+        assert Row(abc_schema, [1, 2, 3]).as_dict() == {"a": 1, "b": 2, "c": 3}
+
+
+class TestRelation:
+    def test_add_sequences_and_dicts(self, abc_schema):
+        rel = Relation("R", abc_schema)
+        rel.add([1, 2, 3])
+        rel.add({"a": 4, "b": 5, "c": 6})
+        assert len(rel) == 2
+        assert rel[1]["a"] == 4
+
+    def test_tuple_ids_are_stable(self, abc_schema):
+        rel = Relation("R", abc_schema)
+        tid = rel.add([1, 2, 3])
+        assert tid == TupleId("R", 0)
+        assert rel.tuple_id(0) == tid
+
+    def test_tuple_id_out_of_range(self, abc_schema):
+        with pytest.raises(IndexError):
+            Relation("R", abc_schema).tuple_id(0)
+
+    def test_annotated_provenance_vars(self, abc_schema):
+        rel = Relation("R", abc_schema, [[1, 2, 3], [4, 5, 6]])
+        annotated = rel.annotated()
+        assert [str(prov) for _, prov in annotated] == ["R#0", "R#1"]
+
+    def test_column_and_distinct(self, abc_schema):
+        rel = Relation("R", abc_schema, [[1, 2, 3], [1, 5, 6]])
+        assert rel.column("a") == [1, 1]
+        assert rel.distinct_values("a") == {1}
+
+    def test_schema_mismatch_row(self, abc_schema):
+        other = Row(schema_of("x", "y", "z"), [1, 2, 3])
+        with pytest.raises(SchemaError):
+            Relation("R", abc_schema).add(other)
+
+
+class TestPredicates:
+    def test_compare_eq(self, abc_schema):
+        row = Row(abc_schema, [1, 2, 3])
+        assert eq("a", 1)(row)
+        assert not eq("a", 9)(row)
+
+    def test_compare_none_never_matches(self, abc_schema):
+        row = Row(abc_schema, [None, 2, 3])
+        assert not Compare("a", "<", 5).matches(row)
+
+    def test_compare_type_error_is_false(self, abc_schema):
+        row = Row(abc_schema, ["x", 2, 3])
+        assert not Compare("a", "<", 5).matches(row)
+
+    def test_bad_operator(self):
+        with pytest.raises(Exception):
+            Compare("a", "===", 1)
+
+    def test_attr_compare(self, abc_schema):
+        row = Row(abc_schema, [2, 2, 3])
+        assert AttrCompare("a", "==", "b").matches(row)
+        assert AttrCompare("a", "<", "c").matches(row)
+
+    def test_null_predicates(self, abc_schema):
+        row = Row(abc_schema, [None, 2, 3])
+        assert IsNull("a").matches(row)
+        assert NotNull("b").matches(row)
+
+    def test_contains_case_insensitive(self, abc_schema):
+        row = Row(abc_schema, ["Coconut Creek", 2, 3])
+        assert Contains("a", "creek").matches(row)
+        assert not Contains("a", "park").matches(row)
+
+    def test_combinators(self, abc_schema):
+        row = Row(abc_schema, [1, 2, 3])
+        both = eq("a", 1) & eq("b", 2)
+        either = eq("a", 9) | eq("b", 2)
+        negated = ~eq("a", 1)
+        assert isinstance(both, And) and both.matches(row)
+        assert isinstance(either, Or) and either.matches(row)
+        assert isinstance(negated, Not) and not negated.matches(row)
+
+    def test_true_predicate(self, abc_schema):
+        assert TRUE.matches(Row(abc_schema, [1, 2, 3]))
+
+    def test_str_renderings(self):
+        assert str(eq("a", 1)) == "a == 1"
+        assert "AND" in str(eq("a", 1) & eq("b", 2))
+        assert "IS NULL" in str(IsNull("x"))
+
+
+class TestCatalog:
+    def make_service(self):
+        schema = Schema(["K", "V"])
+        return TableBackedService(
+            "Svc", schema, BindingPattern(inputs=("K",)), [{"K": "k", "V": "v"}]
+        )
+
+    def test_add_and_lookup_relation(self, abc_schema):
+        cat = Catalog()
+        cat.add_relation(Relation("R", abc_schema))
+        assert "R" in cat
+        assert cat.schema("R").names == ("a", "b", "c")
+        assert not cat.is_service("R")
+
+    def test_add_and_lookup_service(self):
+        cat = Catalog()
+        cat.add_service(self.make_service())
+        assert cat.is_service("Svc")
+        assert cat.service("Svc").input_names == ("K",)
+
+    def test_name_collision(self, abc_schema):
+        cat = Catalog()
+        cat.add_relation(Relation("X", abc_schema))
+        with pytest.raises(CatalogError):
+            cat.add_relation(Relation("X", abc_schema))
+        cat.add_relation(Relation("X", abc_schema), replace=True)
+
+    def test_wrong_kind_lookup(self, abc_schema):
+        cat = Catalog()
+        cat.add_relation(Relation("R", abc_schema))
+        with pytest.raises(CatalogError, match="base relation"):
+            cat.service("R")
+        cat.add_service(self.make_service())
+        with pytest.raises(CatalogError, match="service"):
+            cat.relation("Svc")
+
+    def test_remove(self, abc_schema):
+        cat = Catalog()
+        cat.add_relation(Relation("R", abc_schema))
+        cat.remove("R")
+        assert "R" not in cat
+        with pytest.raises(CatalogError):
+            cat.remove("R")
+
+    def test_metadata(self, abc_schema):
+        cat = Catalog()
+        cat.add_relation(
+            Relation("R", abc_schema), SourceMetadata(origin="paste", trust=0.5)
+        )
+        assert cat.metadata("R").trust == 0.5
+        with pytest.raises(CatalogError):
+            cat.metadata("nope")
+
+    def test_listing(self, abc_schema):
+        cat = Catalog()
+        cat.add_relation(Relation("B", abc_schema))
+        cat.add_relation(Relation("A", abc_schema))
+        cat.add_service(self.make_service())
+        assert cat.relation_names() == ["A", "B"]
+        assert cat.service_names() == ["Svc"]
+        assert cat.source_names() == ["A", "B", "Svc"]
+        assert len(cat) == 3

@@ -1,0 +1,223 @@
+"""Tests for the simulated services and the gazetteer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BindingError, ServiceError
+from repro.substrate.relational import schema_of
+from repro.substrate.relational.schema import BindingPattern
+from repro.substrate.services import (
+    Gazetteer,
+    ServiceRegistry,
+    TableBackedService,
+    make_city_zip_directory,
+    make_currency_converter,
+    make_forward_directory,
+    make_geocoder,
+    make_place_resolver,
+    make_reverse_directory,
+    make_unit_converter,
+    make_zipcode_resolver,
+)
+from repro.substrate.services.base import FunctionService
+
+
+class TestGazetteer:
+    def test_deterministic(self):
+        a = Gazetteer(seed=7)
+        b = Gazetteer(seed=7)
+        assert a.addresses[0] == b.addresses[0]
+        assert a.cities == b.cities
+
+    def test_different_seeds_differ(self):
+        assert Gazetteer(seed=1).addresses[0] != Gazetteer(seed=2).addresses[0]
+
+    def test_lookup_case_insensitive(self):
+        gaz = Gazetteer(seed=7)
+        addr = gaz.addresses[0]
+        assert gaz.lookup(addr.street.upper(), addr.city.lower()) == addr
+        assert gaz.lookup("1 Nowhere", "Nope") is None
+
+    def test_zip_belongs_to_city(self):
+        gaz = Gazetteer(seed=7)
+        for addr in gaz.addresses[:50]:
+            assert addr.zip in gaz.zips_for_city(addr.city)
+
+    def test_sample_restricted_to_cities(self):
+        gaz = Gazetteer(seed=7)
+        city = gaz.cities[0]
+        sample = gaz.sample(5, seed=1, cities=[city])
+        assert all(address.city == city for address in sample)
+
+    def test_sample_too_many(self):
+        gaz = Gazetteer(n_cities=3, streets_per_city=2, seed=7)
+        with pytest.raises(ValueError):
+            gaz.sample(1000, seed=1)
+
+    def test_coordinates_in_florida(self):
+        gaz = Gazetteer(seed=7)
+        for address in gaz.addresses[:50]:
+            assert 25.5 < address.lat < 27.5
+            assert -81.0 < address.lon < -79.5
+
+
+class TestTableBackedService:
+    def test_exact_lookup_and_echo(self):
+        svc = TableBackedService(
+            "S",
+            schema_of("K", "V"),
+            BindingPattern(inputs=("K",)),
+            [{"K": "a", "V": 1}, {"K": "b", "V": 2}],
+        )
+        assert svc.invoke({"K": "a"}) == [{"K": "a", "V": 1}]
+        assert svc.invoke({"K": "A "}) == [{"K": "A ", "V": 1}]  # normalized key
+        assert svc.invoke({"K": "z"}) == []
+
+    def test_ambiguous_key_returns_multiple(self):
+        svc = TableBackedService(
+            "S",
+            schema_of("K", "V"),
+            BindingPattern(inputs=("K",)),
+            [{"K": "a", "V": 1}, {"K": "a", "V": 2}],
+        )
+        assert len(svc.invoke({"K": "a"})) == 2
+
+    def test_missing_binding_raises(self):
+        svc = TableBackedService(
+            "S", schema_of("K", "V"), BindingPattern(inputs=("K",)), []
+        )
+        with pytest.raises(BindingError):
+            svc.invoke({})
+
+    def test_free_binding_rejected(self):
+        with pytest.raises(ServiceError):
+            TableBackedService("S", schema_of("K", "V"), BindingPattern(), [])
+
+    def test_table_row_missing_attr(self):
+        with pytest.raises(ServiceError):
+            TableBackedService(
+                "S", schema_of("K", "V"), BindingPattern(inputs=("K",)), [{"K": "a"}]
+            )
+
+    def test_result_tuple_ids_are_interned(self):
+        svc = TableBackedService(
+            "S",
+            schema_of("K", "V"),
+            BindingPattern(inputs=("K",)),
+            [{"K": "a", "V": 1}],
+        )
+        row = svc.invoke({"K": "a"})[0]
+        assert svc.result_tuple_id(row) == svc.result_tuple_id(dict(row))
+
+    def test_call_count(self):
+        svc = TableBackedService(
+            "S", schema_of("K", "V"), BindingPattern(inputs=("K",)), [{"K": "a", "V": 1}]
+        )
+        svc.invoke({"K": "a"})
+        svc.invoke({"K": "b"})
+        assert svc.call_count == 2
+
+
+class TestLocationServices:
+    @pytest.fixture(scope="class")
+    def gaz(self):
+        return Gazetteer(seed=7)
+
+    def test_zip_resolver_agrees_with_gazetteer(self, gaz):
+        svc = make_zipcode_resolver(gaz)
+        addr = gaz.addresses[3]
+        rows = svc.invoke({"Street": addr.street, "City": addr.city})
+        assert rows == [{"Street": addr.street, "City": addr.city, "Zip": addr.zip}]
+
+    def test_geocoder_agrees_with_gazetteer(self, gaz):
+        svc = make_geocoder(gaz)
+        addr = gaz.addresses[3]
+        rows = svc.invoke({"Street": addr.street, "City": addr.city})
+        assert rows[0]["Lat"] == addr.lat
+        assert rows[0]["Lon"] == addr.lon
+
+    def test_city_zip_directory_is_ambiguous(self, gaz):
+        svc = make_city_zip_directory(gaz)
+        multi_zip_city = next(c for c in gaz.cities if len(gaz.zips_for_city(c)) > 1)
+        rows = svc.invoke({"City": multi_zip_city})
+        assert len(rows) == len(gaz.zips_for_city(multi_zip_city))
+
+    def test_place_resolver_partial_match(self, gaz):
+        places = {
+            "Monarch High School": {"Street": "1 A St", "City": "Creek", "Lat": 26.0, "Lon": -80.0},
+            "Tedder Community Center": {"Street": "2 B St", "City": "Park", "Lat": 26.1, "Lon": -80.1},
+        }
+        svc = make_place_resolver(places)
+        rows = svc.invoke({"Name": "Monarch High"})
+        assert rows and rows[0]["Street"] == "1 A St"
+
+    def test_place_resolver_ambiguity(self, gaz):
+        places = {
+            "North Community Center": {"Street": "1 A", "City": "X", "Lat": 1.0, "Lon": 2.0},
+            "South Community Center": {"Street": "2 B", "City": "Y", "Lat": 3.0, "Lon": 4.0},
+        }
+        svc = make_place_resolver(places)
+        rows = svc.invoke({"Name": "Community Center"})
+        assert len(rows) == 2
+
+    def test_directories_are_inverses(self):
+        contacts = [{"Name": "Maria Garcia", "Phone": "(954) 555-0001"}]
+        reverse = make_reverse_directory(contacts)
+        forward = make_forward_directory(contacts)
+        phone = forward.invoke({"Name": "Maria Garcia"})[0]["Phone"]
+        assert reverse.invoke({"Phone": phone})[0]["Name"] == "Maria Garcia"
+
+
+class TestConversionServices:
+    def test_currency_roundtrip(self):
+        svc = make_currency_converter()
+        out = svc.invoke({"Amount": 100, "From": "USD", "To": "EUR"})
+        back = svc.invoke({"Amount": out[0]["Converted"], "From": "EUR", "To": "USD"})
+        assert back[0]["Converted"] == pytest.approx(100, abs=0.01)
+
+    def test_currency_unknown_code(self):
+        svc = make_currency_converter()
+        assert svc.invoke({"Amount": 1, "From": "XXX", "To": "USD"}) == []
+
+    def test_currency_bad_amount(self):
+        svc = make_currency_converter()
+        assert svc.invoke({"Amount": "n/a", "From": "USD", "To": "EUR"}) == []
+
+    def test_unit_mile_to_km(self):
+        svc = make_unit_converter()
+        out = svc.invoke({"Value": 1, "From": "mi", "To": "km"})
+        assert out[0]["Converted"] == pytest.approx(1.609344)
+
+    def test_unit_dimension_mismatch(self):
+        svc = make_unit_converter()
+        assert svc.invoke({"Value": 1, "From": "mi", "To": "kg"}) == []
+
+    def test_function_service_single_dict_result(self):
+        svc = FunctionService(
+            "F",
+            schema_of("X", "Y"),
+            BindingPattern(inputs=("X",)),
+            fn=lambda X: {"Y": X * 2},
+        )
+        assert svc.invoke({"X": 3}) == [{"X": 3, "Y": 6}]
+
+    def test_function_service_none_result(self):
+        svc = FunctionService(
+            "F", schema_of("X", "Y"), BindingPattern(inputs=("X",)), fn=lambda X: None
+        )
+        assert svc.invoke({"X": 3}) == []
+
+
+class TestServiceRegistry:
+    def test_standard_suite_registration(self):
+        gaz = Gazetteer(seed=7)
+        registry = ServiceRegistry(gaz).install_location_services().install_conversion_services()
+        from repro.substrate.relational import Catalog
+
+        catalog = Catalog()
+        registry.register_all(catalog)
+        assert "ZipcodeResolver" in catalog.service_names()
+        assert "Geocoder" in catalog.service_names()
+        assert "CurrencyConverter" in catalog.service_names()
+        assert catalog.metadata("Geocoder").origin == "predefined"

@@ -1,0 +1,154 @@
+"""Tests for service substitution (§3.2 'replacement sources')."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import build_scenario
+from repro.errors import IntegrationError
+from repro.learning.model.substitution import (
+    Replacement,
+    find_replacements,
+    substitute_service,
+)
+from repro.substrate.relational import (
+    Attribute,
+    DependentJoin,
+    Evaluator,
+    Relation,
+    Scan,
+    Schema,
+    SourceMetadata,
+)
+from repro.substrate.relational.schema import (
+    BindingPattern,
+    CITY,
+    PLACE,
+    STREET,
+    ZIPCODE,
+)
+from repro.substrate.services.base import TableBackedService
+
+
+@pytest.fixture()
+def world(fresh_scenario):
+    """Scenario catalog plus an alternate zip service with renamed attrs."""
+    catalog = fresh_scenario.catalog
+    shelters = Relation(
+        "Shelters",
+        Schema([Attribute("Name", PLACE), Attribute("Street", STREET), Attribute("City", CITY)]),
+    )
+    for row in fresh_scenario.truth_shelter_rows():
+        shelters.add(row)
+    catalog.add_relation(shelters, SourceMetadata(origin="paste"))
+
+    mirror = TableBackedService(
+        "BackupZipService",
+        Schema(
+            [
+                Attribute("Addr", STREET),
+                Attribute("Town", CITY),
+                Attribute("Postal", ZIPCODE),
+            ]
+        ),
+        BindingPattern(inputs=("Addr", "Town")),
+        [
+            {"Addr": a.street, "Town": a.city, "Postal": a.zip}
+            for a in fresh_scenario.gazetteer.addresses
+        ],
+    )
+    catalog.add_service(mirror)
+    return fresh_scenario, catalog
+
+
+def probe_inputs(scenario, count=6):
+    return [
+        {"Street": s.address.street, "City": s.address.city}
+        for s in scenario.shelters[:count]
+    ]
+
+
+class TestFindReplacements:
+    def test_backup_service_found(self, world):
+        scenario, catalog = world
+        replacements = find_replacements(
+            catalog, "ZipcodeResolver", probe_inputs(scenario)
+        )
+        backup = next(
+            (r for r in replacements if r.substitute == "BackupZipService"), None
+        )
+        assert backup is not None
+        assert backup.score >= 0.99
+        assert dict(backup.output_map)["Postal"] == "Zip"
+        assert backup.covers_outputs(["Zip"])
+
+    def test_no_replacement_for_unique_service(self, world):
+        scenario, catalog = world
+        replacements = find_replacements(
+            catalog, "CurrencyConverter",
+            [{"Amount": 10, "From": "USD", "To": "EUR"}],
+        )
+        assert all(r.score < 0.7 for r in replacements) or replacements == []
+
+    def test_describe(self, world):
+        scenario, catalog = world
+        replacements = find_replacements(
+            catalog, "ZipcodeResolver", probe_inputs(scenario)
+        )
+        backup = next(r for r in replacements if r.substitute == "BackupZipService")
+        text = backup.describe()
+        assert "BackupZipService for ZipcodeResolver" in text
+
+
+class TestSubstituteService:
+    def make_plan(self):
+        return DependentJoin(
+            Scan("Shelters"),
+            "ZipcodeResolver",
+            (("Street", "Street"), ("City", "City")),
+        )
+
+    def test_rewritten_plan_produces_identical_rows(self, world):
+        scenario, catalog = world
+        plan = self.make_plan()
+        original = Evaluator(catalog).run(plan)
+        replacement = next(
+            r for r in find_replacements(catalog, "ZipcodeResolver", probe_inputs(scenario))
+            if r.substitute == "BackupZipService"
+        )
+        rewritten = substitute_service(plan, replacement, catalog)
+        substituted = Evaluator(catalog).run(rewritten)
+        assert substituted.schema.names == original.schema.names
+        assert sorted(map(tuple, (r.values for r in substituted.plain_rows()))) == sorted(
+            map(tuple, (r.values for r in original.plain_rows()))
+        )
+        assert "BackupZipService" in rewritten.sources()
+        assert "ZipcodeResolver" not in rewritten.sources()
+
+    def test_substitution_requires_target_in_plan(self, world):
+        _, catalog = world
+        replacement = Replacement(
+            original="Geocoder",
+            substitute="BackupZipService",
+            input_map=(("Addr", "Street"), ("Town", "City")),
+            output_map=(("Postal", "Zip"),),
+            score=1.0,
+        )
+        with pytest.raises(IntegrationError):
+            substitute_service(self.make_plan(), replacement, catalog)
+
+    def test_substitution_deep_in_plan(self, world):
+        scenario, catalog = world
+        from repro.substrate.relational import Project, Select, eq
+
+        inner = self.make_plan()
+        city = scenario.shelters[0].address.city
+        plan = Project(Select(inner, eq("City", city)), ("Name", "Zip"))
+        replacement = next(
+            r for r in find_replacements(catalog, "ZipcodeResolver", probe_inputs(scenario))
+            if r.substitute == "BackupZipService"
+        )
+        rewritten = substitute_service(plan, replacement, catalog)
+        original = Evaluator(catalog).run(plan)
+        substituted = Evaluator(catalog).run(rewritten)
+        assert substituted.dicts() == original.dicts()

@@ -1,0 +1,124 @@
+"""Tests for the supplies-depot scenario: unit conversion in the loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Browser, CopyCatSession
+from repro.core.workspace import CellState
+from repro.data.supplies import build_supplies_scenario
+
+
+@pytest.fixture()
+def supplies_env(trained_types):
+    from repro.learning.structure import StructureLearner
+
+    scenario = build_supplies_scenario(seed=3, n_lines=9)
+    session = CopyCatSession(
+        catalog=scenario.catalog,
+        seed=1,
+        type_learner=trained_types,
+        structure_learner=StructureLearner(type_learner=trained_types),
+    )
+    browser = Browser(session.clipboard, scenario.website)
+    browser.navigate(scenario.list_url())
+    return scenario, session, browser
+
+
+def import_depots(scenario, session, browser):
+    listing = browser.page.dom.find("table", "listing")
+    records = [n for n in listing.children if "record" in n.css_classes]
+    browser.copy_record(records[0], "Depots")
+    session.paste()
+    browser.copy_record(records[1], "Depots")
+    session.paste()
+    session.accept_row_suggestions()
+    for index, label in enumerate(["Depot", "City", "Item", "Value", "From"]):
+        session.label_column(index, label)
+
+
+class TestSuppliesScenario:
+    def test_deterministic(self):
+        a = build_supplies_scenario(seed=3)
+        b = build_supplies_scenario(seed=3)
+        assert [r.as_row() for r in a.depots] == [r.as_row() for r in b.depots]
+
+    def test_kilogram_truth(self):
+        scenario = build_supplies_scenario(seed=3)
+        lb = next((r for r in scenario.depots if r.unit == "lb"), None)
+        if lb is not None:
+            assert lb.kilograms() == pytest.approx(lb.value * 0.45359237)
+        kg = next((r for r in scenario.depots if r.unit == "kg"), None)
+        if kg is not None:
+            assert kg.kilograms() == pytest.approx(kg.value)
+
+    def test_import_generalizes(self, supplies_env):
+        scenario, session, browser = supplies_env
+        import_depots(scenario, session, browser)
+        table = session.workspace.tab("Depots")
+        assert len(table.committed_rows()) == len(scenario.depots)
+
+
+class TestUnitConversionFlow:
+    def test_constant_column_then_converter_suggestion(self, supplies_env):
+        scenario, session, browser = supplies_env
+        import_depots(scenario, session, browser)
+
+        # Flash-fill the target unit: two identical examples teach const('kg').
+        transform, col = session.add_derived_column("To", {0: "kg", 1: "kg"}, tab="Depots")
+        assert transform.kind == "constant"
+        session.workspace.tab("Depots").accept_column(col)
+        session.commit_source("Depots")
+
+        session.start_integration("Depots")
+        suggestions = session.column_suggestions(k=8)
+        converter = next(
+            (s for s in suggestions if s.source == "UnitConverter"), None
+        )
+        assert converter is not None, [s.describe() for s in suggestions]
+        assert "Converted" in converter.attribute_names
+
+    def test_converted_values_match_truth(self, supplies_env):
+        scenario, session, browser = supplies_env
+        import_depots(scenario, session, browser)
+        _, col = session.add_derived_column("To", {0: "kg", 1: "kg"}, tab="Depots")
+        session.workspace.tab("Depots").accept_column(col)
+        session.commit_source("Depots")
+        session.start_integration("Depots")
+        suggestions = session.column_suggestions(k=8)
+        index = next(i for i, s in enumerate(suggestions) if s.source == "UnitConverter")
+        session.preview_column(index)
+        session.accept_column(index)
+
+        table = session.workspace.tab(session.OUTPUT_TAB)
+        truth = {
+            (r.depot, r.item): r.kilograms() for r in scenario.depots
+        }
+        depot_col = table.column_index("Depot")
+        item_col = table.column_index("Item")
+        converted_col = table.column_index("Converted")
+        checked = 0
+        for row_index in range(table.n_rows):
+            key = (
+                table.cell(row_index, depot_col).value,
+                table.cell(row_index, item_col).value,
+            )
+            value = table.cell(row_index, converted_col).value
+            if value is not None:
+                assert float(value) == pytest.approx(truth[key], rel=1e-3)
+                checked += 1
+        assert checked == len(scenario.depots)
+
+    def test_requirements_join_also_offered(self, supplies_env):
+        """The local Requirements table joins on (City, Item)."""
+        scenario, session, browser = supplies_env
+        import_depots(scenario, session, browser)
+        session.commit_source("Depots")
+        session.start_integration("Depots")
+        suggestions = session.column_suggestions(k=8)
+        requirement = next(
+            (s for s in suggestions if s.source == "Requirements"), None
+        )
+        if requirement is None:
+            pytest.skip("Requirements join below top-k this seed")
+        assert "RequiredKg" in requirement.attribute_names

@@ -1,0 +1,168 @@
+"""Tests for the Word-like text-document wrapper and label-block extraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CopyCatSession, build_scenario
+from repro.errors import ClipboardError, DocumentError
+from repro.learning.structure import StructureLearner
+from repro.learning.structure.experts import LabelBlockExpert
+from repro.substrate.documents import Clipboard, TextDocument, WordApp
+
+SAMPLE = TextDocument(
+    name="Memo",
+    text=(
+        "WEEKLY MEMO\n"
+        "===========\n"
+        "\n"
+        "Name: Alpha Depot\n"
+        "City: Creek\n"
+        "\n"
+        "Name: Beta Depot\n"
+        "City: Park\n"
+        "\n"
+        "Please direct questions to the duty officer.\n"
+    ),
+)
+
+
+class TestTextDocument:
+    def test_paragraphs(self):
+        assert len(SAMPLE.paragraphs()) == 4
+
+    def test_labeled_blocks_skip_prose(self):
+        blocks = SAMPLE.labeled_blocks()
+        assert blocks == [
+            {"Name": "Alpha Depot", "City": "Creek"},
+            {"Name": "Beta Depot", "City": "Park"},
+        ]
+
+    def test_block_requires_all_lines_labeled(self):
+        doc = TextDocument("X", "Name: A\nfree prose line\n\nName: B\nCity: Y\n\nName: C\nCity: Z")
+        blocks = doc.labeled_blocks()
+        assert len(blocks) == 2  # the mixed paragraph is skipped
+
+    def test_contains(self):
+        assert SAMPLE.contains("Alpha Depot")
+        assert not SAMPLE.contains("Gamma")
+
+
+class TestWordApp:
+    def test_open_and_copy(self):
+        clip = Clipboard()
+        app = WordApp(clip, SAMPLE)
+        app.open("Memo")
+        event = app.copy_text("Alpha Depot")
+        assert event.context.app == "word"
+        assert event.context.document is SAMPLE
+
+    def test_copy_requires_presence(self):
+        app = WordApp(Clipboard(), SAMPLE)
+        app.open("Memo")
+        with pytest.raises(ClipboardError):
+            app.copy_text("Not In Document")
+
+    def test_copy_fields_tab_separated(self):
+        app = WordApp(Clipboard(), SAMPLE)
+        app.open("Memo")
+        event = app.copy_fields(["Alpha Depot", "Creek"])
+        assert event.fields == [["Alpha Depot", "Creek"]]
+
+    def test_unknown_document(self):
+        app = WordApp(Clipboard())
+        with pytest.raises(DocumentError):
+            app.open("Nope")
+        with pytest.raises(DocumentError):
+            _ = app.document
+
+
+class TestLabelBlockExpert:
+    def test_majority_label_set_wins(self):
+        doc = TextDocument(
+            "Mixed",
+            "A: 1\nB: 2\n\nA: 3\nB: 4\n\nA: 5\nB: 6\n\nA: 7\nC: 8\n",
+        )
+        candidates = LabelBlockExpert().propose_text(doc)
+        assert len(candidates) == 1
+        assert candidates[0].n_columns == 2
+        assert len(candidates[0].records) == 3
+
+    def test_single_block_insufficient(self):
+        doc = TextDocument("One", "A: 1\nB: 2\n")
+        assert LabelBlockExpert().propose_text(doc) == []
+
+
+class TestWordImportFlow:
+    def test_generalize_from_situation_report(self, trained_types):
+        scenario = build_scenario(seed=5, n_shelters=8)
+        clip = Clipboard()
+        word = WordApp(clip, scenario.situation_report)
+        word.open("SituationReport")
+        shelter = scenario.shelters[0]
+        event = word.copy_fields([shelter.name, str(shelter.capacity)])
+        learner = StructureLearner(type_learner=trained_types)
+        result = learner.generalize(event)
+        rows = result.best.rows()
+        expected = sorted((s.name, str(s.capacity)) for s in scenario.shelters)
+        assert sorted(map(tuple, rows)) == expected
+        assert "label-block" in result.best.candidate.support
+
+    def test_full_width_generalization(self, trained_types):
+        scenario = build_scenario(seed=5, n_shelters=8)
+        clip = Clipboard()
+        word = WordApp(clip, scenario.situation_report)
+        word.open("SituationReport")
+        shelter = scenario.shelters[0]
+        event = word.copy_fields(
+            [shelter.name, shelter.address.street, shelter.address.city, str(shelter.capacity)]
+        )
+        learner = StructureLearner(type_learner=trained_types)
+        result = learner.generalize(event)
+        assert len(result.best.rows()) == 8
+        assert result.best.candidate.n_columns == 4
+
+    def test_session_paste_from_word(self, trained_types):
+        scenario = build_scenario(seed=5, n_shelters=8)
+        session = CopyCatSession(
+            catalog=scenario.catalog,
+            seed=1,
+            type_learner=trained_types,
+            structure_learner=StructureLearner(type_learner=trained_types),
+        )
+        word = WordApp(session.clipboard, scenario.situation_report)
+        word.open("SituationReport")
+        shelter = scenario.shelters[0]
+        word.copy_fields([shelter.name, str(shelter.capacity)], source_name="Capacities")
+        outcome = session.paste()
+        assert outcome.n_suggested_rows == 7
+        session.accept_row_suggestions()
+        session.label_column(0, "Name")
+        session.label_column(1, "Capacity")
+        relation = session.commit_source()
+        assert len(relation) == 8
+        # The capacity source now joins the integration graph: a record-link
+        # or join edge against the website shelters becomes possible later.
+        assert "Capacities" in session.catalog.relation_names()
+
+    def test_fallback_on_free_text(self, trained_types):
+        """Values embedded in prose (no labeled blocks) still extract via
+        landmark induction over the raw text."""
+        doc = TextDocument(
+            "Prose",
+            (
+                "Open shelters tonight: [Monarch High] in (Creek); "
+                "[Tedder Center] in (Park); [Norcrest Elem] in (Creek).\n"
+            ),
+        )
+        clip = Clipboard()
+        app = WordApp(clip, doc)
+        app.open("Prose")
+        event = app.copy_fields(["Monarch High", "Creek"])
+        learner = StructureLearner(type_learner=trained_types)
+        result = learner.generalize(
+            event, [["Monarch High", "Creek"], ["Tedder Center", "Park"]]
+        )
+        assert result.hypotheses
+        rows = result.best.rows()
+        assert ["Norcrest Elem", "Creek"] in rows

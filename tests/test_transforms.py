@@ -1,0 +1,179 @@
+"""Tests for transform-by-example learning (§5 'Complex functions')."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LearningError
+from repro.learning.transforms import Transform, TransformLearner
+
+
+@pytest.fixture()
+def learner():
+    return TransformLearner()
+
+
+class TestStringTransforms:
+    def test_identity_preferred_when_exact(self, learner):
+        best = learner.best([({"a": "x"}, "x"), ({"a": "y"}, "y")])
+        assert best.kind == "identity"
+
+    def test_upper_case(self, learner):
+        best = learner.best([({"a": "monarch"}, "MONARCH"), ({"a": "tedder"}, "TEDDER")])
+        assert best.description == "upper(a)"
+        assert best.apply({"a": "creek"}) == "CREEK"
+
+    def test_title_case(self, learner):
+        best = learner.best([({"a": "oakland park"}, "Oakland Park")])
+        assert "title" in best.description
+
+    def test_first_and_last_token(self, learner):
+        first = learner.best([({"a": "Monarch High School"}, "Monarch")])
+        assert first.description == "first_token(a)"
+        last = learner.best(
+            [({"a": "Monarch High School"}, "School"), ({"a": "Quiet Waters Park"}, "Park")]
+        )
+        assert last.description == "last_token(a)"
+
+    def test_split_on_comma(self, learner):
+        examples = [
+            ({"addr": "1445 Monarch Blvd, Coconut Creek"}, "Coconut Creek"),
+            ({"addr": "620 Andrews Dr, Pompano Beach"}, "Pompano Beach"),
+        ]
+        best = learner.best(examples)
+        assert best.description == "after_comma(addr)"
+        assert best.apply({"addr": "1 A St, B Town"}) == "B Town"
+
+    def test_prefix(self, learner):
+        best = learner.best([({"a": "33063"}, "330"), ({"a": "33442"}, "334")])
+        assert best.description == "prefix3(a)"
+
+    def test_concat_with_separator(self, learner):
+        examples = [
+            ({"Street": "1 A St", "City": "X"}, "1 A St, X"),
+            ({"Street": "2 B Rd", "City": "Y"}, "2 B Rd, Y"),
+        ]
+        best = learner.best(examples)
+        assert best.kind == "concat"
+        assert best.apply({"Street": "3 C Ln", "City": "Z"}) == "3 C Ln, Z"
+
+    def test_inconsistent_examples_yield_nothing(self, learner):
+        with pytest.raises(LearningError):
+            learner.best([({"a": "x"}, "X"), ({"a": "y"}, "y!")])
+
+
+class TestNumericTransforms:
+    def test_scaling_mi_to_km(self, learner):
+        examples = [({"d": 10}, 16.09344), ({"d": 2}, 3.218688)]
+        best = learner.best(examples)
+        assert best.kind == "scale"
+        assert best.apply({"d": 1}) == pytest.approx(1.609344)
+
+    def test_shift(self, learner):
+        best = learner.best([({"x": 10}, 13), ({"x": 1}, 4)])
+        assert best.kind == "shift"
+        assert best.apply({"x": 0}) == pytest.approx(3)
+
+    def test_linear(self, learner):
+        # y = 2x + 1, neither pure scale nor pure shift.
+        best = learner.best([({"x": 1}, 3), ({"x": 2}, 5), ({"x": 10}, 21)])
+        assert best.kind == "linear"
+        assert best.apply({"x": 4}) == pytest.approx(9)
+
+    def test_rounding(self, learner):
+        best = learner.best([({"x": 26.01328}, 26.0), ({"x": 80.277}, 80.3)])
+        assert best.kind == "round"
+
+    def test_zero_padding(self, learner):
+        best = learner.best([({"n": 42}, "00042"), ({"n": 7}, "00007")])
+        assert best.kind == "pad"
+        assert best.apply({"n": 123}) == "00123"
+
+    def test_constant_fallback(self, learner):
+        best = learner.best([({"a": "x"}, "FL"), ({"a": "y"}, "FL")])
+        assert best.kind == "constant"
+
+    def test_needs_examples(self, learner):
+        with pytest.raises(LearningError):
+            learner.learn([])
+
+
+class TestRanking:
+    def test_simpler_hypotheses_rank_first(self, learner):
+        # upper() and a constant both fit one example; case must win.
+        ranked = learner.learn([({"a": "abc"}, "ABC")])
+        kinds = [transform.kind for transform in ranked]
+        assert kinds.index("case") < kinds.index("constant")
+
+    def test_attribute_restriction(self, learner):
+        examples = [({"a": "x", "b": "X"}, "X")]
+        ranked = learner.learn(examples, attributes=["a"])
+        assert all("b" not in transform.inputs for transform in ranked)
+
+    def test_apply_handles_bad_rows(self):
+        transform = TransformLearner().best([({"a": "abc"}, "ABC")])
+        assert transform.apply({"a": None}) is None
+        assert transform.apply({}) is None
+
+    def test_dedup(self, learner):
+        ranked = learner.learn([({"a": "q"}, "q")])
+        descriptions = [transform.description for transform in ranked]
+        assert len(descriptions) == len(set(descriptions))
+
+
+class TestSessionIntegration:
+    def make_session(self):
+        from repro import CopyCatSession, build_scenario
+        from .test_session import import_shelters, listing_rows
+        from repro.substrate.documents import Browser
+
+        scenario = build_scenario(seed=5, n_shelters=8, noise=1)
+        session = CopyCatSession(catalog=scenario.catalog, seed=1)
+        browser = Browser(session.clipboard, scenario.website)
+        browser.navigate(scenario.list_urls()[0])
+        import_shelters(scenario, session, browser)
+        session.start_integration("Shelters")
+        return scenario, session
+
+    def test_add_derived_column_flash_fill(self):
+        scenario, session = self.make_session()
+        table = session.workspace.tab(session.OUTPUT_TAB)
+        expected = {
+            i: f"{table.cell(i, 1).value}, {table.cell(i, 2).value}"
+            for i in range(table.n_rows)
+        }
+        transform, col = session.add_derived_column(
+            "FullAddress", {0: expected[0], 1: expected[1]}
+        )
+        assert transform.kind == "concat"
+        for i in range(table.n_rows):
+            assert table.cell(i, col).value == expected[i]
+        # Non-example cells are suggestions until accepted.
+        from repro.core.workspace import CellState
+
+        assert table.cell(2, col).state == CellState.SUGGESTED
+        assert table.cell(0, col).state == CellState.USER
+
+    def test_cleaning_mode_suppresses_generalization(self):
+        _, session = self.make_session()
+        session.enter_cleaning_mode()
+        suggestions = session.edit_cell(0, 0, "Renamed Shelter", tab=session.OUTPUT_TAB)
+        assert suggestions == []
+        table = session.workspace.tab(session.OUTPUT_TAB)
+        assert table.cell(0, 0).value == "Renamed Shelter"
+        session.exit_cleaning_mode()
+
+    def test_two_consistent_edits_propose_generalization(self):
+        _, session = self.make_session()
+        table = session.workspace.tab(session.OUTPUT_TAB)
+        v0 = table.cell(0, 2).value
+        v1 = table.cell(1, 2).value
+        assert session.edit_cell(0, 2, str(v0).upper(), tab=session.OUTPUT_TAB) == []
+        proposals = session.edit_cell(1, 2, str(v1).upper(), tab=session.OUTPUT_TAB)
+        assert proposals, "second consistent edit must propose a transform"
+        upper = next(t for t in proposals if "upper" in t.description)
+        changed = session.apply_edit_generalization(2, upper, tab=session.OUTPUT_TAB)
+        assert changed == table.n_rows - 2
+        assert all(
+            str(table.cell(i, 2).value).isupper() for i in range(table.n_rows)
+        )

@@ -1,0 +1,167 @@
+"""Tests for repro.util: rng, text tokenization, string similarity."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.util.rng import DEFAULT_SEED, derive_rng, make_rng, stable_shuffle, weighted_choice
+from repro.util.strings import (
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    levenshtein_ratio,
+    longest_common_prefix,
+    longest_common_suffix,
+    ngram_dice,
+    ngrams,
+    token_jaccard,
+)
+from repro.util.text import Token, is_numeric, normalize, title_case, token_strings, tokenize
+
+
+class TestRng:
+    def test_default_seed_is_deterministic(self):
+        assert make_rng().random() == make_rng(DEFAULT_SEED).random()
+
+    def test_int_seed(self):
+        assert make_rng(7).random() == make_rng(7).random()
+
+    def test_passthrough_random_instance(self):
+        rng = random.Random(1)
+        assert make_rng(rng) is rng
+
+    def test_derive_rng_label_sensitivity(self):
+        a = derive_rng(make_rng(1), "alpha").random()
+        b = derive_rng(make_rng(1), "beta").random()
+        assert a != b
+
+    def test_derive_rng_reproducible(self):
+        a = derive_rng(make_rng(1), "x").random()
+        b = derive_rng(make_rng(1), "x").random()
+        assert a == b
+
+    def test_stable_shuffle_is_copy(self):
+        items = [1, 2, 3, 4, 5]
+        out = stable_shuffle(items, seed=3)
+        assert sorted(out) == items
+        assert items == [1, 2, 3, 4, 5]
+
+    def test_stable_shuffle_deterministic(self):
+        assert stable_shuffle(range(20), seed=3) == stable_shuffle(range(20), seed=3)
+
+    def test_weighted_choice_validation(self):
+        with pytest.raises(ValueError):
+            weighted_choice(make_rng(1), ["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            weighted_choice(make_rng(1), [], [])
+
+    def test_weighted_choice_heavy_weight_wins_mostly(self):
+        rng = make_rng(1)
+        picks = [weighted_choice(rng, ["a", "b"], [99.0, 1.0]) for _ in range(200)]
+        assert picks.count("a") > 150
+
+
+class TestTokenize:
+    def test_splits_words_numbers_punct(self):
+        tokens = tokenize("1445 Monarch Blvd, FL")
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["number", "word", "word", "punct", "word"]
+
+    def test_decimal_number_is_one_token(self):
+        tokens = tokenize("26.013284")
+        assert [t.text for t in tokens] == ["26.013284"]
+        assert tokens[0].kind == "number"
+
+    def test_keep_space(self):
+        tokens = tokenize("a b", keep_space=True)
+        assert [t.kind for t in tokens] == ["word", "space", "word"]
+
+    def test_token_strings(self):
+        assert token_strings("(954) 555-1212") == ["(", "954", ")", "555", "-", "1212"]
+
+    def test_normalize(self):
+        assert normalize("  Coconut   CREEK ") == "coconut creek"
+
+    def test_title_case(self):
+        assert title_case("oakland park 3rd st") == "Oakland Park 3Rd St"
+
+    def test_is_numeric(self):
+        assert is_numeric(" 33063 ")
+        assert is_numeric("-26.5")
+        assert not is_numeric("33 063")
+        assert not is_numeric("zip")
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+
+class TestLevenshtein:
+    def test_identity(self):
+        assert levenshtein("abc", "abc") == 0
+
+    def test_empty_cases(self):
+        assert levenshtein("", "abc") == 3
+        assert levenshtein("abc", "") == 3
+
+    def test_substitution(self):
+        assert levenshtein("kitten", "sitten") == 1
+
+    def test_classic(self):
+        assert levenshtein("kitten", "sitting") == 3
+
+    def test_ratio_bounds(self):
+        assert levenshtein_ratio("", "") == 1.0
+        assert levenshtein_ratio("abc", "abc") == 1.0
+        assert levenshtein_ratio("abc", "xyz") == 0.0
+
+    def test_symmetry(self):
+        assert levenshtein("flaw", "lawn") == levenshtein("lawn", "flaw")
+
+
+class TestJaro:
+    def test_identity(self):
+        assert jaro("monarch", "monarch") == 1.0
+
+    def test_empty(self):
+        assert jaro("", "abc") == 0.0
+
+    def test_known_value(self):
+        # Classic example: MARTHA vs MARHTA = 0.944...
+        assert jaro("MARTHA", "MARHTA") == pytest.approx(0.9444, abs=1e-3)
+
+    def test_winkler_prefix_boost(self):
+        assert jaro_winkler("monarch", "monarck") > jaro("monarch", "monarck")
+
+    def test_winkler_caps_at_one(self):
+        assert jaro_winkler("abcd", "abcd") == 1.0
+
+
+class TestTokenSimilarities:
+    def test_jaccard_identity(self):
+        assert token_jaccard("Monarch High School", "monarch high school") == 1.0
+
+    def test_jaccard_partial(self):
+        value = token_jaccard("Monarch High School", "Monarch High")
+        assert value == pytest.approx(2 / 3)
+
+    def test_jaccard_empty_both(self):
+        assert token_jaccard("", "") == 1.0
+
+    def test_jaccard_one_empty(self):
+        assert token_jaccard("abc", "") == 0.0
+
+    def test_ngrams_padding(self):
+        grams = ngrams("ab", n=2)
+        assert grams == [" a", "ab", "b "]
+
+    def test_dice_identity(self):
+        assert ngram_dice("street", "street") == 1.0
+
+    def test_dice_disjoint(self):
+        assert ngram_dice("aaa", "zzz") == 0.0
+
+    def test_common_prefix_suffix(self):
+        assert longest_common_prefix("monarch", "monaco") == 4
+        assert longest_common_suffix("creek blvd", "park blvd") == 6  # "k blvd"
