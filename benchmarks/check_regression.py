@@ -1,0 +1,131 @@
+"""CI perf gate: compare a pytest-benchmark run against a checked-in baseline.
+
+Usage::
+
+    # gate (exit 1 on any >25% regression):
+    python benchmarks/check_regression.py reports/benchmark.json baseline.json
+
+    # refresh the baseline from a new run:
+    python benchmarks/check_regression.py reports/benchmark.json baseline.json --update
+
+The input is the ``--benchmark-json`` output of pytest-benchmark; the
+baseline stores each benchmark's mean seconds plus a **calibration**
+measurement (a fixed pure-python workload timed on the machine that wrote
+the baseline). At check time the same workload is re-timed and every
+comparison is scaled by the calibration ratio, so a CI runner that is
+uniformly 2x slower than the baseline machine does not trip the gate —
+only changes in the *relative* cost of a benchmark do.
+
+Benchmarks present in the run but absent from the baseline are reported
+and skipped (they gate from the next baseline refresh onward).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+
+def calibrate(repeats: int = 5) -> float:
+    """Seconds for a fixed CPU-bound workload; best-of-*repeats*.
+
+    Mixes integer arithmetic, string formatting, and dict churn so it
+    tracks interpreter speed the way the benchmarks do.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        acc = 0
+        table: dict[str, int] = {}
+        for i in range(120_000):
+            acc += i * i % 7
+            if i % 97 == 0:
+                table[f"k{i % 1000}"] = acc
+        sorted(table.items())
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def load_run(path: Path) -> dict[str, float]:
+    """``fullname -> mean seconds`` from a pytest-benchmark JSON file."""
+    data = json.loads(path.read_text())
+    means: dict[str, float] = {}
+    for bench in data.get("benchmarks", []):
+        name = bench.get("fullname") or bench.get("name")
+        means[name] = float(bench["stats"]["mean"])
+    return means
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("run", type=Path, help="pytest-benchmark --benchmark-json output")
+    parser.add_argument("baseline", type=Path, help="checked-in baseline JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=1.25,
+        help="fail when mean exceeds baseline by this factor (default 1.25 = +25%%)",
+    )
+    parser.add_argument(
+        "--update", action="store_true", help="rewrite the baseline from this run"
+    )
+    args = parser.parse_args(argv)
+
+    for path in (args.run,) if args.update else (args.run, args.baseline):
+        if not path.is_file():
+            print(f"error: {path} does not exist", file=sys.stderr)
+            return 2
+    means = load_run(args.run)
+    if not means:
+        print("no benchmarks found in", args.run, file=sys.stderr)
+        return 2
+    calibration = calibrate()
+
+    if args.update:
+        payload = {
+            "calibration_s": calibration,
+            "threshold_default": args.threshold,
+            "benchmarks": {name: mean for name, mean in sorted(means.items())},
+        }
+        args.baseline.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"baseline updated: {len(means)} benchmarks, calibration {calibration:.4f}s")
+        return 0
+
+    baseline = json.loads(args.baseline.read_text())
+    base_cal = float(baseline["calibration_s"])
+    scale = calibration / base_cal
+    print(
+        f"calibration: baseline {base_cal:.4f}s, here {calibration:.4f}s "
+        f"-> machine scale x{scale:.2f}"
+    )
+
+    failures: list[str] = []
+    for name, mean in sorted(means.items()):
+        base_mean = baseline["benchmarks"].get(name)
+        if base_mean is None:
+            print(f"  NEW      {name}: {mean * 1000:.2f}ms (no baseline; skipped)")
+            continue
+        allowed = base_mean * scale * args.threshold
+        ratio = mean / (base_mean * scale)
+        status = "ok" if mean <= allowed else "REGRESSED"
+        print(
+            f"  {status:<10}{name}: {mean * 1000:.2f}ms vs baseline "
+            f"{base_mean * 1000:.2f}ms (scaled ratio x{ratio:.2f}, limit x{args.threshold:.2f})"
+        )
+        if mean > allowed:
+            failures.append(name)
+    for name in sorted(set(baseline["benchmarks"]) - set(means)):
+        print(f"  MISSING  {name}: in baseline but not in this run")
+
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) regressed beyond x{args.threshold:.2f}")
+        return 1
+    print("\nno regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

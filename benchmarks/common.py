@@ -3,15 +3,21 @@
 Every benchmark regenerates one of the paper's figures/claims (see
 DESIGN.md's per-experiment index) and, besides timing via pytest-benchmark,
 writes the rows/series it measured to ``benchmarks/reports/<name>.txt`` so
-EXPERIMENTS.md can quote them.
+EXPERIMENTS.md can quote them — plus a machine-readable JSON sibling
+(``benchmarks/reports/<name>.json``) carrying the same lines, any
+structured series the benchmark passed, and a snapshot of the obs-layer
+metrics captured during the run. CI diffs those JSON files across commits
+(see ``benchmarks/check_regression.py``).
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
-from repro import Browser, CopyCatSession, SpreadsheetApp, build_scenario
+from repro import Browser, CopyCatSession, SpreadsheetApp
+from repro.obs import METRICS
 from repro.substrate.documents import CellRange
 from repro.substrate.relational import Attribute, Relation, Schema, SourceMetadata
 from repro.substrate.relational.schema import CITY, PLACE, STREET
@@ -19,24 +25,55 @@ from repro.substrate.relational.schema import CITY, PLACE, STREET
 REPORT_DIR = Path(__file__).parent / "reports"
 
 
-def write_report(name: str, lines: Iterable[str]) -> Path:
-    """Persist a benchmark's measured table under benchmarks/reports/."""
+def write_report(
+    name: str,
+    lines: Iterable[str],
+    series: Any | None = None,
+) -> Path:
+    """Persist a benchmark's measured table under benchmarks/reports/.
+
+    Writes the human-readable ``<name>.txt`` and a ``<name>.json`` sibling:
+    ``{"name", "lines", "series", "metrics"}`` where *series* is whatever
+    JSON-ready structure the benchmark measured (headers + rows, sweeps,
+    curves) and *metrics* is the current obs registry snapshot (empty
+    when metrics were not enabled for the run).
+    """
     REPORT_DIR.mkdir(exist_ok=True)
+    lines = list(lines)
     path = REPORT_DIR / f"{name}.txt"
     text = "\n".join(lines) + "\n"
     path.write_text(text)
+    payload = {
+        "name": name,
+        "lines": lines,
+        "series": series,
+        "metrics": METRICS.snapshot(),
+    }
+    json_path = REPORT_DIR / f"{name}.json"
+    json_path.write_text(json.dumps(payload, indent=2, default=str) + "\n")
     return path
 
 
+def table_series(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> dict:
+    """The standard JSON series shape for a measured table."""
+    return {"headers": list(headers), "rows": [list(row) for row in rows]}
+
+
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> list[str]:
-    """Fixed-width text table (the 'same rows the paper reports')."""
+    """Fixed-width text table (the 'same rows the paper reports').
+
+    Tolerates ragged input: rows shorter than the header (an empty cell
+    list included) are padded with blanks rather than crashing the width
+    computation.
+    """
     rendered = [[str(cell) for cell in row] for row in rows]
     widths = [
-        max(len(headers[c]), *(len(row[c]) for row in rendered)) if rendered else len(headers[c])
+        max([len(headers[c])] + [len(row[c]) for row in rendered if c < len(row)])
         for c in range(len(headers))
     ]
     def fmt(cells):
-        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+        padded = list(cells) + [""] * (len(widths) - len(cells))
+        return "  ".join(cell.ljust(width) for cell, width in zip(padded, widths))
     lines = [fmt(headers), fmt(["-" * w for w in widths])]
     lines.extend(fmt(row) for row in rendered)
     return lines

@@ -1,0 +1,22 @@
+"""Benchmark-suite fixtures: capture obs metrics for the JSON reports.
+
+Every benchmark runs with the metrics registry enabled and freshly reset,
+so the ``benchmarks/reports/*.json`` siblings written by
+:func:`benchmarks.common.write_report` carry the counters/histograms the
+instrumented hot paths recorded during that one test. Tracing stays off:
+span collection would skew the timings the suite exists to measure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import METRICS
+
+
+@pytest.fixture(autouse=True)
+def _capture_metrics():
+    METRICS.reset()
+    METRICS.enable()
+    yield
+    METRICS.disable()

@@ -10,7 +10,6 @@ full committee dominates every ablated variant.
 
 from __future__ import annotations
 
-import pytest
 
 from repro import Browser, build_scenario
 from repro.learning.model import seed_type_learner
@@ -21,7 +20,7 @@ from repro.learning.structure import (
     TemplateGrammarExpert,
 )
 
-from .common import format_table, listing_records, write_report
+from .common import format_table, listing_records, table_series, write_report
 
 STYLES = ("table", "ul", "div")
 
@@ -71,6 +70,7 @@ class TestExpertAblation:
             "ablation_experts",
             format_table(["variant", *STYLES], rows)
             + ["", "(fallback disabled to isolate the committee's contribution)"],
+            series=table_series(["variant", *STYLES], rows),
         )
         # Full committee handles every style.
         assert all(matrix[("full", style)] for style in STYLES)
@@ -86,7 +86,7 @@ class TestExpertAblation:
     def test_fallback_rescues_missing_committee(self):
         """With every expert disabled, landmark induction still recovers."""
         type_learner = seed_type_learner(seed=1)
-        ok = exact_after_two_examples((), "table", type_learner, use_fallback=True)
+        exact_after_two_examples((), "table", type_learner, use_fallback=True)
         # Landmark rules can over/under-extract on noisy chrome, so require
         # only that a hypothesis exists and covers the examples.
         scenario = build_scenario(seed=5, n_shelters=8, listing_style="table", noise=1)

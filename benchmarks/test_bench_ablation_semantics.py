@@ -12,12 +12,11 @@ suggestions that produce correct values for the known task) drops.
 
 from __future__ import annotations
 
-import pytest
 
 from repro import build_scenario
 from repro.learning.integration import IntegrationLearner, discover_associations
 
-from .common import format_table, typed_shelters_catalog, write_report
+from .common import format_table, table_series, typed_shelters_catalog, write_report
 
 
 def completion_precision(learner, scenario, k: int = 6) -> float:
@@ -67,6 +66,7 @@ class TestSemanticTypeAblation:
         write_report(
             "ablation_semantics_edges",
             format_table(["seed", "edges (typed)", "edges (untyped)", "bloat"], rows),
+            series=table_series(["seed", "edges_typed", "edges_untyped", "bloat"], rows),
         )
 
     def test_completion_precision_drops_without_types(self):
@@ -89,6 +89,10 @@ class TestSemanticTypeAblation:
                 f"top-k completion precision with types:    {mean_typed:.2f}",
                 f"top-k completion precision without types: {mean_untyped:.2f}",
             ],
+            series={
+                "precision_with_types": mean_typed,
+                "precision_without_types": mean_untyped,
+            },
         )
         assert mean_typed >= mean_untyped
 

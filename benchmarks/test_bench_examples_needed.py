@@ -14,14 +14,13 @@ tag to anchor on — hardest.
 
 from __future__ import annotations
 
-import pytest
 
 from repro import Browser, build_scenario
 from repro.learning.model import seed_type_learner
 from repro.learning.structure import StructureLearner
 from repro.substrate.documents import Clipboard
 
-from .common import format_table, listing_records, write_report
+from .common import format_table, listing_records, table_series, write_report
 
 MAX_EXAMPLES = 4
 
@@ -61,6 +60,9 @@ class TestExamplesNeeded:
             format_table(["style", "noise 0", "noise 1", "noise 2", "noise 3"], table_rows)
             + ["", "paper: 'the more complex the pages are, the more examples"
                   " may be necessary'"],
+            series=table_series(
+                ["style", "noise_0", "noise_1", "noise_2", "noise_3"], table_rows
+            ),
         )
         # Pristine pages: one or two examples suffice everywhere.
         for style in ("table", "ul", "div"):

@@ -15,7 +15,6 @@ scans), and suggestion coverage recovers.
 
 from __future__ import annotations
 
-import pytest
 
 from repro import CopyCatSession, build_scenario
 from repro.substrate.relational import (
@@ -115,6 +114,11 @@ class TestFeedbackCooperation:
                     ),
                 ],
             ),
+            series={
+                "coverage_before": before.coverage,
+                "rows_resolved_after": resolved_after,
+                "source_trust_after": trust,
+            },
         )
 
     def test_trust_affects_ranking(self):

@@ -8,13 +8,12 @@ column-type top-1 hits; benchmarks the paste→generalize latency.
 
 from __future__ import annotations
 
-import pytest
 
 from repro import Browser, CopyCatSession, build_scenario
 from repro.learning.model import seed_type_learner
 from repro.learning.structure import StructureLearner
 
-from .common import format_table, listing_records, write_report
+from .common import format_table, listing_records, table_series, write_report
 
 
 def run_import(scenario, session):
@@ -33,7 +32,6 @@ def suggestion_quality(scenario, outcome):
     }
     suggested = {tuple(row) for row in outcome.row_suggestion.rows}
     pasted = 2
-    expected_suggestions = truth - set(list(truth)[:0])  # all truth rows
     true_positive = len(suggested & truth)
     precision = true_positive / len(suggested) if suggested else 0.0
     recall = (true_positive + pasted) / len(truth)
@@ -51,10 +49,11 @@ class TestFigure1:
             rows.append((seed, f"{precision:.2f}", f"{recall:.2f}", outcome.n_suggested_rows))
             assert precision == 1.0
             assert recall == 1.0
-        report = format_table(
-            ["seed", "row precision", "row recall", "suggested rows"], rows
+        headers = ["seed", "row precision", "row recall", "suggested rows"]
+        report = format_table(headers, rows)
+        write_report(
+            "fig1_row_autocompletion", report, series=table_series(headers, rows)
         )
-        write_report("fig1_row_autocompletion", report)
 
     def test_column_types_match_figure(self):
         scenario = build_scenario(seed=5, n_shelters=10, noise=1)
@@ -68,6 +67,7 @@ class TestFigure1:
         write_report(
             "fig1_column_types",
             [f"column {i}: {name}" for i, name in enumerate(types)],
+            series={"column_types": types},
         )
 
     def test_bench_paste_and_generalize(self, benchmark):

@@ -14,7 +14,7 @@ import pytest
 
 from repro import CopyCatSession, build_scenario
 
-from .common import format_table, typed_shelters_catalog, write_report
+from .common import typed_shelters_catalog, write_report
 
 
 def make_session():
@@ -49,6 +49,11 @@ class TestFigure2:
             "fig2_suggestions",
             [f"rank {i + 1}: {d}" for i, d in enumerate(descriptions)]
             + [f"zip value accuracy: {correct}/{len(scenario.shelters)}"],
+            series={
+                "ranked_suggestions": list(descriptions),
+                "zip_correct": correct,
+                "zip_total": len(scenario.shelters),
+            },
         )
 
     def test_explanation_pane_structure(self):
@@ -66,7 +71,11 @@ class TestFigure2:
         assert "Shelters" in rendered
         assert "Shelters.Street --> ZipcodeResolver(Street)" in rendered
         assert "Shelters.City --> ZipcodeResolver(City)" in rendered
-        write_report("fig2_explanation", rendered.split("\n"))
+        write_report(
+            "fig2_explanation",
+            rendered.split("\n"),
+            series={"explanation": rendered},
+        )
 
     def test_acceptance_makes_zip_top_ranked(self):
         _, session = make_session()

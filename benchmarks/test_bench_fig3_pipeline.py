@@ -9,7 +9,6 @@ set checks that each component left its fingerprint on the session.
 
 from __future__ import annotations
 
-import pytest
 
 from repro import CopyCatSession, build_scenario, to_map_html
 from repro.core.feedback import FeedbackKind
@@ -77,6 +76,13 @@ class TestFigure3Pipeline:
                 f"output columns: {[c.name for c in table.columns]}",
                 f"output rows: {table.n_rows}",
             ],
+            series={
+                "clipboard_events": len(session.clipboard.history()),
+                "queries_run": session.engine.queries_run,
+                "feedback_events": session.log.count(),
+                "output_columns": [c.name for c in table.columns],
+                "output_rows": table.n_rows,
+            },
         )
 
     def test_bench_full_demo(self, benchmark):

@@ -103,7 +103,11 @@ class TestFigure4:
         assert trees[0].nodes == frozenset({"Shelters", "ZipCodes", "Map"})
         assert trees[0].cost == pytest.approx(2.0)
         rows = [(str(t), f"{t.cost:.2f}") for t in trees]
-        write_report("fig4_queries", format_table(["tree", "cost"], rows))
+        write_report(
+            "fig4_queries",
+            format_table(["tree", "cost"], rows),
+            series={"queries": [{"tree": str(t), "cost": t.cost} for t in trees]},
+        )
 
     def test_exact_and_spcsh_agree_on_small_graph(self):
         graph = figure4_graph()
@@ -124,7 +128,11 @@ class TestFigure4:
         assert "(service) ZipCodes" in rendered
         assert "[source] Shelters" in rendered
         assert "needs(Street, City)" in rendered
-        write_report("fig4_graph", rendered.split("\n"))
+        write_report(
+            "fig4_graph",
+            rendered.split("\n"),
+            series={"graph": rendered},
+        )
 
     def test_bench_exact_steiner_figure4(self, benchmark):
         graph = figure4_graph()

@@ -14,7 +14,6 @@ near 75%, and savings should grow with table size.
 
 from __future__ import annotations
 
-import pytest
 
 from repro import CopyCatSession, build_scenario
 from repro.core.usersim import KeystrokeModel, ManualUser, ScpUser
@@ -23,6 +22,7 @@ from .common import (
     format_table,
     import_contacts_via_session,
     listing_records,
+    table_series,
     write_report,
 )
 from repro.substrate.documents import Browser
@@ -92,6 +92,9 @@ class TestKarmaKeystrokes:
             "karma_keystrokes",
             format_table(["rows", "manual keystrokes", "SCP keystrokes", "savings"], rows)
             + ["", "paper (Karma, Section 5): ~75% savings"],
+            series=table_series(
+                ["rows", "manual_keystrokes", "scp_keystrokes", "savings"], rows
+            ),
         )
         # Shape: paper-scale savings near 75%, growing with table size.
         assert 0.60 <= savings_by_size[10] <= 0.92
@@ -115,6 +118,7 @@ class TestKarmaKeystrokes:
         write_report(
             "karma_cost_model_sweep",
             [f"model {i}: savings {saving:.0%}" for i, saving in enumerate(outcomes)],
+            series={"savings_by_model": list(outcomes)},
         )
 
     def test_bench_scp_task(self, benchmark):
@@ -144,4 +148,5 @@ class TestKarmaKeystrokes:
         write_report(
             "karma_noise_sweep",
             format_table(["template noise", "manual", "SCP", "savings"], rows),
+            series=table_series(["template_noise", "manual", "scp", "savings"], rows),
         )

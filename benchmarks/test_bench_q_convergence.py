@@ -21,9 +21,7 @@ Two experiments:
 
 from __future__ import annotations
 
-import random
 
-import pytest
 
 from repro import build_scenario
 from repro.learning.integration import (
@@ -37,7 +35,7 @@ from repro.learning.integration import (
 from repro.substrate.relational import schema_of
 from repro.util.rng import make_rng
 
-from .common import format_table, typed_shelters_catalog, write_report
+from .common import format_table, table_series, typed_shelters_catalog, write_report
 
 
 class TestSingleQueryConvergence:
@@ -65,6 +63,7 @@ class TestSingleQueryConvergence:
             "q_single_query",
             format_table(["seed", "feedback rounds to top-1"], rows)
             + ["", "paper: 'as little as one item of feedback for a single query'"],
+            series=table_series(["seed", "feedback_rounds"], rows),
         )
 
 
@@ -158,6 +157,7 @@ class TestFamilyConvergence:
             "q_family_convergence",
             format_table(["trained queries", "held-out top-1 accuracy"], rows)
             + ["", "paper: 'feedback on 10 queries to learn rankings for an entire family'"],
+            series=table_series(["trained_queries", "holdout_accuracy"], rows),
         )
         assert mean[10] > mean[0], "training must help"
         assert mean[10] >= 0.8 * max(mean.values()), "near plateau by 10 queries"

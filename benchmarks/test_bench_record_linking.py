@@ -23,7 +23,7 @@ from repro.linking import (
     LinkExample,
 )
 
-from .common import format_table, write_report
+from .common import format_table, table_series, write_report
 
 
 def make_task(seed: int = 88, n_shelters: int = 16):
@@ -77,6 +77,7 @@ class TestRecordLinking:
         write_report(
             "record_linking_baselines",
             format_table(["heuristic", "mean accuracy"], rows),
+            series=table_series(["heuristic", "mean_accuracy"], rows),
         )
         best_single = max(sum(vals) / len(vals) for vals in singles.values())
         worst_single = min(sum(vals) / len(vals) for vals in singles.values())
@@ -102,6 +103,7 @@ class TestRecordLinking:
                 ["training examples", "accuracy"],
                 [(n, f"{a:.2f}") for n, a in curve],
             ),
+            series={"curve": [{"examples": n, "accuracy": a} for n, a in curve]},
         )
         assert curve[-1][1] >= curve[0][1]
         assert curve[-1][1] >= 0.85

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
 
 from repro.learning.integration import IntegrationLearner
 from repro.substrate.relational import (
@@ -77,14 +76,13 @@ class TestScale:
                 )
             )
             assert len(presented) <= 5
+        headers = ["sources", "graph edges", "raw completions", "presented (k=5)", "latency ms"]
         write_report(
             "scale_sources",
-            format_table(
-                ["sources", "graph edges", "raw completions", "presented (k=5)", "latency ms"],
-                rows,
-            )
+            format_table(headers, rows)
             + ["", "raw candidate space grows with sources; the user-visible"
                   " list stays k and ranked"],
+            series={"headers": headers, "rows": [list(r) for r in rows]},
         )
         # The raw space grows with the catalog...
         assert rows[-1][2] > rows[0][2]

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
 
 from repro.learning.integration import (
     Association,
@@ -28,7 +27,7 @@ from repro.learning.integration import (
 from repro.substrate.relational import schema_of
 from repro.util.rng import make_rng
 
-from .common import format_table, write_report
+from .common import format_table, table_series, write_report
 
 EXACT_FEASIBLE = 20  # beyond this the exact algorithm is not timed
 
@@ -98,12 +97,16 @@ class TestSteinerScaling:
                     ratio_text,
                 )
             )
+        headers = ["nodes", "edges", "exact ms", "SPCSH ms", "cost ratio"]
         write_report(
             "steiner_scaling",
-            format_table(
-                ["nodes", "edges", "exact ms", "SPCSH ms", "cost ratio"], rows
-            )
+            format_table(headers, rows)
             + ["", "shape: exact blows up combinatorially; SPCSH stays flat"],
+            series={
+                **table_series(headers, rows),
+                "exact_times_s": {str(n): t for n, t in exact_times.items()},
+                "spcsh_times_s": {str(n): t for n, t in spcsh_times.items()},
+            },
         )
         # Exact runtime must grow super-linearly (x16 -> x20 more than 4x).
         assert exact_times[20] > exact_times[12] * 4
@@ -125,6 +128,7 @@ class TestSteinerScaling:
             "steiner_quality",
             [f"seed {i}: cost ratio {r:.3f}" for i, r in enumerate(ratios)]
             + [f"max ratio: {max(ratios):.3f}"],
+            series={"cost_ratios": ratios, "max_ratio": max(ratios)},
         )
 
     def test_bench_exact_small(self, benchmark):

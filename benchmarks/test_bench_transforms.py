@@ -13,12 +13,11 @@ of examples needed; benchmarks the function-space search itself.
 
 from __future__ import annotations
 
-import pytest
 
 from repro import build_scenario
 from repro.learning.transforms import TransformLearner
 
-from .common import format_table, write_report
+from .common import format_table, table_series, write_report
 
 
 def battery(scenario):
@@ -71,6 +70,7 @@ class TestTransformBattery:
         write_report(
             "transform_battery",
             format_table(["task", "learned transform", "examples needed"], report_rows),
+            series=table_series(["task", "learned_transform", "examples_needed"], report_rows),
         )
         assert not failures, f"transform search failed on: {failures}"
 

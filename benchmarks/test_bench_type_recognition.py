@@ -13,12 +13,11 @@ with distinctive token patterns (phone, zip, lat/lon) saturate earliest.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.data import build_scenario
 from repro.learning.model import SemanticTypeLearner, seed_type_learner
 
-from .common import format_table, write_report
+from .common import format_table, table_series, write_report
 
 EXPECTED = {
     "street": "PR-Street",
@@ -65,6 +64,7 @@ class TestTypeRecognition:
                 ["training values per type", "top-1 accuracy"],
                 [(n, f"{a:.2f}") for n, a in curve],
             ),
+            series={"curve": [{"training_values": n, "accuracy": a} for n, a in curve]},
         )
         assert curve[-1][1] >= 0.85          # saturated accuracy is high
         assert curve[-1][1] >= curve[0][1]   # more data never hurts overall
@@ -81,6 +81,7 @@ class TestTypeRecognition:
         write_report(
             "type_recognition_breakdown",
             format_table(["seed", "column", "expected", "recognized", ""], rows),
+            series=table_series(["seed", "column", "expected", "recognized", "verdict"], rows),
         )
         misses = [row for row in rows if row[4] == "MISS"]
         assert len(misses) <= 2  # near-perfect cross-world recognition

@@ -24,7 +24,6 @@ from repro import (
     to_map_html,
     to_xml,
 )
-from repro.linking.linker import LinkExample
 from repro.substrate.documents import CellRange
 from repro.substrate.relational.schema import PLACE
 

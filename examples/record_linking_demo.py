@@ -28,7 +28,6 @@ def main() -> None:
     phone_of = {s.name: s.phone for s in scenario.shelters}
 
     print("website names vs spreadsheet names (first five):")
-    noisy_of = {s.name: s.noisy_name for s in scenario.shelters}
     for s in scenario.shelters[:5]:
         print(f"  {s.name:38s} ~  {s.noisy_name}")
 

@@ -1,15 +1,20 @@
-"""``python -m repro`` — run the Section-8 demonstration end to end."""
+"""``python -m repro`` — run the Section-8 demonstration end to end.
+
+``python -m repro --trace`` runs the same demo with the observability
+layer enabled and, after the demo output, prints the hierarchical span
+tree plus a metrics summary (see ``repro.obs``). CI smoke-tests this
+path and greps the output for the ``session.paste`` span.
+"""
 
 import runpy
 import sys
 from pathlib import Path
 
 
-def main() -> None:
-    """Run the Section-8 hurricane-relief demonstration."""
+def _run_demo() -> None:
     demo = Path(__file__).resolve().parents[2] / "examples" / "hurricane_relief.py"
     if demo.exists():
-        sys.argv = [str(demo)] + sys.argv[1:]
+        sys.argv = [str(demo)]
         runpy.run_path(str(demo), run_name="__main__")
     else:  # installed without the examples tree: run a minimal inline demo
         from repro import Browser, CopyCatSession, build_scenario
@@ -29,6 +34,52 @@ def main() -> None:
         session.start_integration("Shelters")
         for suggestion in session.column_suggestions():
             print(suggestion.describe())
+
+
+def _print_observability() -> None:
+    from repro import obs
+
+    print()
+    print("=" * 72)
+    print("TRACE (hierarchical spans: name, wall/CPU ms, attributes)")
+    print("=" * 72)
+    for line in obs.render_span_tree(obs.TRACER.roots()):
+        print(line)
+
+    snapshot = obs.METRICS.snapshot()
+    print()
+    print("=" * 72)
+    print("METRICS")
+    print("=" * 72)
+    for name, value in sorted(snapshot["counters"].items()):
+        print(f"  counter    {name} = {value:g}")
+    for name, value in sorted(snapshot["gauges"].items()):
+        print(f"  gauge      {name} = {value:g}")
+    for name, summary in sorted(snapshot["histograms"].items()):
+        print(
+            f"  histogram  {name}: count={summary['count']:g} "
+            f"mean={summary['mean']:.3f} p50={summary['p50']:.3f} "
+            f"p95={summary['p95']:.3f} max={summary['max']:.3f}"
+        )
+
+
+def main() -> None:
+    """Run the Section-8 hurricane-relief demonstration."""
+    trace = "--trace" in sys.argv[1:]
+    if trace:
+        sys.argv = [sys.argv[0]] + [a for a in sys.argv[1:] if a != "--trace"]
+        from repro import obs
+
+        obs.reset()
+        obs.enable()
+    try:
+        _run_demo()
+    finally:
+        if trace:
+            from repro import obs
+
+            obs.disable()
+            _print_observability()
 
 
 if __name__ == "__main__":

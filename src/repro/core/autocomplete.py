@@ -21,9 +21,9 @@ from typing import Any, Mapping, Sequence
 from ..learning.integration.learner import IntegrationLearner
 from ..learning.integration.queries import IntegrationQuery
 from ..learning.model.type_learner import SemanticTypeLearner
-from ..learning.structure.learner import GeneralizationResult, StructureLearner
+from ..learning.structure.learner import StructureLearner
 from ..substrate.documents.clipboard import CopyEvent
-from ..substrate.relational.schema import ANY, Schema
+from ..substrate.relational.schema import ANY
 from ..util.text import normalize
 from .engine import QueryEngine
 from .suggestions import ColumnSuggestion, QuerySuggestion, RowSuggestion, TypeSuggestion

@@ -8,8 +8,9 @@ this facade adds per-tuple explanation and feedback-target extraction.
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Sequence
+from typing import Any, Mapping
 
+from ..obs import METRICS, TRACER
 from ..provenance.explain import Explanation, explain
 from ..provenance.expressions import Provenance
 from ..substrate.relational.algebra import Plan
@@ -29,8 +30,14 @@ class QueryEngine:
     def run(self, plan: Plan, distinct: bool = True) -> Result:
         """Evaluate *plan*; with *distinct*, duplicates merge via ⊕."""
         self.queries_run += 1
-        result = self._evaluator.run(plan)
-        return result.merged() if distinct else result
+        with TRACER.span("engine.run") as span, METRICS.timer("engine.run_ms"):
+            result = self._evaluator.run(plan)
+            merged = result.merged() if distinct else result
+            if span.is_recording():
+                span.set("plan", plan.describe())
+                span.set("rows", len(merged.rows))
+            METRICS.inc("engine.queries")
+            return merged
 
     def explain_row(self, prov: Provenance, plan: Plan | None = None) -> Explanation:
         """The Tuple Explanation pane for one annotated answer."""

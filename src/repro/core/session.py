@@ -27,11 +27,12 @@ Integration-mode flow (Figure 2)::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Mapping, Sequence
 
 from ..errors import FeedbackError, NoHypothesisError, WorkspaceError
+from ..obs import METRICS, TRACER
 from ..learning.integration.learner import IntegrationLearner
 from ..learning.integration.queries import IntegrationQuery
 from ..learning.integration.source_graph import Association
@@ -50,7 +51,7 @@ from .autocomplete import AutoCompleteGenerator
 from .engine import QueryEngine
 from .feedback import FeedbackKind, FeedbackLog
 from .suggestions import ColumnSuggestion, QuerySuggestion, RowSuggestion, TypeSuggestion
-from .workspace import CellState, Mode, Workspace
+from .workspace import CellState, Workspace
 
 
 @dataclass
@@ -135,33 +136,41 @@ class CopyCatSession:
         suggestions with a fresh generalization, and proposes column types.
         """
         event = event or self.clipboard.current()
-        self.workspace.checkpoint()
-        tab_name = tab or event.context.source_name
-        if not self.workspace.has_tab(tab_name):
-            self.workspace.new_tab(tab_name)
-        table = self.workspace.switch_to(tab_name)
-        self._events[tab_name] = event
+        with TRACER.span("session.paste") as span, METRICS.timer("session.paste_ms"):
+            self.workspace.checkpoint()
+            tab_name = tab or event.context.source_name
+            if not self.workspace.has_tab(tab_name):
+                self.workspace.new_tab(tab_name)
+            table = self.workspace.switch_to(tab_name)
+            self._events[tab_name] = event
 
-        pasted = table.append_rows(event.fields, state=CellState.USER)
-        self.log.record(FeedbackKind.PASTE, tab=tab_name, rows=len(pasted))
+            pasted = table.append_rows(event.fields, state=CellState.USER)
+            self.log.record(FeedbackKind.PASTE, tab=tab_name, rows=len(pasted))
 
-        # Ignoring standing suggestions and pasting more data *is* feedback:
-        # drop them and re-generalize from all committed rows.
-        table.reject_rows()
-        examples = table.committed_rows()
-        examples = [[str(v) for v in row] for row in examples]
-        suggestion = self.autocomplete.row_suggestions(event, examples)
-        if suggestion is not None:
-            self._generalizations[tab_name] = suggestion.generalization
-            table.append_rows(suggestion.rows, state=CellState.SUGGESTED)
+            # Ignoring standing suggestions and pasting more data *is* feedback:
+            # drop them and re-generalize from all committed rows.
+            table.reject_rows()
+            examples = table.committed_rows()
+            examples = [[str(v) for v in row] for row in examples]
+            with TRACER.span("session.paste.generalize"):
+                suggestion = self.autocomplete.row_suggestions(event, examples)
+            if suggestion is not None:
+                self._generalizations[tab_name] = suggestion.generalization
+                table.append_rows(suggestion.rows, state=CellState.SUGGESTED)
 
-        type_suggestions = self._suggest_types(tab_name)
-        return PasteOutcome(
-            tab=tab_name,
-            pasted_rows=pasted,
-            row_suggestion=suggestion,
-            type_suggestions=type_suggestions,
-        )
+            with TRACER.span("session.paste.suggest_types"):
+                type_suggestions = self._suggest_types(tab_name)
+            if span.is_recording():
+                span.set("tab", tab_name)
+                span.set("pasted_rows", len(pasted))
+                span.set("suggested_rows", len(suggestion.rows) if suggestion else 0)
+            METRICS.inc("session.pastes")
+            return PasteOutcome(
+                tab=tab_name,
+                pasted_rows=pasted,
+                row_suggestion=suggestion,
+                type_suggestions=type_suggestions,
+            )
 
     def _suggest_types(self, tab_name: str) -> list[TypeSuggestion]:
         table = self.workspace.tab(tab_name)
@@ -244,6 +253,7 @@ class CopyCatSession:
     def commit_source(self, tab: str | None = None, name: str | None = None) -> Relation:
         """Promote a tab to a catalog source (its description is now known)."""
         tab_name = tab or self._current_tab()
+        METRICS.inc("session.sources_committed")
         table = self.workspace.tab(tab_name)
         source_name = name or tab_name
         schema = Schema(
@@ -296,11 +306,19 @@ class CopyCatSession:
     def column_suggestions(self, k: int = 5, refresh: bool = True) -> list[ColumnSuggestion]:
         """Ranked, executed column auto-completions for the output tab."""
         if refresh or not self._column_suggestions:
-            table = self.workspace.tab(self.OUTPUT_TAB)
-            rows = table.as_dicts(committed_only=True)
-            self._column_suggestions = self.autocomplete.column_suggestions(
-                self.current_query, rows, k=k
-            )
+            with TRACER.span("session.column_suggestions") as span, METRICS.timer(
+                "session.column_suggestions_ms"
+            ):
+                table = self.workspace.tab(self.OUTPUT_TAB)
+                rows = table.as_dicts(committed_only=True)
+                self._column_suggestions = self.autocomplete.column_suggestions(
+                    self.current_query, rows, k=k
+                )
+                if span.is_recording():
+                    span.set("k", k)
+                    span.set("suggestions", len(self._column_suggestions))
+            METRICS.inc("session.suggestion_batches")
+            METRICS.inc("session.suggestions_produced", len(self._column_suggestions))
             self._previewed = None
         return self._column_suggestions
 
@@ -390,9 +408,11 @@ class CopyCatSession:
             if column.state == CellState.SUGGESTED:
                 table.accept_column(position)
         # Feedback: accepted suggestion outranks every alternative shown.
-        self.integration_learner.accept_query(
-            suggestion.query, [s.query for s in suggestions if s is not suggestion]
-        )
+        with TRACER.span("session.accept_column.feedback"):
+            self.integration_learner.accept_query(
+                suggestion.query, [s.query for s in suggestions if s is not suggestion]
+            )
+        METRICS.inc("session.columns_accepted")
         # Row provenance now includes the new column's derivations.
         for i, prov in enumerate(suggestion.provenances):
             if prov is not None and i < len(self._row_provenance):
@@ -419,7 +439,9 @@ class CopyCatSession:
         if self._previewed == index:
             self._clear_preview()
         better = [self._query] if self._query and self._query.edges else []
-        self.integration_learner.reject_query(suggestion.query, better)
+        with TRACER.span("session.reject_column.feedback"):
+            self.integration_learner.reject_query(suggestion.query, better)
+        METRICS.inc("session.columns_rejected")
         self._column_suggestions = [s for s in suggestions if s is not suggestion]
         self.log.record(
             FeedbackKind.REJECT_COLUMN,
@@ -578,7 +600,6 @@ class CopyCatSession:
         """
         tab_name = tab or self._current_tab()
         table = self.workspace.tab(tab_name)
-        column_name = table.columns[col].name
         changed = 0
         for row_index in range(table.n_rows):
             if not table.row_state(row_index).is_committed:

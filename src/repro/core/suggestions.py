@@ -9,8 +9,8 @@ to display it and for feedback to be routed back to its learner.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Sequence
+from dataclasses import dataclass
+from typing import Any
 
 from ..learning.integration.learner import ColumnCompletion
 from ..learning.integration.queries import IntegrationQuery

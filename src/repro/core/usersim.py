@@ -23,10 +23,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
-from ..substrate.documents.apps import Browser, SpreadsheetApp
+from ..substrate.documents.apps import Browser
 from ..substrate.documents.dom import DomNode
 from .session import CopyCatSession
-from .workspace import CellState
 
 
 @dataclass(frozen=True)

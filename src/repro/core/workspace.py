@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import copy
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
 from ..errors import WorkspaceError

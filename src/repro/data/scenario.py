@@ -17,7 +17,7 @@ Builds, from one seed, a mutually consistent world:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from ..substrate.documents.render import ListingTemplate, render_detail_page
@@ -28,10 +28,6 @@ from ..substrate.relational.catalog import Catalog, SourceMetadata
 from ..substrate.relational.relation import Relation
 from ..substrate.relational.schema import (
     CITY,
-    NAME,
-    NUMBER,
-    PHONE,
-    STREET,
     TEXT,
     Attribute,
     Schema,

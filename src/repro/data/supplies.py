@@ -29,7 +29,6 @@ from ..substrate.relational.relation import Relation
 from ..substrate.relational.schema import (
     CITY,
     NUMBER,
-    PLACE,
     TEXT,
     Attribute,
     Schema,

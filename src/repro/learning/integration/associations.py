@@ -16,10 +16,9 @@ injective attribute assignment, which bloats the candidate edge set.
 from __future__ import annotations
 
 from itertools import permutations
-from typing import Iterable
 
 from ...substrate.relational.catalog import Catalog
-from ...substrate.relational.schema import ANY, Attribute, Schema, SemanticType
+from ...substrate.relational.schema import ANY, Schema, SemanticType
 from .source_graph import Association, DEFAULT_COSTS, SourceGraph, SourceNode
 
 #: Semantic types whose values identify real-world entities loosely enough

@@ -20,7 +20,6 @@ from typing import Any, Iterable, Mapping, Sequence
 
 from ...errors import GraphError, IntegrationError
 from ...substrate.relational.catalog import Catalog
-from ...substrate.relational.schema import Schema
 from ...util.text import normalize
 from .associations import discover_associations
 from .mira import MiraLearner

@@ -23,9 +23,10 @@ paper specifies.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable
 
+from ...obs import METRICS
 from .source_graph import SourceGraph
 
 Features = frozenset[str]
@@ -62,6 +63,14 @@ class MiraLearner:
     def cost(self, features: Iterable[str]) -> float:
         return sum(self.graph.weights.get(key, 0.0) for key in features)
 
+    def _record(self, update: MiraUpdate) -> None:
+        self.history.append(update)
+        if METRICS.enabled:
+            METRICS.inc("mira.updates")
+            METRICS.inc("mira.updates." + update.kind)
+            METRICS.inc("mira.edges_changed", len(update.changed))
+            METRICS.observe("mira.tau", update.tau)
+
     # -- constraint updates ----------------------------------------------------------
     def rank_update(self, preferred: Features, other: Features) -> bool:
         """Enforce cost(preferred) + margin ≤ cost(other).
@@ -87,7 +96,7 @@ class MiraLearner:
             new = self.graph.weights.get(key, 0.0) + tau
             self.graph.weights[key] = new
             changed[key] = new
-        self.history.append(MiraUpdate(kind="rank", tau=tau, changed=changed))
+        self._record(MiraUpdate(kind="rank", tau=tau, changed=changed))
         return True
 
     def demote(self, features: Features) -> bool:
@@ -105,7 +114,7 @@ class MiraLearner:
             new = self.graph.weights.get(key, 0.0) + tau
             self.graph.weights[key] = new
             changed[key] = new
-        self.history.append(MiraUpdate(kind="demote", tau=tau, changed=changed))
+        self._record(MiraUpdate(kind="demote", tau=tau, changed=changed))
         return True
 
     def promote(self, features: Features) -> bool:
@@ -123,7 +132,7 @@ class MiraLearner:
             new = max(self.min_cost, self.graph.weights.get(key, 0.0) - tau)
             self.graph.weights[key] = new
             changed[key] = new
-        self.history.append(MiraUpdate(kind="promote", tau=tau, changed=changed))
+        self._record(MiraUpdate(kind="promote", tau=tau, changed=changed))
         return True
 
     # -- feedback-level API ------------------------------------------------------------

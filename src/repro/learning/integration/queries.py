@@ -9,8 +9,8 @@ record-link edges become approximate joins with a (possibly learned) linker.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Mapping
+from dataclasses import dataclass
+from typing import Callable
 
 from ...errors import GraphError, IntegrationError
 from ...substrate.relational.algebra import (

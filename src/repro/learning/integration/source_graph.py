@@ -16,8 +16,8 @@ the MIRA learner mutates exactly that mapping.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Iterable, Iterator
+from dataclasses import dataclass
+from typing import Iterable
 
 from ...errors import GraphError
 from ...substrate.relational.catalog import Catalog

@@ -22,6 +22,7 @@ import heapq
 from typing import Iterable
 
 from ...errors import GraphError
+from ...obs import METRICS, TRACER
 from .source_graph import Association, SourceGraph
 from .steiner import SteinerTree, exact_top_k_steiner
 
@@ -111,12 +112,26 @@ def spcsh_top_k_steiner(
     until the subproblem is tractable.
     """
     terminal_list = sorted(set(terminals))
-    current_stretch = stretch
-    for _ in range(6):
-        pruned = prune_graph(graph, terminal_list, stretch=current_stretch)
-        extras = len(pruned) - len(terminal_list)
-        if extras <= max_pruned_extra:
-            break
-        current_stretch = 1.0 + (current_stretch - 1.0) / 2.0
-    trees = exact_top_k_steiner(pruned, terminal_list, k=k)
-    return trees
+    with TRACER.span("steiner.spcsh") as span:
+        current_stretch = stretch
+        tightenings = 0
+        for _ in range(6):
+            with TRACER.span("steiner.spcsh.prune"):
+                pruned = prune_graph(graph, terminal_list, stretch=current_stretch)
+            extras = len(pruned) - len(terminal_list)
+            if extras <= max_pruned_extra:
+                break
+            current_stretch = 1.0 + (current_stretch - 1.0) / 2.0
+            tightenings += 1
+        trees = exact_top_k_steiner(pruned, terminal_list, k=k)
+        if span.is_recording():
+            span.set("nodes_in", len(graph))
+            span.set("nodes_pruned_to", len(pruned))
+            span.set("edges_kept", pruned.n_edges)
+            span.set("stretch", round(current_stretch, 4))
+            span.set("stretch_tightenings", tightenings)
+        if METRICS.enabled:
+            METRICS.inc("steiner.spcsh_calls")
+            METRICS.inc("steiner.spcsh_stretch_tightenings", tightenings)
+            METRICS.observe("steiner.spcsh_pruned_nodes", float(len(pruned)))
+        return trees

@@ -21,9 +21,10 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 from itertools import combinations
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from ...errors import GraphError
+from ...obs import METRICS, TRACER
 from .source_graph import Association, SourceGraph
 
 
@@ -77,8 +78,7 @@ def minimum_spanning_tree(
     visited = {start}
     chosen: list[Association] = []
     total = 0.0
-    frontier: list[tuple[float, str, str, Association | None]] = []
-    counter = 0  # heap tiebreaker via insertion order of stable iteration
+    counter = 0  # heap tiebreaker via insertion order; doubles as push count
     heap: list[tuple[float, int, str, Association]] = []
     for cost, other, edge in adjacency[start]:
         counter += 1
@@ -94,6 +94,9 @@ def minimum_spanning_tree(
             if other not in visited:
                 counter += 1
                 heapq.heappush(heap, (next_cost, counter, other, next_edge))
+    if METRICS.enabled:
+        METRICS.inc("steiner.mst_runs")
+        METRICS.inc("steiner.heap_pushes", counter)
     if len(visited) < len(nodes):
         return None
     chosen.sort(key=lambda e: e.key)
@@ -122,24 +125,35 @@ def exact_top_k_steiner(
     others = sorted(set(graph.node_names()) - terminal_set)
     limit = len(others) if max_extra_nodes is None else min(max_extra_nodes, len(others))
 
-    results: list[SteinerTree] = []
-    for extra_count in range(0, limit + 1):
-        for extra in combinations(others, extra_count):
-            tree = minimum_spanning_tree(graph, terminal_set | frozenset(extra))
-            if tree is not None:
-                results.append(tree)
-    results.sort(key=SteinerTree.sort_key)
+    with TRACER.span("steiner.exact") as span:
+        subsets_explored = 0
+        results: list[SteinerTree] = []
+        for extra_count in range(0, limit + 1):
+            for extra in combinations(others, extra_count):
+                subsets_explored += 1
+                tree = minimum_spanning_tree(graph, terminal_set | frozenset(extra))
+                if tree is not None:
+                    results.append(tree)
+        results.sort(key=SteinerTree.sort_key)
 
-    # Keep the k cheapest, but drop any tree whose node set strictly
-    # contains a cheaper tree's node set at equal-or-worse cost — adding an
-    # unused intermediate node never yields a genuinely different query.
-    pruned: list[SteinerTree] = []
-    for tree in results:
-        dominated = any(
-            kept.nodes < tree.nodes and kept.cost <= tree.cost for kept in pruned
-        )
-        if not dominated:
-            pruned.append(tree)
-        if len(pruned) >= k:
-            break
-    return pruned
+        # Keep the k cheapest, but drop any tree whose node set strictly
+        # contains a cheaper tree's node set at equal-or-worse cost — adding an
+        # unused intermediate node never yields a genuinely different query.
+        pruned: list[SteinerTree] = []
+        for tree in results:
+            dominated = any(
+                kept.nodes < tree.nodes and kept.cost <= tree.cost for kept in pruned
+            )
+            if not dominated:
+                pruned.append(tree)
+            if len(pruned) >= k:
+                break
+        if span.is_recording():
+            span.set("terminals", len(terminal_set))
+            span.set("subsets_explored", subsets_explored)
+            span.set("trees_connected", len(results))
+            span.set("trees_kept", len(pruned))
+        if METRICS.enabled:
+            METRICS.inc("steiner.exact_calls")
+            METRICS.inc("steiner.subsets_explored", subsets_explored)
+        return pruned

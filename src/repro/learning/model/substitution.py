@@ -31,7 +31,7 @@ from ...substrate.relational.algebra import (
     Union,
 )
 from ...substrate.relational.catalog import Catalog
-from .source_description import SourceDescription, SourceDescriptionLearner
+from .source_description import SourceDescriptionLearner
 
 
 @dataclass(frozen=True)

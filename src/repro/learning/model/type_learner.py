@@ -11,10 +11,11 @@ will be immediately available in the same user session".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Sequence
 
 from ...errors import LearningError
+from ...obs import METRICS, TRACER
 from ...substrate.relational.schema import SemanticType
 from .patterns import TypeSignature
 
@@ -63,10 +64,16 @@ class SemanticTypeLearner:
                 f"cannot learn type {semantic_type} from zero non-empty values"
             )
         existing = self._types.get(semantic_type.name)
-        if existing is None:
-            learned = LearnedType(semantic_type, TypeSignature.from_values(values))
-        else:
-            learned = replace(existing, signature=existing.signature.merged_with(values))
+        with TRACER.span("types.learn") as span, METRICS.timer("types.learn_ms"):
+            if existing is None:
+                learned = LearnedType(semantic_type, TypeSignature.from_values(values))
+            else:
+                learned = replace(existing, signature=existing.signature.merged_with(values))
+            if span.is_recording():
+                span.set("type", semantic_type.name)
+                span.set("values", len(values))
+                span.set("refined", existing is not None)
+        METRICS.inc("types.learn_calls")
         self._types[semantic_type.name] = learned
         return learned
 
@@ -95,10 +102,12 @@ class SemanticTypeLearner:
         values = [str(value) for value in values if str(value).strip()]
         if not values:
             return []
-        hypotheses = [
-            TypeHypothesis(learned.semantic_type, learned.signature.similarity(values))
-            for learned in self._types.values()
-        ]
+        METRICS.inc("types.recognize_calls")
+        with METRICS.timer("types.recognize_ms"):
+            hypotheses = [
+                TypeHypothesis(learned.semantic_type, learned.signature.similarity(values))
+                for learned in self._types.values()
+            ]
         hypotheses = [
             hypothesis
             for hypothesis in hypotheses

@@ -26,6 +26,7 @@ from __future__ import annotations
 from collections import Counter
 from typing import Sequence
 
+from ...obs import METRICS
 from ...substrate.documents.dom import DomNode
 from ...substrate.documents.spreadsheet import Sheet
 from ...substrate.documents.textdoc import TextDocument
@@ -53,6 +54,9 @@ def _majority_records(
     """
     if not raw_records:
         return None
+    if METRICS.enabled:
+        METRICS.inc("experts." + support + ".record_groups")
+        METRICS.inc("experts." + support + ".records_seen", len(raw_records))
     width_counts = Counter(len(record) for record in raw_records)
     width, votes = width_counts.most_common(1)[0]
     if width == 0:
@@ -247,6 +251,7 @@ class DataTypeExpert:
     def rescore(self, candidates: Sequence[RelationalCandidate]) -> None:
         if self.type_learner is None:
             return
+        METRICS.inc("experts.data-type.rescored", len(candidates))
         for candidate in candidates:
             if not candidate.records:
                 continue

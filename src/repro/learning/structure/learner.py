@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from ...errors import NoHypothesisError
+from ...obs import METRICS, TRACER
 from ...substrate.documents.clipboard import CopyEvent
 from ...substrate.documents.spreadsheet import Sheet
 from ...substrate.documents.textdoc import TextDocument
@@ -111,38 +112,52 @@ class StructureLearner:
         examples = [[str(cell) for cell in example] for example in examples]
         document = event.context.document
 
-        if isinstance(document, Sheet):
-            candidates = self.sheet_expert.propose_sheet(document)
-            pages_html = None
-        elif isinstance(document, Page):
-            candidates, pages_html = self._page_candidates(event, document)
-        elif isinstance(document, TextDocument):
-            candidates = self.label_block_expert.propose_text(document)
-            pages_html = document.text  # landmark fallback over raw text
-        else:
-            raise NoHypothesisError(
-                f"cannot analyze document of type {type(document).__name__}"
-            )
+        with TRACER.span("structure.generalize") as span:
+            if isinstance(document, Sheet):
+                with TRACER.span("structure.expert.sheet"):
+                    candidates = self.sheet_expert.propose_sheet(document)
+                pages_html = None
+            elif isinstance(document, Page):
+                candidates, pages_html = self._page_candidates(event, document)
+            elif isinstance(document, TextDocument):
+                with TRACER.span("structure.expert.label-block"):
+                    candidates = self.label_block_expert.propose_text(document)
+                pages_html = document.text  # landmark fallback over raw text
+            else:
+                raise NoHypothesisError(
+                    f"cannot analyze document of type {type(document).__name__}"
+                )
 
-        self.datatype_expert.rescore(candidates)
-        ranked = cluster_candidates(candidates)
+            with TRACER.span("structure.rescore+cluster"):
+                self.datatype_expert.rescore(candidates)
+                ranked = cluster_candidates(candidates)
 
-        hypotheses: list[ProjectionHypothesis] = []
-        for candidate in ranked:
-            hypotheses.extend(find_projections(candidate, examples))
-            if len(hypotheses) >= self.max_hypotheses:
-                break
-        hypotheses.sort(key=lambda h: -h.score)
-        hypotheses = hypotheses[: self.max_hypotheses]
+            with TRACER.span("structure.projections"):
+                hypotheses: list[ProjectionHypothesis] = []
+                for candidate in ranked:
+                    hypotheses.extend(find_projections(candidate, examples))
+                    if len(hypotheses) >= self.max_hypotheses:
+                        break
+                hypotheses.sort(key=lambda h: -h.score)
+                hypotheses = hypotheses[: self.max_hypotheses]
 
-        if (
-            not hypotheses
-            and self.enable_fallback
-            and isinstance(document, (Page, TextDocument))
-        ):
-            fallback = self._fallback(event, examples, pages_html)
-            if fallback is not None:
-                hypotheses.append(fallback)
+            if (
+                not hypotheses
+                and self.enable_fallback
+                and isinstance(document, (Page, TextDocument))
+            ):
+                with TRACER.span("structure.fallback"):
+                    fallback = self._fallback(event, examples, pages_html)
+                if fallback is not None:
+                    hypotheses.append(fallback)
+                METRICS.inc("structure.fallback_attempts")
+
+            if span.is_recording():
+                span.set("source", event.context.source_name)
+                span.set("candidates", len(candidates))
+                span.set("hypotheses", len(hypotheses))
+            METRICS.inc("structure.generalize_calls")
+            METRICS.inc("structure.candidates", len(candidates))
 
         return GeneralizationResult(
             source_name=event.context.source_name,
@@ -172,7 +187,13 @@ class StructureLearner:
         order: list[tuple[str, int]] = []
         for current in pages:
             for expert in self.experts:
-                for candidate in expert.propose(current.dom):
+                with TRACER.span("structure.expert." + expert.name) as expert_span:
+                    proposed = expert.propose(current.dom)
+                    if expert_span.is_recording():
+                        expert_span.set("page", current.url)
+                        expert_span.set("candidates", len(proposed))
+                METRICS.inc("structure.expert." + expert.name + ".candidates", len(proposed))
+                for candidate in proposed:
                     key = (candidate.origin, candidate.n_columns)
                     if key in merged and len(pages) > 1:
                         existing = merged[key]
@@ -191,8 +212,9 @@ class StructureLearner:
         # extractors "crawl the document structure of the source").
         if self.crawl_detail_pages and isinstance(site, Website):
             crawler = DetailCrawlExpert(site)
-            for current in pages:
-                candidates.extend(crawler.propose_from_page(current))
+            with TRACER.span("structure.expert.detail-crawl"):
+                for current in pages:
+                    candidates.extend(crawler.propose_from_page(current))
         html = "\n<!-- page break -->\n".join(p.dom.to_html() for p in pages)
         return candidates, html
 

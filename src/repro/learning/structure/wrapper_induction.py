@@ -13,7 +13,6 @@ uncovered example, remove everything it covers, repeat.
 
 from __future__ import annotations
 
-import re
 from dataclasses import dataclass
 from typing import Sequence
 

@@ -16,7 +16,7 @@ to satisfy it.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Sequence
 
 from ..errors import LearningError

@@ -1,0 +1,153 @@
+"""The metrics half of the observability layer.
+
+A :class:`Metrics` registry holds three instrument kinds:
+
+- **counters** — monotonically increasing floats (``inc``);
+- **gauges** — last-value-wins floats (``gauge``);
+- **histograms** — full value reservoirs summarized as
+  count / mean / p50 / p95 / max (``observe``).
+
+Like the tracer, the registry is disabled by default and every mutator
+starts with a single ``enabled`` test, so instrumented hot loops cost one
+branch per call when observability is off. Truly inner loops (the Steiner
+heap) accumulate into local ints and record once per call instead.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Any
+
+
+def percentile(values: list[float], q: float) -> float:
+    """The *q*-quantile (0..1) of *values* by the nearest-rank method.
+
+    Nearest-rank: the smallest value with at least ``ceil(q * n)`` values
+    at or below it. ``q=0`` gives the minimum, ``q=1`` the maximum.
+    """
+    if not values:
+        raise ValueError("percentile() of empty series")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    ordered = sorted(values)
+    if q == 0.0:
+        return ordered[0]
+    rank = math.ceil(q * len(ordered))
+    return ordered[rank - 1]
+
+
+class _Timer:
+    """Context manager feeding one histogram observation (milliseconds)."""
+
+    __slots__ = ("_metrics", "_name", "_start")
+
+    def __init__(self, metrics: "Metrics", name: str):
+        self._metrics = metrics
+        self._name = name
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._metrics.observe(self._name, (time.perf_counter() - self._start) * 1000.0)
+        return False
+
+
+class _NullTimer:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_TIMER = _NullTimer()
+
+
+class Metrics:
+    """Registry of counters, gauges, and histograms."""
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, list[float]] = {}
+
+    # -- mutators ------------------------------------------------------------
+    def inc(self, name: str, value: float = 1.0) -> None:
+        if not self.enabled:
+            return
+        self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        if not self.enabled:
+            return
+        self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        if not self.enabled:
+            return
+        self._histograms.setdefault(name, []).append(value)
+
+    def timer(self, name: str):
+        """Time a ``with`` block into histogram *name* (ms); free when off."""
+        if not self.enabled:
+            return NULL_TIMER
+        return _Timer(self, name)
+
+    # -- readers -------------------------------------------------------------
+    def counter_value(self, name: str) -> float:
+        return self._counters.get(name, 0.0)
+
+    def gauge_value(self, name: str) -> float | None:
+        return self._gauges.get(name)
+
+    def histogram_values(self, name: str) -> list[float]:
+        return list(self._histograms.get(name, []))
+
+    def histogram_summary(self, name: str) -> dict[str, float] | None:
+        values = self._histograms.get(name)
+        if not values:
+            return None
+        return {
+            "count": float(len(values)),
+            "mean": sum(values) / len(values),
+            "p50": percentile(values, 0.50),
+            "p95": percentile(values, 0.95),
+            "max": max(values),
+        }
+
+    def names(self) -> list[str]:
+        return sorted({*self._counters, *self._gauges, *self._histograms})
+
+    # -- lifecycle -----------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    # -- export --------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-ready view of every instrument's current state."""
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "gauges": dict(sorted(self._gauges.items())),
+            "histograms": {
+                name: self.histogram_summary(name)
+                for name in sorted(self._histograms)
+            },
+        }
+
+
+#: The process-wide registry every instrumented module shares.
+METRICS = Metrics()

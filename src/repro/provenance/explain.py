@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import ProvenanceError
-from ..substrate.relational.algebra import DependentJoin, Join, Plan, RecordLinkJoin, walk
+from ..substrate.relational.algebra import DependentJoin, Join, Plan, RecordLinkJoin
 from ..substrate.relational.catalog import Catalog
 from ..substrate.relational.rows import TupleId
 from .expressions import Provenance

@@ -9,7 +9,7 @@ This module provides that tree plus serialization, paths, and simple queries.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator
+from typing import Callable, Iterator
 
 from ...errors import DocumentError
 

@@ -11,7 +11,7 @@ knob the examples-needed ablation (A-3 in DESIGN.md) sweeps.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
 from ...util.rng import make_rng

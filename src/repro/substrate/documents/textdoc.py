@@ -24,7 +24,7 @@ landmark fallback over the raw text.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ...errors import ClipboardError, DocumentError
 from .clipboard import Clipboard, CopyEvent, SourceContext

@@ -10,7 +10,7 @@ and form endpoints that resolve submitted values to result pages.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping
 from urllib.parse import parse_qsl, urlencode, urlparse
 

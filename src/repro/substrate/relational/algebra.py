@@ -13,8 +13,8 @@ and suggestion machinery can reason about plans without executing them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Iterable
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
 
 from ...errors import EvaluationError, SchemaError
 from .predicates import Predicate

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from typing import Any, Iterable
 
 from ...errors import EvaluationError
-from ...provenance.expressions import ONE, Provenance, Var, plus, times
+from ...provenance.expressions import Provenance, Var, plus, times
 from .algebra import (
     DependentJoin,
     Distinct,

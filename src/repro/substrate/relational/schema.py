@@ -9,7 +9,7 @@ constrain which association edges are plausible (Section 4.1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from ...errors import BindingError, SchemaError, UnknownAttributeError

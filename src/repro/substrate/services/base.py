@@ -15,9 +15,11 @@ return multiple answers").
 
 from __future__ import annotations
 
+import time
 from typing import Any, Mapping, Sequence
 
 from ...errors import BindingError, ServiceError
+from ...obs import METRICS
 from ..relational.rows import TupleId
 from ..relational.schema import BindingPattern, Schema
 
@@ -62,7 +64,15 @@ class Service:
         """
         self.binding.check_bound(inputs.keys())
         self._call_count += 1
+        start = time.perf_counter() if METRICS.enabled else 0.0
         results = self._lookup({name: inputs[name] for name in self.binding.inputs})
+        if METRICS.enabled:
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
+            METRICS.inc("service.calls")
+            METRICS.inc("service." + self.name + ".calls")
+            METRICS.observe("service." + self.name + ".latency_ms", elapsed_ms)
+            if not results:
+                METRICS.inc("service." + self.name + ".misses")
         rows: list[dict[str, Any]] = []
         for result in results:
             row = {name: inputs[name] for name in self.binding.inputs}

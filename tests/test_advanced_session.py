@@ -7,7 +7,6 @@ from __future__ import annotations
 import pytest
 
 from repro import CopyCatSession, build_scenario
-from repro.core.workspace import CellState
 from repro.errors import FeedbackError
 from repro.substrate.documents import Browser
 from repro.substrate.relational import AggSpec, GroupBy, Scan

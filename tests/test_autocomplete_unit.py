@@ -9,7 +9,6 @@ from repro.core.autocomplete import AutoCompleteGenerator, _soft_equal
 from repro.core.engine import QueryEngine
 from repro.core.suggestions import RowSuggestion, TypeSuggestion
 from repro.learning.integration import IntegrationLearner
-from repro.learning.model import seed_type_learner
 from repro.learning.structure import StructureLearner
 from repro.learning.structure.learner import GeneralizationResult
 from repro.learning.structure.hypotheses import ProjectionHypothesis, RelationalCandidate
@@ -19,9 +18,7 @@ from repro.substrate.relational import (
     Schema,
     SourceMetadata,
 )
-from repro.substrate.relational.schema import BindingPattern, CITY, PLACE, STREET
-from repro.substrate.services.base import TableBackedService
-from repro.data import build_scenario
+from repro.substrate.relational.schema import CITY, PLACE, STREET
 
 
 @pytest.fixture()

@@ -21,7 +21,6 @@ from repro.substrate.documents import (
     paged_url,
     render_detail_page,
 )
-from repro.substrate.documents.dom import DomNode
 
 
 class TestDom:

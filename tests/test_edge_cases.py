@@ -9,7 +9,6 @@ from repro.errors import IntegrationError
 from repro.learning.integration import (
     Association,
     SourceGraph,
-    SourceNode,
     SteinerTree,
     compile_tree,
 )

@@ -14,7 +14,6 @@ import json
 import pytest
 
 from repro import Browser, CopyCatSession, SpreadsheetApp, build_scenario, to_map_html, to_xml
-from repro.core.workspace import CellState
 from repro.substrate.documents import CellRange
 
 

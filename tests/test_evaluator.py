@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import EvaluationError, SchemaError
-from repro.provenance.expressions import Plus, Times, Var
+from repro.provenance.expressions import Plus, Times
 from repro.substrate.relational import (
     Catalog,
     DependentJoin,
@@ -25,7 +25,7 @@ from repro.substrate.relational import (
     eq,
     schema_of,
 )
-from repro.substrate.relational.schema import BindingPattern, Schema
+from repro.substrate.relational.schema import BindingPattern
 from repro.substrate.services.base import TableBackedService
 
 

@@ -3,10 +3,8 @@ form-backed result pages (§2.2 / §3.1)."""
 
 from __future__ import annotations
 
-import pytest
 
 from repro import Browser, CopyCatSession, build_scenario
-from repro.learning.model import seed_type_learner
 from repro.learning.structure import StructureLearner
 from repro.learning.structure.hierarchy import DetailCrawlExpert, _detail_fields
 from repro.substrate.documents import Clipboard, document, element

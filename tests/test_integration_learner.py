@@ -17,14 +17,13 @@ from repro.learning.integration import (
 )
 from repro.substrate.relational import (
     Attribute,
-    Catalog,
     Evaluator,
     Relation,
     Schema,
     SourceMetadata,
     schema_of,
 )
-from repro.substrate.relational.schema import CITY, NAME, PLACE, STREET
+from repro.substrate.relational.schema import CITY, PLACE, STREET
 
 
 def typed_shelters_catalog(scenario):

@@ -27,7 +27,7 @@ from repro.linking import FieldPair, LearnedLinker
 from repro.substrate.relational import Catalog, Relation, SourceMetadata, schema_of
 from repro.substrate.relational.schema import CITY, STREET
 
-from .test_session import import_shelters, listing_rows
+from .test_session import import_shelters
 
 
 class TestSchemaRoundtrip:

@@ -19,7 +19,7 @@ from repro.learning.model import (
     seed_type_learner,
     value_symbols,
 )
-from repro.substrate.relational.schema import CITY, STREET, ZIPCODE
+from repro.substrate.relational.schema import CITY, ZIPCODE
 from repro.substrate.relational import schema_of
 from repro.substrate.relational.schema import BindingPattern
 from repro.substrate.services import Gazetteer, make_geocoder, make_zipcode_resolver

@@ -1,0 +1,138 @@
+"""Disabled-observability overhead must stay under 5% on the Figure-1 import.
+
+The acceptance criterion: with tracing and metrics off, the instrumentation
+threaded through the session/engine/learner hot paths may cost at most 5%
+of the ``test_bench_fig1_import`` workload. Rather than compare two noisy
+wall-clock runs (the un-instrumented build no longer exists to race
+against), this measures the thing directly:
+
+1. count how many obs primitives (``TRACER.span``, ``METRICS.inc`` /
+   ``observe`` / ``timer`` and ``enabled`` reads) the workload actually
+   invokes, by running it once with counting shims installed;
+2. time the real disabled-path primitives in a tight loop to get a
+   per-call cost;
+3. time the workload itself, and assert
+   ``calls x per_call_cost < 5% x workload_time``.
+
+This bounds the overhead analytically instead of statistically, so it is
+robust to machine noise in a way that an A/B timing test is not.
+"""
+
+from __future__ import annotations
+
+import time
+from unittest import mock
+
+from repro import Browser, CopyCatSession, build_scenario
+from repro.obs import METRICS, NULL_SPAN, TRACER
+
+BUDGET = 0.05  # 5% of workload wall time
+
+
+def run_fig1_import(examples: int = 2):
+    """The same paste-two-rows-accept-label-commit flow fig1 benchmarks."""
+    scenario = build_scenario(seed=7, n_shelters=12, noise=1)
+    session = CopyCatSession(catalog=scenario.catalog, seed=1)
+    browser = Browser(session.clipboard, scenario.website)
+    browser.navigate(scenario.list_urls()[0])
+    container = browser.page.dom.find("table", "listing")
+    records = [n for n in container.children if n.tag == "tr" and "record" in n.css_classes]
+    for record in records[:examples]:
+        browser.copy_record(record, "Shelters")
+        session.paste()
+    session.accept_row_suggestions()
+    for index, label in enumerate(["Name", "Street", "City"]):
+        session.label_column(index, label)
+    return session.commit_source()
+
+
+def count_primitive_calls() -> int:
+    """Run the workload once, counting every obs primitive invocation."""
+    counts = {"n": 0}
+
+    real_span = TRACER.span
+    real_inc = METRICS.inc
+    real_observe = METRICS.observe
+    real_timer = METRICS.timer
+
+    def counting_span(name):
+        counts["n"] += 1
+        return real_span(name)
+
+    def counting_inc(name, value=1):
+        counts["n"] += 1
+        return real_inc(name, value)
+
+    def counting_observe(name, value):
+        counts["n"] += 1
+        return real_observe(name, value)
+
+    def counting_timer(name):
+        counts["n"] += 1
+        return real_timer(name)
+
+    with mock.patch.object(TRACER, "span", counting_span), mock.patch.object(
+        METRICS, "inc", counting_inc
+    ), mock.patch.object(METRICS, "observe", counting_observe), mock.patch.object(
+        METRICS, "timer", counting_timer
+    ):
+        run_fig1_import()
+    # Each span also does a NULL_SPAN __enter__/__exit__ and typically one
+    # is_recording() guard; each call site also reads METRICS.enabled once
+    # or twice. Budget 4 extra primitive-equivalents per counted call.
+    return counts["n"] * 5
+
+
+def time_disabled_primitive(iterations: int = 200_000) -> float:
+    """Per-call seconds for the worst disabled-path primitive combo."""
+    assert not TRACER.enabled and not METRICS.enabled
+    start = time.perf_counter()
+    for _ in range(iterations):
+        with TRACER.span("x") as span:
+            if span.is_recording():  # pragma: no cover - disabled path
+                span.set("k", 1)
+        METRICS.inc("c")
+        METRICS.observe("h", 1.0)
+        if METRICS.enabled:  # pragma: no cover - disabled path
+            pass
+    elapsed = time.perf_counter() - start
+    # The loop body above is ~5 primitives; report cost per single primitive.
+    return elapsed / (iterations * 5)
+
+
+def time_workload(repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run_fig1_import()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_disabled_overhead_under_five_percent():
+    assert not TRACER.enabled and not METRICS.enabled  # tier-1 default
+
+    primitive_calls = count_primitive_calls()
+    assert primitive_calls > 0, "workload exercised no instrumentation?"
+
+    per_call = time_disabled_primitive()
+    workload = time_workload()
+
+    overhead = primitive_calls * per_call
+    fraction = overhead / workload
+    assert fraction < BUDGET, (
+        f"disabled-path obs overhead {fraction:.2%} exceeds {BUDGET:.0%} "
+        f"({primitive_calls} primitive calls x {per_call * 1e9:.0f}ns "
+        f"over a {workload * 1e3:.1f}ms workload)"
+    )
+
+
+def test_disabled_span_allocates_nothing():
+    """The disabled path returns the shared singleton — no per-call objects."""
+    assert TRACER.span("a") is TRACER.span("b") is NULL_SPAN
+
+
+def test_workload_leaves_no_observability_residue():
+    run_fig1_import()
+    assert list(TRACER.roots()) == []
+    assert METRICS.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}

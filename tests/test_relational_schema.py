@@ -14,7 +14,6 @@ from repro.substrate.relational.schema import (
     Attribute,
     BindingPattern,
     Schema,
-    SemanticType,
     builtin_type,
     schema_of,
 )

@@ -9,7 +9,6 @@ from repro.data import build_scenario
 from repro.errors import NoHypothesisError
 from repro.learning.structure import (
     ListLayoutExpert,
-    ProjectionHypothesis,
     RelationalCandidate,
     StructureLearner,
     TableLayoutExpert,
@@ -24,7 +23,6 @@ from repro.substrate.documents import (
     Browser,
     CellRange,
     Clipboard,
-    ListingTemplate,
     SpreadsheetApp,
 )
 

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.data import build_scenario
 from repro.errors import IntegrationError
 from repro.learning.model.substitution import (
     Replacement,

@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro import Browser, CopyCatSession
-from repro.core.workspace import CellState
 from repro.data.supplies import build_supplies_scenario
 
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import LearningError
-from repro.learning.transforms import Transform, TransformLearner
+from repro.learning.transforms import TransformLearner
 
 
 @pytest.fixture()
@@ -124,7 +124,7 @@ class TestRanking:
 class TestSessionIntegration:
     def make_session(self):
         from repro import CopyCatSession, build_scenario
-        from .test_session import import_shelters, listing_rows
+        from .test_session import import_shelters
         from repro.substrate.documents import Browser
 
         scenario = build_scenario(seed=5, n_shelters=8, noise=1)

@@ -18,7 +18,7 @@ from repro.util.strings import (
     ngrams,
     token_jaccard,
 )
-from repro.util.text import Token, is_numeric, normalize, title_case, token_strings, tokenize
+from repro.util.text import is_numeric, normalize, title_case, token_strings, tokenize
 
 
 class TestRng:

@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.workspace import CellState, Mode, Workspace, WorkspaceTable
 from repro.errors import WorkspaceError
-from repro.substrate.relational.schema import CITY, STREET
+from repro.substrate.relational.schema import CITY
 
 
 class TestWorkspaceTable:
