@@ -62,6 +62,11 @@ def _print_observability() -> None:
             f"p95={summary['p95']:.3f} max={summary['max']:.3f}"
         )
 
+    from repro.cache import cache_stats_line
+
+    print()
+    print(cache_stats_line())
+
 
 def main() -> None:
     """Run the Section-8 hurricane-relief demonstration."""

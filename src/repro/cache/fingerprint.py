@@ -1,0 +1,114 @@
+"""Structural plan fingerprints.
+
+The suggestion pipeline evaluates *many* candidate plans per refresh, and
+the candidates overwhelmingly share structure: every extension of the
+current ``IntegrationQuery`` embeds the current plan as its join prefix,
+and consecutive ``column_suggestions`` refreshes re-build byte-identical
+plan trees. :func:`plan_fingerprint` maps a plan to a hashable value that
+is equal exactly when two plans are structurally interchangeable, so the
+evaluator's result cache can serve the shared prefix once.
+
+Fingerprints are *content-based* wherever the node's behaviour is fully
+described by its dataclass fields (scans, joins, projections, predicates —
+all frozen dataclasses with stable ``str``). The two behavioural escape
+hatches are handled explicitly:
+
+- **linkers** (``RecordLinkJoin.linker``) may carry learned weights; a
+  :class:`~repro.linking.linker.LearnedLinker` contributes its field pairs,
+  similarity names, and current weights (so two freshly-built linkers over
+  the same edge are interchangeable, and a *trained* linker fingerprints
+  differently from an untrained one). Unknown :class:`RowLinker`
+  subclasses fall back to object identity — correct, merely cache-shy.
+- **unknown plan nodes** fingerprint by identity for the same reason.
+
+The catalog's contents are deliberately *not* part of the fingerprint;
+pairing the fingerprint with :attr:`Catalog.version` is the cache key.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from ..substrate.relational.aggregates import GroupBy
+from ..substrate.relational.algebra import (
+    DependentJoin,
+    Distinct,
+    Join,
+    Limit,
+    Plan,
+    Project,
+    RecordLinkJoin,
+    Rename,
+    RowLinker,
+    Scan,
+    Select,
+    Union,
+)
+
+
+def linker_token(linker: RowLinker) -> Hashable:
+    """A hashable token equal for behaviourally-equal linkers."""
+    extractor = getattr(linker, "extractor", None)
+    weights = getattr(linker, "weights", None)
+    if extractor is not None and isinstance(weights, dict):
+        # LearnedLinker shape: field pairs × similarity names, plus the
+        # learned weight vector (training must change the fingerprint).
+        return (
+            type(linker).__name__,
+            tuple(str(pair) for pair in getattr(extractor, "field_pairs", ())),
+            tuple(sorted(getattr(extractor, "similarities", {}))),
+            tuple(sorted(weights.items())),
+        )
+    return (type(linker).__name__, id(linker))
+
+
+def plan_fingerprint(plan: Plan) -> Hashable:
+    """A hashable structural fingerprint of *plan* (see module docstring)."""
+    if isinstance(plan, Scan):
+        return ("Scan", plan.source)
+    if isinstance(plan, Select):
+        return ("Select", plan_fingerprint(plan.child), _predicate_token(plan.predicate))
+    if isinstance(plan, Project):
+        return ("Project", plan_fingerprint(plan.child), plan.names)
+    if isinstance(plan, Rename):
+        return ("Rename", plan_fingerprint(plan.child), plan.mapping)
+    if isinstance(plan, Join):
+        return (
+            "Join",
+            plan_fingerprint(plan.left),
+            plan_fingerprint(plan.right),
+            plan.conditions,
+        )
+    if isinstance(plan, DependentJoin):
+        return ("DependentJoin", plan_fingerprint(plan.child), plan.service, plan.input_map)
+    if isinstance(plan, RecordLinkJoin):
+        return (
+            "RecordLinkJoin",
+            plan_fingerprint(plan.left),
+            plan_fingerprint(plan.right),
+            linker_token(plan.linker),
+            plan.threshold,
+            plan.best_only,
+        )
+    if isinstance(plan, Union):
+        return ("Union", tuple(plan_fingerprint(part) for part in plan.parts))
+    if isinstance(plan, Distinct):
+        return ("Distinct", plan_fingerprint(plan.child))
+    if isinstance(plan, Limit):
+        return ("Limit", plan_fingerprint(plan.child), plan.count)
+    if isinstance(plan, GroupBy):
+        return (
+            "GroupBy",
+            plan_fingerprint(plan.child),
+            plan.keys,
+            tuple((spec.fn, spec.attribute, spec.alias) for spec in plan.aggregates),
+        )
+    # Unknown node kind: identity-based, still sound (same object, same
+    # behaviour modulo catalog state, which the version key covers).
+    return (type(plan).__name__, id(plan))
+
+
+def _predicate_token(predicate: Any) -> Hashable:
+    # Predicates are frozen dataclasses with a stable, structure-complete
+    # __str__ (repro.substrate.relational.predicates); type + str suffices.
+    return (type(predicate).__name__, str(predicate))

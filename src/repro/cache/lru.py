@@ -1,0 +1,84 @@
+"""A small LRU cache with hit/miss/evict accounting.
+
+Backs both the evaluator's plan-result cache and per-service call
+memoization. Counters are kept locally (cheap, always on, drive the
+``--trace`` cache summary and per-service stats) and mirrored into the
+shared :data:`~repro.obs.METRICS` registry when that is enabled.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable
+
+from ..obs import METRICS
+
+_MISSING = object()
+
+
+class LRUCache:
+    """Least-recently-used mapping with bounded size and stats.
+
+    ``metrics_prefix`` names the obs counters this cache emits
+    (``<prefix>.hits`` / ``.misses`` / ``.evictions``).
+    """
+
+    __slots__ = ("_data", "capacity", "metrics_prefix", "hits", "misses", "evictions")
+
+    def __init__(self, capacity: int = 256, metrics_prefix: str | None = None):
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be positive, got {capacity}")
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self.capacity = capacity
+        self.metrics_prefix = metrics_prefix
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        entry = self._data.get(key, _MISSING)
+        if entry is _MISSING:
+            self.misses += 1
+            if METRICS.enabled and self.metrics_prefix:
+                METRICS.inc(self.metrics_prefix + ".misses")
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        if METRICS.enabled and self.metrics_prefix:
+            METRICS.inc(self.metrics_prefix + ".hits")
+        return entry
+
+    def put(self, key: Hashable, value: Any) -> None:
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+        data[key] = value
+        if len(data) > self.capacity:
+            data.popitem(last=False)
+            self.evictions += 1
+            if METRICS.enabled and self.metrics_prefix:
+                METRICS.inc(self.metrics_prefix + ".evictions")
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        """Explicit invalidation: drop entries, keep lifetime stats."""
+        self._data.clear()
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._data),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"LRUCache(size={len(self._data)}/{self.capacity}, "
+            f"hits={self.hits}, misses={self.misses}, evictions={self.evictions})"
+        )

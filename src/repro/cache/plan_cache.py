@@ -1,0 +1,55 @@
+"""The shared-subplan result cache.
+
+Stores fully-materialized annotated row lists keyed on
+``(plan_fingerprint, catalog_version)``. The version component makes
+invalidation *precise*: any catalog mutation — a committed source, a trust
+adjustment, link-example feedback — moves the version forward, so stale
+entries simply stop being addressable and age out of the LRU.
+
+Entries are shared: a hit returns a shallow copy of the stored list (rows
+and provenance expressions are immutable), so callers may extend/slice
+their view without corrupting the cache.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..obs import METRICS
+from ..provenance.expressions import Provenance
+from ..substrate.relational.rows import Row
+from .config import CACHE
+from .lru import LRUCache
+
+AnnotatedRows = list[tuple[Row, Provenance]]
+
+_MISSING = object()
+
+
+class PlanResultCache:
+    """LRU of evaluated subplan results, version-keyed (one per evaluator)."""
+
+    def __init__(self, capacity: int | None = None):
+        self._lru = LRUCache(
+            capacity or CACHE.plan_capacity, metrics_prefix="cache.plan"
+        )
+
+    def get(self, fingerprint: Hashable, version: Hashable) -> AnnotatedRows | None:
+        rows = self._lru.get((fingerprint, version), _MISSING)
+        if rows is _MISSING:
+            return None
+        return list(rows)
+
+    def put(self, fingerprint: Hashable, version: Hashable, rows: AnnotatedRows) -> None:
+        self._lru.put((fingerprint, version), list(rows))
+        if METRICS.enabled:
+            METRICS.gauge("cache.plan.size", float(len(self._lru)))
+
+    def clear(self) -> None:
+        self._lru.clear()
+
+    def stats(self) -> dict[str, int]:
+        return self._lru.stats()
+
+    def __len__(self) -> int:
+        return len(self._lru)

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Mapping, Sequence
 
+from ..cache.config import CACHE
 from ..errors import FeedbackError, NoHypothesisError, WorkspaceError
 from ..obs import METRICS, TRACER
 from ..learning.integration.learner import IntegrationLearner
@@ -112,6 +113,7 @@ class CopyCatSession:
         self._generalizations: dict[str, Any] = {}
         self._query: IntegrationQuery | None = None
         self._column_suggestions: list[ColumnSuggestion] = []
+        self._suggestion_signature: Any = None  # state the standing batch reflects
         self._previewed: int | None = None  # index into _column_suggestions
         self._row_provenance: list[Any] = []  # per output-tab row
         self.cleaning_mode: bool = False
@@ -303,8 +305,28 @@ class CopyCatSession:
             raise FeedbackError("not in integration mode: call start_integration first")
         return self._query
 
-    def column_suggestions(self, k: int = 5, refresh: bool = True) -> list[ColumnSuggestion]:
-        """Ranked, executed column auto-completions for the output tab."""
+    def column_suggestions(
+        self, k: int = 5, refresh: bool | None = None
+    ) -> list[ColumnSuggestion]:
+        """Ranked, executed column auto-completions for the output tab.
+
+        With ``refresh=None`` (the default) the standing batch is reused as
+        long as nothing it depends on has changed — the catalog version
+        (sources, trust, link feedback), the current query, the learned
+        edge weights, the committed workspace rows, and ``k`` together form
+        a signature; any feedback action perturbs it and forces a
+        recompute. ``refresh=True`` forces one unconditionally (the old
+        default), ``refresh=False`` reuses whatever batch is standing.
+        """
+        signature = self._suggestions_signature(k) if CACHE.suggestions else None
+        if refresh is None:
+            refresh = not (
+                signature is not None
+                and self._column_suggestions
+                and signature == self._suggestion_signature
+            )
+            if not refresh:
+                METRICS.inc("session.suggestions_reused")
         if refresh or not self._column_suggestions:
             with TRACER.span("session.column_suggestions") as span, METRICS.timer(
                 "session.column_suggestions_ms"
@@ -319,8 +341,23 @@ class CopyCatSession:
                     span.set("suggestions", len(self._column_suggestions))
             METRICS.inc("session.suggestion_batches")
             METRICS.inc("session.suggestions_produced", len(self._column_suggestions))
+            self._suggestion_signature = signature
             self._previewed = None
         return self._column_suggestions
+
+    def _suggestions_signature(self, k: int) -> tuple:
+        """Everything a suggestion batch depends on, comparable with ``==``."""
+        query = self.current_query
+        table = self.workspace.tab(self.OUTPUT_TAB)
+        return (
+            self.catalog.version,
+            query.root,
+            tuple(edge.key for edge in query.edges),
+            k,
+            table.as_dicts(committed_only=True),
+            dict(self.integration_learner.graph.weights),
+            self.integration_learner.relevance_threshold,
+        )
 
     def preview_column(self, index: int = 0) -> ColumnSuggestion:
         """Show one suggestion in the table (highlighted, like Figure 2)."""
@@ -505,6 +542,8 @@ class CopyCatSession:
             [LinkExample(left=dict(left_row), right=dict(right_row), is_match=is_match)],
             pool,
         )
+        # Link feedback changes record-link join answers: invalidate caches.
+        self.catalog.bump_version()
         self.log.record(
             FeedbackKind.LINK_EXAMPLE, tab=self.OUTPUT_TAB, edge=edge_key, match=is_match
         )
@@ -688,6 +727,8 @@ class CopyCatSession:
                 if tid.relation in self.catalog.relation_names():
                     notes = self.catalog.metadata(tid.relation).notes
                     notes.setdefault("distrusted_rows", set()).add(tid.index)
+            # Distrusted rows change scan outputs: invalidate cached plans.
+            self.catalog.bump_version()
         return touched
 
     def _provenance_for_row(self, row: int, tab_name: str):
@@ -708,6 +749,9 @@ class CopyCatSession:
             if source in self.catalog:
                 metadata = self.catalog.metadata(source)
                 metadata.trust = max(0.05, min(1.0, metadata.trust * factor))
+        # Trust feeds suggestion ranking: move the version so standing
+        # suggestion batches (and version-keyed caches) refresh.
+        self.catalog.bump_version()
         kind = FeedbackKind.ACCEPT_ROWS if factor >= 1 else FeedbackKind.REJECT_ROWS
         self.log.record(kind, tab=tab_name, row=row, sources=touched)
         return touched

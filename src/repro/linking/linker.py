@@ -69,6 +69,12 @@ class LearnedLinker(RowLinker):
             return 0.0
         return raw / total_weight
 
+    def block_attribute_pairs(self) -> tuple[tuple[str, str], ...]:
+        """The compared field pairs double as blocking keys (see RowLinker)."""
+        return tuple(
+            (pair.left, pair.right) for pair in self.extractor.field_pairs
+        )
+
     def describe(self) -> str:
         strongest = sorted(self.weights.items(), key=lambda kv: -kv[1])[:3]
         inner = ", ".join(f"{name}={weight:.2f}" for name, weight in strongest)

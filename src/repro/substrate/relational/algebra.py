@@ -239,6 +239,17 @@ class RowLinker:
     def score(self, left: Row, right: Row) -> float:
         raise NotImplementedError
 
+    def block_attribute_pairs(self) -> tuple[tuple[str, str], ...] | None:
+        """(left attr, right attr) pairs usable as blocking keys, if any.
+
+        When a linker compares known attribute pairs, the evaluator can
+        route large record-link joins through token blocking
+        (:func:`repro.linking.blocking.candidate_pairs`) instead of the
+        full cross product. ``None`` (the default) means "not derivable":
+        the join always scores every pair.
+        """
+        return None
+
     def describe(self) -> str:
         return type(self).__name__
 

@@ -41,6 +41,27 @@ class Catalog:
         self._relations: dict[str, Relation] = {}
         self._services: dict[str, "Service"] = {}
         self._metadata: dict[str, SourceMetadata] = {}
+        self._version = 0
+
+    # -- versioning --------------------------------------------------------------
+    @property
+    def version(self) -> tuple[int, int]:
+        """Monotone catalog version; caches key results on it.
+
+        Two components: an explicit counter bumped on every registration,
+        removal, and out-of-band semantic change (trust adjustments, tuple
+        demotions, link-example feedback — callers that mutate metadata or
+        learned state invoke :meth:`bump_version`), plus the total row count
+        across base relations, which catches rows appended to a relation
+        *after* it was registered. Together they make cache invalidation
+        precise: any change that could alter a query answer moves the
+        version, and nothing else does.
+        """
+        return self._version, sum(len(rel) for rel in self._relations.values())
+
+    def bump_version(self) -> None:
+        """Record an out-of-band change that may affect query answers."""
+        self._version += 1
 
     # -- registration -----------------------------------------------------------
     def add_relation(
@@ -52,6 +73,7 @@ class Catalog:
         self._relations[name] = relation
         self._services.pop(name, None)
         self._metadata[name] = metadata or SourceMetadata()
+        self._version += 1
         return relation
 
     def add_service(
@@ -63,6 +85,7 @@ class Catalog:
         self._services[name] = service
         self._relations.pop(name, None)
         self._metadata[name] = metadata or SourceMetadata(origin="predefined")
+        self._version += 1
         return service
 
     def remove(self, name: str) -> None:
@@ -71,6 +94,7 @@ class Catalog:
         self._relations.pop(name, None)
         self._services.pop(name, None)
         self._metadata.pop(name, None)
+        self._version += 1
 
     # -- lookup -------------------------------------------------------------------
     def __contains__(self, name: object) -> bool:

@@ -7,14 +7,27 @@ converted "into feedback over the queries that created the data".
 
 Evaluation is eager and tuple-at-a-time; relations at the paper's target
 scale ("KB or MB of data, but probably not GB") comfortably fit in memory.
+
+Incremental evaluation (the interactivity fix): expensive nodes — joins,
+dependent joins, record-link joins, unions, grouping — consult a
+shared-subplan result cache keyed on ``(structural fingerprint,
+catalog.version)``, so the many candidate plans produced per suggestion
+refresh evaluate their common join prefix once, and a refresh with an
+unchanged catalog is nearly free. Streaming nodes (scan/select/project/
+rename/limit) stay lazy and uncached, preserving ``Limit``
+short-circuiting. See :mod:`repro.cache`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Iterable
 
+from ...cache.config import CACHE
+from ...cache.fingerprint import plan_fingerprint
+from ...cache.plan_cache import PlanResultCache
 from ...errors import EvaluationError
+from ...obs import METRICS
 from ...provenance.expressions import Provenance, Var, plus, times
 from .algebra import (
     DependentJoin,
@@ -42,6 +55,13 @@ class Result:
 
     schema: Schema
     rows: list[AnnotatedRow]
+    # Lazily-built row → ⊕-combined-provenance index shared by
+    # provenance_of and merged (each lookup used to be a linear scan).
+    _prov_index: dict[Row, Provenance] | None = field(
+        default=None, repr=False, compare=False
+    )
+    _prov_order: list[Row] = field(default_factory=list, repr=False, compare=False)
+    _prov_len: int = field(default=-1, repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -55,24 +75,42 @@ class Result:
     def dicts(self) -> list[dict[str, Any]]:
         return [row.as_dict() for row, _ in self.rows]
 
+    def _index(self) -> dict[Row, Provenance]:
+        """The row→provenance index, (re)built when the rows changed."""
+        if self._prov_index is None or self._prov_len != len(self.rows):
+            order: list[Row] = []
+            merged: dict[Row, Provenance] = {}
+            for row, prov in self.rows:
+                if row in merged:
+                    merged[row] = plus(merged[row], prov)
+                else:
+                    merged[row] = prov
+                    order.append(row)
+            self._prov_index = merged
+            self._prov_order = order
+            self._prov_len = len(self.rows)
+        return self._prov_index
+
     def provenance_of(self, row: Row) -> Provenance:
         """Combined provenance of every occurrence of *row* in the result."""
-        matches = [prov for candidate, prov in self.rows if candidate == row]
-        if not matches:
+        prov = self._index().get(row)
+        if prov is None:
             raise EvaluationError(f"row not present in result: {row!r}")
-        return plus(*matches)
+        return prov
 
     def merged(self) -> "Result":
         """Set-semantics view: duplicates merged, provenance ⊕-combined."""
-        order: list[Row] = []
-        merged: dict[Row, Provenance] = {}
-        for row, prov in self.rows:
-            if row in merged:
-                merged[row] = plus(merged[row], prov)
-            else:
-                merged[row] = prov
-                order.append(row)
-        return Result(self.schema, [(row, merged[row]) for row in order])
+        index = self._index()
+        return Result(self.schema, [(row, index[row]) for row in self._prov_order])
+
+
+#: Node kinds worth caching: they materialize inputs and/or do superlinear
+#: or service-calling work. Streaming nodes (Scan/Select/Project/Rename/
+#: Limit) are excluded so laziness — notably Limit short-circuiting — is
+#: preserved and cheap nodes don't churn the LRU.
+_CACHEABLE_NODES = frozenset(
+    {"Join", "DependentJoin", "RecordLinkJoin", "Union", "Distinct", "GroupBy"}
+)
 
 
 class Evaluator:
@@ -80,6 +118,7 @@ class Evaluator:
 
     def __init__(self, catalog: Catalog):
         self.catalog = catalog
+        self.plan_cache = PlanResultCache()
 
     def run(self, plan: Plan) -> Result:
         schema = plan.output_schema(self.catalog)
@@ -88,10 +127,20 @@ class Evaluator:
 
     # -- dispatch -----------------------------------------------------------
     def _eval(self, plan: Plan) -> Iterable[AnnotatedRow]:
-        method = getattr(self, f"_eval_{type(plan).__name__.lower()}", None)
+        kind = type(plan).__name__
+        method = getattr(self, f"_eval_{kind.lower()}", None)
         if method is None:
-            raise EvaluationError(f"no evaluator for plan node {type(plan).__name__}")
-        return method(plan)
+            raise EvaluationError(f"no evaluator for plan node {kind}")
+        if not CACHE.plan or kind not in _CACHEABLE_NODES:
+            return method(plan)
+        fingerprint = plan_fingerprint(plan)
+        version = self.catalog.version
+        cached = self.plan_cache.get(fingerprint, version)
+        if cached is not None:
+            return cached
+        rows = list(method(plan))
+        self.plan_cache.put(fingerprint, version, rows)
+        return rows
 
     def _eval_scan(self, plan: Scan) -> Iterable[AnnotatedRow]:
         annotated = self.catalog.relation(plan.source).annotated()
@@ -149,33 +198,98 @@ class Evaluator:
         target = plan.output_schema(self.catalog)
         service = self.catalog.service(plan.service)
         input_map = dict(plan.input_map)
+        # Identical bindings across child rows hit the service once: the
+        # (outputs, ids) pair per distinct binding is computed on first use
+        # and replayed for duplicates — independent of (and on top of) the
+        # service's own invoke memoization.
+        seen: dict[tuple[Any, ...], list[tuple[list[Any], Any]]] = {}
+        output_names = service.output_names
         for row, prov in self._eval(plan.child):
             inputs = {svc_input: row[child_attr] for svc_input, child_attr in input_map.items()}
             if any(value is None for value in inputs.values()):
                 continue
-            for result in service.invoke(inputs):
-                result_id = service.result_tuple_id(result)
-                values = list(row.values) + [result[name] for name in service.output_names]
+            try:
+                binding = tuple(sorted(inputs.items()))
+                expansions = seen.get(binding)
+            except TypeError:  # unhashable input value: invoke directly
+                binding, expansions = None, None
+            if expansions is None:
+                expansions = []
+                for result in service.invoke(inputs):
+                    result_id = service.result_tuple_id(result)
+                    expansions.append(
+                        ([result[name] for name in output_names], result_id)
+                    )
+                if binding is not None:
+                    seen[binding] = expansions
+            for out_values, result_id in expansions:
+                values = list(row.values) + out_values
                 yield Row(target, values), times(prov, Var(result_id))
 
     def _eval_recordlinkjoin(self, plan: RecordLinkJoin) -> Iterable[AnnotatedRow]:
         target = plan.output_schema(self.catalog)
         left_rows = list(self._eval(plan.left))
         right_rows = list(self._eval(plan.right))
-        for row, prov in left_rows:
-            scored: list[tuple[float, AnnotatedRow]] = []
-            for other, other_prov in right_rows:
-                score = plan.linker.score(row, other)
-                if score >= plan.threshold:
-                    scored.append((score, (other, other_prov)))
-            if not scored:
-                continue
+        candidates = self._link_candidates(plan, left_rows, right_rows)
+        score = plan.linker.score
+        for i, (row, prov) in enumerate(left_rows):
             if plan.best_only:
-                scored.sort(key=lambda pair: -pair[0])
-                scored = scored[:1]
-            for _, (other, other_prov) in scored:
+                # Single max pass (no sort): ties keep the earliest right
+                # row, matching the previous stable sort-then-slice.
+                best: AnnotatedRow | None = None
+                best_score = float("-inf")
+                for j in candidates(i):
+                    other, other_prov = right_rows[j]
+                    current = score(row, other)
+                    if current >= plan.threshold and current > best_score:
+                        best, best_score = (other, other_prov), current
+                matched = [best] if best is not None else []
+            else:
+                matched = [
+                    right_rows[j]
+                    for j in candidates(i)
+                    if score(row, right_rows[j][0]) >= plan.threshold
+                ]
+            for other, other_prov in matched:
                 values = list(row.values) + list(other.values)
                 yield Row(target, values), times(prov, other_prov)
+
+    def _link_candidates(self, plan: RecordLinkJoin, left_rows, right_rows):
+        """Right-row candidate indices per left index: blocked or full.
+
+        Routes through :func:`repro.linking.blocking.candidate_pairs` when
+        the linker exposes block-key attribute pairs and the cross product
+        is large enough to be worth pruning (blocking is an approximation:
+        pairs sharing no token are never scored). Otherwise every left row
+        considers every right row.
+        """
+        n_pairs = len(left_rows) * len(right_rows)
+        pairs = None
+        if CACHE.blocking and n_pairs >= CACHE.blocking_min_pairs:
+            attr_pairs = plan.linker.block_attribute_pairs()
+            if attr_pairs:
+                from ...linking.blocking import candidate_pairs, token_block_key
+
+                key_fns = [
+                    (token_block_key(left), token_block_key(right))
+                    for left, right in attr_pairs
+                ]
+                blocked = candidate_pairs(
+                    [row for row, _ in left_rows],
+                    [row for row, _ in right_rows],
+                    key_fns,
+                )
+                pairs = {}
+                for i, j in blocked:
+                    pairs.setdefault(i, []).append(j)
+                if METRICS.enabled:
+                    METRICS.inc("cache.blocking.joins")
+                    METRICS.inc("cache.blocking.pairs_pruned", n_pairs - len(blocked))
+        if pairs is None:
+            all_right = range(len(right_rows))
+            return lambda i: all_right
+        empty: list[int] = []
+        return lambda i: pairs.get(i, empty)
 
     def _eval_union(self, plan: Union) -> Iterable[AnnotatedRow]:
         target = plan.output_schema(self.catalog)
@@ -193,9 +307,13 @@ class Evaluator:
         return iter(evaluate_groupby(plan, self._eval(plan.child), self.catalog))
 
     def _eval_limit(self, plan: Limit) -> Iterable[AnnotatedRow]:
+        # Stop *exactly* at count: pulling even one extra child row could
+        # mean an extra service invocation under a dependent join.
+        if plan.count <= 0:
+            return
         emitted = 0
         for row, prov in self._eval(plan.child):
+            yield row, prov
+            emitted += 1
             if emitted >= plan.count:
                 break
-            emitted += 1
-            yield row, prov

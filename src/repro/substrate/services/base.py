@@ -18,6 +18,8 @@ from __future__ import annotations
 import time
 from typing import Any, Mapping, Sequence
 
+from ...cache.config import CACHE
+from ...cache.lru import LRUCache
 from ...errors import BindingError, ServiceError
 from ...obs import METRICS
 from ..relational.rows import TupleId
@@ -37,6 +39,12 @@ class Service:
         #: Default invocation cost used when the source graph seeds edge weights.
         self.cost = cost
         self._call_count = 0
+        self._backend_calls = 0
+        # Invoke memoization (repro.cache): full result rows per bound-input
+        # tuple. Deterministic services make this safe; invalidate_cache()
+        # is the explicit escape hatch for subclasses whose backing data
+        # changes.
+        self._memo = LRUCache(CACHE.service_capacity, metrics_prefix="service.cache")
         # Interning table assigning stable TupleIds to distinct results, so
         # provenance over service outputs is well-defined and repeatable.
         self._result_ids: dict[tuple[Any, ...], TupleId] = {}
@@ -55,16 +63,38 @@ class Service:
         """Number of :meth:`invoke` calls made (used by latency accounting)."""
         return self._call_count
 
+    @property
+    def backend_calls(self) -> int:
+        """Actual backend lookups performed (invokes minus memo hits)."""
+        return self._backend_calls
+
     def invoke(self, inputs: Mapping[str, Any]) -> list[dict[str, Any]]:
         """Invoke the service with *inputs* bound.
 
         Returns a list of full-schema row dicts (inputs echoed + outputs).
         An empty list means the lookup failed — the dependent join treats
-        that as "no match" rather than an error.
+        that as "no match" rather than an error. Repeated invocations with
+        the same bound inputs are served from a per-service LRU memo
+        (:data:`repro.cache.CACHE` ``.service``) without touching the
+        backend.
         """
         self.binding.check_bound(inputs.keys())
         self._call_count += 1
+        memo_key: tuple[Any, ...] | None = None
+        if CACHE.service:
+            try:
+                memo_key = tuple(inputs[name] for name in self.binding.inputs)
+                cached = self._memo.get(memo_key)
+            except TypeError:  # unhashable input value: skip memoization
+                memo_key, cached = None, None
+            if cached is not None:
+                if METRICS.enabled:
+                    METRICS.inc("service.calls")
+                    METRICS.inc("service." + self.name + ".calls")
+                    METRICS.inc("service." + self.name + ".cache_hits")
+                return [dict(row) for row in cached]
         start = time.perf_counter() if METRICS.enabled else 0.0
+        self._backend_calls += 1
         results = self._lookup({name: inputs[name] for name in self.binding.inputs})
         if METRICS.enabled:
             elapsed_ms = (time.perf_counter() - start) * 1000.0
@@ -83,7 +113,18 @@ class Service:
                     )
                 row[name] = result[name]
             rows.append(row)
+        if memo_key is not None:
+            self._memo.put(memo_key, [dict(row) for row in rows])
         return rows
+
+    # -- memoization ----------------------------------------------------------
+    def cache_stats(self) -> dict[str, int]:
+        """Per-service memo counters: hits / misses / evictions / size."""
+        return self._memo.stats()
+
+    def invalidate_cache(self) -> None:
+        """Explicitly drop memoized results (backing data changed)."""
+        self._memo.clear()
 
     def result_tuple_id(self, row: Mapping[str, Any]) -> TupleId:
         """Stable provenance id for a full-schema result *row*."""
