@@ -1,0 +1,199 @@
+"""Chaos benchmark: suggestion quality and latency under injected faults.
+
+Production CopyCat leans on external services that flake and die; the
+resilience layer promises the Figure-2 suggestion loop *degrades* instead of
+breaking. This benchmark drives the integration session under a seeded
+:class:`~repro.resilience.FaultPolicy` sweep — transient backend fault rates
+from 0% to 30%, plus one persistently dead service (the Geocoder) and one
+flapping service at every non-zero rate — and asserts:
+
+- **zero unhandled exceptions**: every refresh completes; dead backends
+  surface as rank-penalized ``DEGRADED`` suggestions, not stack traces;
+- **bounded quality loss**: every batch keeps the fault-free batch's size,
+  and mean alignment coverage over the still-healthy suggestions stays
+  within ``COVERAGE_TOLERANCE`` of the fault-free mean;
+- **the breaker engages**: the persistent Geocoder failure opens its
+  circuit breaker (``resilience.breaker.opened`` > 0) at every non-zero
+  rate, so retry burn stops at the threshold.
+
+The sweep is deterministic: fault decisions are hash-derived from
+``(seed, service, backend-call index)``, so two runs fail identically.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import CopyCatSession, build_scenario
+from repro.obs import METRICS
+from repro.resilience import FAULTS, RESILIENCE, FaultPolicy, FaultSpec
+
+from .common import (
+    format_table,
+    import_contacts_via_session,
+    import_shelters_via_session,
+    table_series,
+    write_report,
+)
+
+FAULT_RATES = (0.0, 0.1, 0.2, 0.3)
+FAULT_SEED = 7
+K = 8
+#: max tolerated drop in mean coverage of non-degraded suggestions.
+COVERAGE_TOLERANCE = 0.15
+
+#: counters sampled per sweep step (deltas across the refresh).
+_COUNTERS = (
+    "resilience.retries",
+    "resilience.transient_faults",
+    "resilience.lookups_failed",
+    "resilience.breaker.opened",
+    "resilience.degraded_rows",
+)
+
+
+def _integration_session() -> CopyCatSession:
+    scenario = build_scenario(seed=5, n_shelters=10, noise=1)
+    session = CopyCatSession(catalog=scenario.catalog, seed=1)
+    import_shelters_via_session(scenario, session)
+    import_contacts_via_session(scenario, session)
+    session.start_integration("Shelters")
+    return session
+
+
+def _policy(rate: float) -> FaultPolicy:
+    """The sweep's fault mix at one transient *rate*.
+
+    At any non-zero rate the Geocoder is persistently dead (the breaker
+    workload: i.i.d. transients at <=30% essentially never produce the 8
+    consecutive failures the threshold needs) and the ZipcodeResolver flaps
+    through its first few backend calls, then recovers.
+    """
+    per_service = {}
+    if rate > 0.0:
+        per_service["Geocoder"] = FaultSpec(persistent=True)
+        per_service["ZipcodeResolver"] = FaultSpec(
+            transient_rate=rate, flapping=((0, 4),)
+        )
+    return FaultPolicy(
+        seed=FAULT_SEED,
+        default=FaultSpec(transient_rate=rate),
+        per_service=per_service,
+    )
+
+
+def _counter_snapshot() -> dict[str, float]:
+    counters = METRICS.snapshot()["counters"]
+    return {name: counters.get(name, 0.0) for name in _COUNTERS}
+
+
+def _healthy_mean_coverage(batch) -> float:
+    healthy = [s for s in batch if not s.is_degraded]
+    return sum(s.coverage for s in healthy) / len(healthy) if healthy else 0.0
+
+
+class TestChaosSuggestions:
+    def test_quality_degrades_gracefully_under_fault_sweep(self):
+        steps = []
+        unhandled: list[tuple[float, BaseException]] = []
+        with RESILIENCE.overridden(retry_base_ms=0.0):
+            for rate in FAULT_RATES:
+                session = _integration_session()  # fresh breakers per step
+                before = _counter_snapshot()
+                start = time.perf_counter()
+                try:
+                    with FAULTS.injected(_policy(rate)):
+                        batch = session.column_suggestions(k=K, refresh=True)
+                except Exception as exc:  # the failure mode this bench gates
+                    unhandled.append((rate, exc))
+                    batch = []
+                elapsed_ms = (time.perf_counter() - start) * 1000.0
+                after = _counter_snapshot()
+                deltas = {name: after[name] - before[name] for name in _COUNTERS}
+                steps.append(
+                    {
+                        "rate": rate,
+                        "suggestions": len(batch),
+                        "degraded": sum(1 for s in batch if s.is_degraded),
+                        "coverage": _healthy_mean_coverage(batch),
+                        "ms": elapsed_ms,
+                        **deltas,
+                    }
+                )
+
+        assert not unhandled, f"refresh raised under faults: {unhandled}"
+
+        baseline = steps[0]
+        assert baseline["degraded"] == 0
+        assert baseline["resilience.lookups_failed"] == 0
+
+        headers = [
+            "fault rate", "suggestions", "degraded", "healthy coverage",
+            "retries", "transient faults", "lookups failed", "breakers opened",
+            "degraded rows", "ms",
+        ]
+        rows = [
+            (
+                f"{s['rate']:.0%}", s["suggestions"], s["degraded"],
+                f"{s['coverage']:.0%}",
+                f"{s['resilience.retries']:g}",
+                f"{s['resilience.transient_faults']:g}",
+                f"{s['resilience.lookups_failed']:g}",
+                f"{s['resilience.breaker.opened']:g}",
+                f"{s['resilience.degraded_rows']:g}",
+                f"{s['ms']:.1f}",
+            )
+            for s in steps
+        ]
+        write_report(
+            "chaos_suggestions",
+            format_table(headers, rows)
+            + [
+                "",
+                "zero unhandled exceptions across the sweep; dead Geocoder "
+                "degrades (rank-penalized DEGRADED suggestions), transients "
+                "absorbed by seeded-backoff retries",
+            ],
+            series={
+                "table": table_series(headers, rows),
+                "fault_rates": list(FAULT_RATES),
+                "fault_seed": FAULT_SEED,
+                "coverage_tolerance": COVERAGE_TOLERANCE,
+            },
+        )
+
+        for step in steps[1:]:
+            # bounded quality loss: full-size batches, coverage within tolerance
+            assert step["suggestions"] == baseline["suggestions"]
+            assert step["coverage"] >= baseline["coverage"] - COVERAGE_TOLERANCE
+            # the dead Geocoder must open its breaker, not burn retries forever
+            assert step["resilience.breaker.opened"] > 0
+            assert step["resilience.lookups_failed"] > 0
+            # transient faults were observed and retried
+            assert step["resilience.transient_faults"] > 0
+            assert step["resilience.retries"] > 0
+
+    def test_degraded_suggestions_are_flagged_and_sunk(self):
+        """The dead service's suggestion survives, flagged and rank-penalized."""
+        session = _integration_session()
+        with RESILIENCE.overridden(retry_base_ms=0.0), FAULTS.injected(_policy(0.2)):
+            batch = session.column_suggestions(k=K, refresh=True)
+        degraded = [s for s in batch if s.is_degraded]
+        assert degraded, "dead Geocoder should yield a DEGRADED suggestion"
+        for suggestion in degraded:
+            assert "DEGRADED(" in suggestion.describe()
+            assert suggestion.score > suggestion.completion.cost
+        worst_healthy = max(s.score for s in batch if not s.is_degraded)
+        assert min(s.score for s in degraded) >= worst_healthy
+
+    def test_bench_chaos_refresh(self, benchmark):
+        """Timed: one suggestion refresh under 20% transient chaos."""
+        session = _integration_session()
+        policy = _policy(0.2)
+
+        def refresh():
+            with RESILIENCE.overridden(retry_base_ms=0.0), FAULTS.injected(policy):
+                return session.column_suggestions(k=K, refresh=True)
+
+        batch = benchmark(refresh)
+        assert batch

@@ -63,9 +63,11 @@ def _print_observability() -> None:
         )
 
     from repro.cache import cache_stats_line
+    from repro.resilience import resilience_stats_line
 
     print()
     print(cache_stats_line())
+    print(resilience_stats_line())
 
 
 def main() -> None:

@@ -22,6 +22,8 @@ from ..learning.integration.learner import IntegrationLearner
 from ..learning.integration.queries import IntegrationQuery
 from ..learning.model.type_learner import SemanticTypeLearner
 from ..learning.structure.learner import StructureLearner
+from ..obs import METRICS
+from ..resilience.config import RESILIENCE
 from ..substrate.documents.clipboard import CopyEvent
 from ..substrate.relational.schema import ANY
 from ..util.text import normalize
@@ -129,6 +131,14 @@ class AutoCompleteGenerator:
                     provenances.append(None)
                     alternatives.append([])
             coverage = hits / len(workspace_rows) if workspace_rows else 0.0
+            # Graceful degradation: a suggestion whose query lost a service
+            # mid-execution is still offered (partial answers beat losing
+            # the column), but rank-penalized per failed service and
+            # flagged so the user sees why values are missing.
+            degraded = result.degraded_services()
+            score = completion.cost + RESILIENCE.degraded_penalty * len(degraded)
+            if degraded and METRICS.enabled:
+                METRICS.inc("resilience.degraded_suggestions")
             suggestions.append(
                 ColumnSuggestion(
                     completion=completion,
@@ -141,12 +151,14 @@ class AutoCompleteGenerator:
                     provenances=provenances,
                     alternatives=alternatives,
                     coverage=coverage,
-                    score=completion.cost,
+                    score=score,
+                    degraded=degraded,
                 )
             )
-        # Rank by learned cost; break ties by executed coverage and by the
-        # trust scores the feedback loop maintains per source ("the learners
-        # adjust source scores", Section 2.2).
+        # Rank by learned cost (degradation-penalized); break ties by
+        # executed coverage and by the trust scores the feedback loop
+        # maintains per source ("the learners adjust source scores",
+        # Section 2.2).
         suggestions.sort(
             key=lambda s: (s.score, -s.coverage, -self._source_trust(s), s.source)
         )

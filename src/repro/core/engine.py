@@ -36,7 +36,11 @@ class QueryEngine:
             if span.is_recording():
                 span.set("plan", plan.describe())
                 span.set("rows", len(merged.rows))
+                if merged.degraded:
+                    span.set("degraded", ",".join(merged.degraded_services()))
             METRICS.inc("engine.queries")
+            if merged.degraded and METRICS.enabled:
+                METRICS.inc("resilience.degraded_results")
             return merged
 
     def explain_row(self, prov: Provenance, plan: Plan | None = None) -> Explanation:

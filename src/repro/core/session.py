@@ -44,6 +44,7 @@ from ..learning.transforms import Transform, TransformLearner
 from ..linking.linker import LearnedLinker, LinkExample
 from ..linking.similarity import FieldPair
 from ..provenance.explain import Explanation
+from ..resilience.config import RESILIENCE
 from ..substrate.documents.clipboard import Clipboard, CopyEvent
 from ..substrate.relational.catalog import Catalog, SourceMetadata
 from ..substrate.relational.relation import Relation
@@ -318,6 +319,12 @@ class CopyCatSession:
         recompute. ``refresh=True`` forces one unconditionally (the old
         default), ``refresh=False`` reuses whatever batch is standing.
         """
+        if RESILIENCE.enabled:
+            # Operational trust feedback: fold observed service failure
+            # rates into edge weights *before* computing the signature, so
+            # newly degraded health both perturbs the signature (forcing a
+            # recompute) and sinks chronically failing services in ranking.
+            self.integration_learner.absorb_service_health()
         signature = self._suggestions_signature(k) if CACHE.suggestions else None
         if refresh is None:
             refresh = not (

@@ -63,6 +63,10 @@ class ColumnSuggestion:
     ``alternatives[i]`` counts extra candidate values (the ambiguity the
     paper surfaces so "the integrator [can] select the appropriate
     location").
+
+    ``degraded`` names services that failed while executing the query
+    (graceful degradation): the suggestion is still shown, but its score
+    carries a rank penalty and its explanation flags the failure.
     """
 
     completion: ColumnCompletion
@@ -73,6 +77,7 @@ class ColumnSuggestion:
     alternatives: list[list[tuple[Any, ...]]]
     coverage: float
     score: float
+    degraded: tuple[str, ...] = ()
 
     @property
     def query(self) -> IntegrationQuery:
@@ -84,12 +89,19 @@ class ColumnSuggestion:
         """The source/service contributing the new columns."""
         return self.completion.added_source
 
+    @property
+    def is_degraded(self) -> bool:
+        return bool(self.degraded)
+
     def describe(self) -> str:
         attrs = ", ".join(self.attribute_names)
-        return (
+        line = (
             f"[cost={self.score:.2f}, coverage={self.coverage:.0%}] "
             f"{attrs} from {self.source} via {self.completion.edge.kind}"
         )
+        if self.degraded:
+            line += f" DEGRADED({', '.join(self.degraded)})"
+        return line
 
 
 @dataclass

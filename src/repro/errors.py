@@ -56,8 +56,45 @@ class ServiceError(CopyCatError):
     """A simulated service invocation failed."""
 
 
+class TransientServiceError(ServiceError):
+    """A retryable backend hiccup (timeout, flap, injected transient fault).
+
+    The resilient invocation path retries these with backoff; they are
+    *never* memoized, so a flaky moment cannot poison the service cache.
+    """
+
+    def __init__(self, message: str, service: str | None = None):
+        self.service = service
+        super().__init__(message)
+
+
 class ServiceLookupFailed(ServiceError):
-    """A service could not answer for the given inputs."""
+    """A service could not answer for the given inputs.
+
+    Raised by :meth:`Service.invoke` once retries/deadline/breaker are
+    exhausted; the evaluator converts it into a *degraded* partial result
+    instead of aborting the plan. ``transient`` distinguishes "the backend
+    was flaky" from "the backend is definitively broken for these inputs".
+    """
+
+    def __init__(self, message: str, service: str | None = None, transient: bool = False):
+        self.service = service
+        self.transient = transient
+        super().__init__(message)
+
+
+class CircuitOpenError(ServiceLookupFailed):
+    """The service's circuit breaker is open: call rejected without a lookup."""
+
+    def __init__(self, message: str, service: str | None = None):
+        super().__init__(message, service=service, transient=True)
+
+
+class DeadlineExceededError(ServiceLookupFailed):
+    """The per-invocation deadline budget ran out mid-retry."""
+
+    def __init__(self, message: str, service: str | None = None):
+        super().__init__(message, service=service, transient=True)
 
 
 class LearningError(CopyCatError):

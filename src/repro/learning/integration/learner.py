@@ -18,7 +18,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Iterable, Mapping, Sequence
 
-from ...errors import GraphError, IntegrationError
+from ...errors import CatalogError, GraphError, IntegrationError
+from ...obs import METRICS
+from ...resilience.config import RESILIENCE
 from ...substrate.relational.catalog import Catalog
 from ...util.text import normalize
 from .associations import discover_associations
@@ -63,6 +65,11 @@ class IntegrationLearner:
         self.use_semantic_types = use_semantic_types
         self.linker_factory = linker_factory
         self._margin = margin
+        # Operational-health penalty currently baked into each edge weight
+        # (see absorb_service_health); tracked so re-absorption adjusts by
+        # the *difference* and never clobbers MIRA-learned weights.
+        self._health_penalty: dict[str, float] = {}
+        self._health_state: tuple = ()
         self.graph = SourceGraph()
         self.mira = MiraLearner(
             self.graph,
@@ -91,6 +98,60 @@ class IntegrationLearner:
             relevance_threshold=self.relevance_threshold,
         )
         return self.graph
+
+    def absorb_service_health(self) -> int:
+        """Fold observed service failure rates into source-graph weights.
+
+        The paper's trust-feedback mechanism driven by operational signals:
+        every edge touching a service pays an extra cost of
+        ``RESILIENCE.failure_penalty × failure_rate``, so chronically
+        failing services sink in plan ranking (and, once the penalty pushes
+        an edge past the relevance threshold, stop being suggested at all).
+        The penalty is applied as a delta against what was previously
+        absorbed, so repeated calls converge and recovery (failure rate
+        falling as successes accrue) lowers the cost again without
+        disturbing MIRA-learned weights. Returns the number of edges whose
+        weight changed.
+
+        Called before every suggestion batch, so the steady state — no
+        health movement since the last absorption — must stay O(#services):
+        the edge sweep only runs when some service's invocation ledger
+        actually moved.
+        """
+        state = tuple(
+            (service.name, service.health.successes, service.health.lookups_failed)
+            for service in self.catalog.services()
+        )
+        if state == self._health_state:
+            return 0
+        self._health_state = state
+        changed = 0
+        for edge in self.graph.edges():
+            rate = 0.0
+            for endpoint in (edge.left, edge.right):
+                if not self.graph.node(endpoint).is_service:
+                    continue
+                try:
+                    service = self.catalog.service(endpoint)
+                except CatalogError:
+                    continue
+                rate = max(rate, service.health.failure_rate())
+            penalty = RESILIENCE.failure_penalty * rate
+            previous = self._health_penalty.get(edge.key, 0.0)
+            if abs(penalty - previous) > 1e-12:
+                self.graph.weights[edge.key] = (
+                    self.graph.weights.get(edge.key, edge.default_cost())
+                    + penalty
+                    - previous
+                )
+                if penalty:
+                    self._health_penalty[edge.key] = penalty
+                else:
+                    self._health_penalty.pop(edge.key, None)
+                changed += 1
+        if changed and METRICS.enabled:
+            METRICS.inc("resilience.health_absorbed_edges", changed)
+        return changed
 
     # -- query construction ---------------------------------------------------------
     def base_query(self, source: str) -> IntegrationQuery:

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import ProvenanceError
+from ..resilience.degrade import is_degraded_source
 from ..substrate.relational.algebra import DependentJoin, Join, Plan, RecordLinkJoin
 from ..substrate.relational.catalog import Catalog
 from ..substrate.relational.rows import TupleId
@@ -59,7 +60,7 @@ class SourceContribution:
     """One source's part in a derivation."""
 
     source: str
-    kind: str  # "relation" | "service"
+    kind: str  # "relation" | "service" | "degraded"
     tuple_ids: list[TupleId] = field(default_factory=list)
     attributes: tuple[str, ...] = ()
 
@@ -113,6 +114,19 @@ class Explanation:
             )
             blocks.append(header + "\n" + derivation.render(indent=2))
         return "\n".join(blocks)
+
+    def degraded_services(self) -> list[str]:
+        """Services that failed while deriving this tuple (partial answer)."""
+        from ..resilience.degrade import DEGRADED_PREFIX
+
+        return sorted(
+            {
+                contribution.source[len(DEGRADED_PREFIX):]
+                for derivation in self.derivations
+                for contribution in derivation.contributions
+                if contribution.kind == "degraded"
+            }
+        )
 
     def uses_service(self, name: str) -> bool:
         return any(
@@ -229,7 +243,12 @@ def explain(
             by_source.setdefault(tid.relation, []).append(tid)
         contributions: list[SourceContribution] = []
         for source, tids in sorted(by_source.items()):
-            if catalog.is_service(source):
+            if is_degraded_source(source):
+                # Pseudo-source marking a service that failed during
+                # evaluation: the tuple is a partial answer.
+                kind = "degraded"
+                attrs = ()
+            elif catalog.is_service(source):
                 kind = "service"
                 attrs = catalog.service(source).output_names
             elif source in catalog:

@@ -1,0 +1,37 @@
+"""Graceful-degradation records.
+
+When a dependent-join service invocation fails past its retry/deadline/
+breaker budget, the evaluator does not abort the plan: it emits the child
+row with null service outputs, annotates its provenance with a pseudo-source
+named after the failed service (``degraded:<Service>``), and records a
+:class:`Degradation` on the :class:`~repro.substrate.relational.evaluator.
+Result`. Downstream, suggestions built from degraded results are
+rank-penalized and flagged in their explanations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Prefix of the pseudo-source provenance variables marking degraded rows.
+DEGRADED_PREFIX = "degraded:"
+
+
+def degraded_source(service: str) -> str:
+    """The pseudo-source name annotating rows that lost *service*'s outputs."""
+    return DEGRADED_PREFIX + service
+
+
+def is_degraded_source(source: str) -> bool:
+    return source.startswith(DEGRADED_PREFIX)
+
+
+@dataclass(frozen=True)
+class Degradation:
+    """One service failure absorbed during plan evaluation."""
+
+    service: str
+    reason: str
+
+    def __str__(self) -> str:
+        return f"{self.service}: {self.reason}"

@@ -26,9 +26,10 @@ from typing import Any, Iterable
 from ...cache.config import CACHE
 from ...cache.fingerprint import plan_fingerprint
 from ...cache.plan_cache import PlanResultCache
-from ...errors import EvaluationError
+from ...errors import EvaluationError, ServiceLookupFailed
 from ...obs import METRICS
 from ...provenance.expressions import Provenance, Var, plus, times
+from ...resilience.degrade import Degradation, degraded_source
 from .algebra import (
     DependentJoin,
     Distinct,
@@ -43,7 +44,7 @@ from .algebra import (
     Union,
 )
 from .catalog import Catalog
-from .rows import Row
+from .rows import Row, TupleId
 from .schema import Schema
 
 AnnotatedRow = tuple[Row, Provenance]
@@ -51,10 +52,17 @@ AnnotatedRow = tuple[Row, Provenance]
 
 @dataclass
 class Result:
-    """An evaluated plan: schema plus provenance-annotated rows."""
+    """An evaluated plan: schema plus provenance-annotated rows.
+
+    ``degraded`` records the service failures absorbed while evaluating
+    (graceful degradation): the affected rows are present with null service
+    outputs and a ``degraded:<Service>`` provenance marker instead of the
+    whole evaluation raising.
+    """
 
     schema: Schema
     rows: list[AnnotatedRow]
+    degraded: tuple[Degradation, ...] = ()
     # Lazily-built row → ⊕-combined-provenance index shared by
     # provenance_of and merged (each lookup used to be a linear scan).
     _prov_index: dict[Row, Provenance] | None = field(
@@ -101,7 +109,19 @@ class Result:
     def merged(self) -> "Result":
         """Set-semantics view: duplicates merged, provenance ⊕-combined."""
         index = self._index()
-        return Result(self.schema, [(row, index[row]) for row in self._prov_order])
+        return Result(
+            self.schema,
+            [(row, index[row]) for row in self._prov_order],
+            degraded=self.degraded,
+        )
+
+    @property
+    def is_degraded(self) -> bool:
+        return bool(self.degraded)
+
+    def degraded_services(self) -> tuple[str, ...]:
+        """Sorted names of the services whose failures this result absorbed."""
+        return tuple(sorted({note.service for note in self.degraded}))
 
 
 #: Node kinds worth caching: they materialize inputs and/or do superlinear
@@ -119,11 +139,15 @@ class Evaluator:
     def __init__(self, catalog: Catalog):
         self.catalog = catalog
         self.plan_cache = PlanResultCache()
+        # Service failures absorbed during the current run() (graceful
+        # degradation); attached to the Result and reset per run.
+        self._degraded: list[Degradation] = []
 
     def run(self, plan: Plan) -> Result:
         schema = plan.output_schema(self.catalog)
+        self._degraded = []
         rows = list(self._eval(plan))
-        return Result(schema, rows)
+        return Result(schema, rows, degraded=tuple(self._degraded))
 
     # -- dispatch -----------------------------------------------------------
     def _eval(self, plan: Plan) -> Iterable[AnnotatedRow]:
@@ -138,8 +162,15 @@ class Evaluator:
         cached = self.plan_cache.get(fingerprint, version)
         if cached is not None:
             return cached
+        degraded_before = len(self._degraded)
         rows = list(method(plan))
-        self.plan_cache.put(fingerprint, version, rows)
+        # A degraded evaluation is transient by nature: caching it would
+        # keep serving the partial result after the service recovers, the
+        # same poisoning the service memo guards against.
+        if len(self._degraded) == degraded_before:
+            self.plan_cache.put(fingerprint, version, rows)
+        elif METRICS.enabled:
+            METRICS.inc("cache.plan.degraded_uncached")
         return rows
 
     def _eval_scan(self, plan: Scan) -> Iterable[AnnotatedRow]:
@@ -204,6 +235,7 @@ class Evaluator:
         # service's own invoke memoization.
         seen: dict[tuple[Any, ...], list[tuple[list[Any], Any]]] = {}
         output_names = service.output_names
+        null_outputs = [None] * len(output_names)
         for row, prov in self._eval(plan.child):
             inputs = {svc_input: row[child_attr] for svc_input, child_attr in input_map.items()}
             if any(value is None for value in inputs.values()):
@@ -214,8 +246,24 @@ class Evaluator:
             except TypeError:  # unhashable input value: invoke directly
                 binding, expansions = None, None
             if expansions is None:
+                try:
+                    invoked = service.invoke(inputs)
+                except ServiceLookupFailed as exc:
+                    # Graceful degradation: keep the row, null the service
+                    # outputs, and mark its provenance with a pseudo-source
+                    # naming the failed service. Failed bindings are never
+                    # recorded in `seen`, so a later duplicate may recover.
+                    self._degraded.append(
+                        Degradation(service=plan.service, reason=str(exc))
+                    )
+                    if METRICS.enabled:
+                        METRICS.inc("resilience.degraded_rows")
+                    marker = Var(TupleId(degraded_source(plan.service), 0))
+                    values = list(row.values) + null_outputs
+                    yield Row(target, values), times(prov, marker)
+                    continue
                 expansions = []
-                for result in service.invoke(inputs):
+                for result in invoked:
                     result_id = service.result_tuple_id(result)
                     expansions.append(
                         ([result[name] for name in output_names], result_id)

@@ -20,8 +20,20 @@ from typing import Any, Mapping, Sequence
 
 from ...cache.config import CACHE
 from ...cache.lru import LRUCache
-from ...errors import BindingError, ServiceError
+from ...errors import (
+    BindingError,
+    CircuitOpenError,
+    DeadlineExceededError,
+    ServiceError,
+    ServiceLookupFailed,
+    TransientServiceError,
+)
 from ...obs import METRICS
+from ...resilience.breaker import CircuitBreaker, ServiceHealth
+from ...resilience.config import RESILIENCE
+from ...resilience.faults import FAULTS
+from ...resilience.retry import Deadline, RetryPolicy
+from ...util.rng import derive_rng, make_rng
 from ..relational.rows import TupleId
 from ..relational.schema import BindingPattern, Schema
 
@@ -48,6 +60,14 @@ class Service:
         # Interning table assigning stable TupleIds to distinct results, so
         # provenance over service outputs is well-defined and repeatable.
         self._result_ids: dict[tuple[Any, ...], TupleId] = {}
+        # Resilience state (repro.resilience): a circuit breaker gating the
+        # backend, an operational-health ledger the integration learner
+        # reads, and a per-invocation counter seeding backoff jitter.
+        self.breaker = CircuitBreaker(name)
+        self.health = ServiceHealth()
+        self._resilient_invocations = 0
+        # Installed by FaultPolicy.wrap(); None = _lookup is unwrapped.
+        self._fault_wrapped = None
 
     # -- public API ------------------------------------------------------------
     @property
@@ -72,9 +92,16 @@ class Service:
         """Invoke the service with *inputs* bound.
 
         Returns a list of full-schema row dicts (inputs echoed + outputs).
-        An empty list means the lookup failed — the dependent join treats
-        that as "no match" rather than an error. Repeated invocations with
-        the same bound inputs are served from a per-service LRU memo
+        An empty list is a *definitive* no-match — the dependent join treats
+        it as "no answer for these inputs" and it is memoizable. A backend
+        *failure* is different: under the resilient path
+        (:data:`repro.resilience.RESILIENCE` enabled) transient errors are
+        retried with seeded exponential backoff inside a per-invocation
+        deadline, gated by this service's circuit breaker; once the budget
+        is exhausted :class:`ServiceLookupFailed` is raised, and — unlike a
+        definitive no-match — is **never** cached, so a flaky moment cannot
+        poison the memo. Repeated successful invocations with the same
+        bound inputs are served from a per-service LRU memo
         (:data:`repro.cache.CACHE` ``.service``) without touching the
         backend.
         """
@@ -95,7 +122,20 @@ class Service:
                 return [dict(row) for row in cached]
         start = time.perf_counter() if METRICS.enabled else 0.0
         self._backend_calls += 1
-        results = self._lookup({name: inputs[name] for name in self.binding.inputs})
+        bound = {name: inputs[name] for name in self.binding.inputs}
+        try:
+            if RESILIENCE.enabled:
+                results = self._resilient_lookup(bound)
+            else:
+                results = self._raw_lookup(bound)
+        except ServiceLookupFailed:
+            self.health.lookups_failed += 1
+            if METRICS.enabled:
+                METRICS.inc("service.calls")
+                METRICS.inc("service." + self.name + ".calls")
+                METRICS.inc("resilience.lookups_failed")
+                METRICS.inc("service." + self.name + ".failures")
+            raise  # transient failures are never memoized (no poisoning)
         if METRICS.enabled:
             elapsed_ms = (time.perf_counter() - start) * 1000.0
             METRICS.inc("service.calls")
@@ -116,6 +156,108 @@ class Service:
         if memo_key is not None:
             self._memo.put(memo_key, [dict(row) for row in rows])
         return rows
+
+    # -- resilient backend path -----------------------------------------------
+    #: injectable sleeper (tests replace it to run backoff schedules dry).
+    _sleep = staticmethod(time.sleep)
+
+    def _raw_lookup(self, bound: Mapping[str, Any]) -> Sequence[Mapping[str, Any]]:
+        """One bare backend call, with any armed fault policy applied."""
+        if FAULTS.active is not None:
+            FAULTS.before_call(self, sleep=self._sleep)
+        return self._lookup(bound)
+
+    def _resilient_lookup(self, bound: Mapping[str, Any]) -> Sequence[Mapping[str, Any]]:
+        """Backend call with breaker gating, retries, and a deadline.
+
+        Raises :class:`ServiceLookupFailed` (or its ``CircuitOpenError`` /
+        ``DeadlineExceededError`` refinements) once the budget is spent;
+        callers that want graceful degradation catch exactly that type.
+        Programming errors (:class:`BindingError`, malformed-result
+        :class:`ServiceError`) propagate untouched and do not trip the
+        breaker.
+        """
+        if not self.breaker.allow():
+            self.health.short_circuits += 1
+            if METRICS.enabled:
+                METRICS.inc("resilience.breaker.short_circuits")
+                METRICS.inc("resilience.breaker." + self.name + ".short_circuits")
+            raise CircuitOpenError(
+                f"service {self.name!r} circuit breaker is open", service=self.name
+            )
+        self._resilient_invocations += 1
+        policy = RetryPolicy.from_config()
+        deadline = Deadline(RESILIENCE.deadline_ms)
+        rng = None  # jitter stream derived lazily, only when a retry happens
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                results = self._raw_lookup(bound)
+            except TransientServiceError as exc:
+                self.health.failures += 1
+                self.breaker.record_failure()
+                if METRICS.enabled:
+                    METRICS.inc("resilience.transient_faults")
+                if attempt >= policy.max_attempts:
+                    raise ServiceLookupFailed(
+                        f"service {self.name!r} failed after {attempt} attempts: {exc}",
+                        service=self.name,
+                        transient=True,
+                    ) from exc
+                if rng is None:
+                    rng = derive_rng(
+                        make_rng(RESILIENCE.seed), self.name, self._resilient_invocations
+                    )
+                delay_ms = policy.backoff_ms(attempt, rng)
+                if deadline.expired or not deadline.allows_delay(delay_ms):
+                    if METRICS.enabled:
+                        METRICS.inc("resilience.deadline_expired")
+                    raise DeadlineExceededError(
+                        f"service {self.name!r} deadline "
+                        f"({RESILIENCE.deadline_ms:g}ms) exhausted after "
+                        f"{attempt} attempts",
+                        service=self.name,
+                    ) from exc
+                self.health.retries += 1
+                if METRICS.enabled:
+                    METRICS.inc("resilience.retries")
+                    METRICS.inc("resilience." + self.name + ".retries")
+                if delay_ms > 0.0:
+                    self._sleep(delay_ms / 1000.0)
+            except ServiceLookupFailed as exc:
+                # Persistent failure (dead backend): no point retrying.
+                self.health.failures += 1
+                self.breaker.record_failure()
+                if exc.service is None:
+                    exc.service = self.name
+                raise
+            except (BindingError, ServiceError):
+                raise  # caller/contract bug, not backend weather
+            except Exception as exc:  # backend blew up: surface as a failure
+                self.health.failures += 1
+                self.breaker.record_failure()
+                raise ServiceLookupFailed(
+                    f"service {self.name!r} backend error: {exc}",
+                    service=self.name,
+                ) from exc
+            else:
+                self.health.successes += 1
+                self.breaker.record_success()
+                return results
+
+    def health_stats(self) -> dict[str, int | float | str]:
+        """Operational snapshot: health counters plus breaker state."""
+        return {
+            "successes": self.health.successes,
+            "failures": self.health.failures,
+            "lookups_failed": self.health.lookups_failed,
+            "retries": self.health.retries,
+            "short_circuits": self.health.short_circuits,
+            "failure_rate": self.health.failure_rate(),
+            "breaker_state": self.breaker.state,
+            "breaker_opened": self.breaker.times_opened,
+        }
 
     # -- memoization ----------------------------------------------------------
     def cache_stats(self) -> dict[str, int]:
@@ -182,7 +324,11 @@ class TableBackedService(Service):
         try:
             key = self._key(inputs)
         except KeyError as exc:
-            raise BindingError(f"missing bound input: {exc}") from None
+            # exc.args[0] is the missing attribute name itself; interpolating
+            # the exception would add the repr's stray quotes.
+            raise BindingError(
+                f"service {self.name!r} missing bound input: {exc.args[0]}"
+            ) from None
         return [
             {name: row[name] for name in self.output_names}
             for row in self._index.get(key, [])
@@ -211,6 +357,11 @@ class FunctionService(Service):
         self._fn = fn
 
     def _lookup(self, inputs: Mapping[str, Any]) -> Sequence[Mapping[str, Any]]:
+        for name in self.binding.inputs:
+            if name not in inputs:
+                raise BindingError(
+                    f"service {self.name!r} missing bound input: {name}"
+                )
         result = self._fn(**inputs)
         if result is None:
             return []
