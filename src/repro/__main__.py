@@ -63,11 +63,13 @@ def _print_observability() -> None:
         )
 
     from repro.cache import cache_stats_line
+    from repro.drift import drift_stats_line
     from repro.resilience import resilience_stats_line
 
     print()
     print(cache_stats_line())
     print(resilience_stats_line())
+    print(drift_stats_line())
 
 
 def main() -> None:

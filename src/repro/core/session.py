@@ -32,6 +32,22 @@ from pathlib import Path
 from typing import Any, Mapping, Sequence
 
 from ..cache.config import CACHE
+from ..drift import (
+    DRIFT,
+    QuarantineLog,
+    WrapperRecord,
+    add_provenance_note,
+    apply_wrapper,
+    note_drift_event,
+    note_resync,
+    quarantine_source_in_catalog,
+    record_wrapper,
+    refetch_event,
+    reinduce_wrapper,
+    release_source_in_catalog,
+    validate_row,
+    verify_extraction,
+)
 from ..errors import FeedbackError, NoHypothesisError, WorkspaceError
 from ..obs import METRICS, TRACER
 from ..learning.integration.learner import IntegrationLearner
@@ -69,6 +85,28 @@ class PasteOutcome:
     def n_suggested_rows(self) -> int:
         """How many rows the system proposed beyond the user's paste."""
         return len(self.row_suggestion.rows) if self.row_suggestion else 0
+
+
+@dataclass(frozen=True)
+class ResyncReport:
+    """What one :meth:`CopyCatSession.resync_source` call did.
+
+    ``action`` is one of ``"clean"`` (wrapper still fits), ``"reinduced"``
+    (drift detected, wrapper healed from the stored examples),
+    ``"quarantined"`` (drift unrecoverable: last-known-good rows kept,
+    source degraded), or ``"blind"`` (drift layer disabled: whatever the old
+    wrapper extracted was committed, unverified).
+    """
+
+    source: str
+    action: str
+    rows_committed: int
+    rows_quarantined: int
+    reasons: tuple[str, ...] = ()
+
+    @property
+    def healed(self) -> bool:
+        return self.action == "reinduced"
 
 
 class CopyCatSession:
@@ -121,6 +159,10 @@ class CopyCatSession:
         self._views: dict[str, IntegrationQuery] = {}
         self._edit_history: dict[tuple[str, int], list[tuple[dict[str, Any], Any]]] = {}
         self.transform_learner = TransformLearner()
+        # Drift layer: per-source wrapper records (for re-application and
+        # self-healing re-induction) and the quarantine ledger.
+        self.quarantine = QuarantineLog()
+        self._wrappers: dict[str, WrapperRecord] = {}
 
     # ------------------------------------------------------------------ linkers
     def _linker_for(self, edge: Association) -> LearnedLinker:
@@ -159,6 +201,21 @@ class CopyCatSession:
                 suggestion = self.autocomplete.row_suggestions(event, examples)
             if suggestion is not None:
                 self._generalizations[tab_name] = suggestion.generalization
+                if DRIFT.enabled and suggestion.rows:
+                    # Row-level verification of the generalized rows: junk
+                    # the wrapper swept up is quarantined, never suggested.
+                    arity = len(examples[0]) if examples else len(suggestion.rows[0])
+                    kept = []
+                    for index, row in enumerate(suggestion.rows):
+                        reason = validate_row(row, arity)
+                        if reason is None:
+                            kept.append(row)
+                        else:
+                            self.quarantine.add_row(
+                                tab_name, row, reason, f"{tab_name}[paste:{index}]"
+                            )
+                            METRICS.inc("drift.rows_quarantined")
+                    suggestion.rows = kept
                 table.append_rows(suggestion.rows, state=CellState.SUGGESTED)
 
             with TRACER.span("session.paste.suggest_types"):
@@ -263,18 +320,171 @@ class CopyCatSession:
             [Attribute(column.name, column.semantic_type) for column in table.columns]
         )
         relation = Relation(source_name, schema)
-        for row in table.committed_rows():
+        rows = table.committed_rows()
+        if DRIFT.enabled:
+            kept = []
+            for index, row in enumerate(rows):
+                reason = validate_row(row, len(table.columns))
+                if reason is None:
+                    kept.append(row)
+                else:
+                    self.quarantine.add_row(
+                        source_name, row, reason, f"{source_name}[{index}]"
+                    )
+                    METRICS.inc("drift.rows_quarantined")
+            rows = kept
+        for row in rows:
             relation.add(row)
         event = self._events.get(tab_name)
         metadata = SourceMetadata(
             origin="paste", url=event.context.url if event else None
         )
         self.catalog.add_relation(relation, metadata, replace=True)
+        generalization = self._generalizations.get(tab_name)
+        if (
+            DRIFT.enabled
+            and event is not None
+            and generalization is not None
+            and generalization.hypotheses
+        ):
+            # Snapshot the induced wrapper — hypothesis descriptor, user
+            # examples, per-column type signatures — for later verification
+            # and self-healing re-induction (see resync_source).
+            self._wrappers[source_name] = record_wrapper(
+                source_name,
+                event,
+                generalization.best,
+                generalization.examples,
+                rows,
+            )
         self.integration_learner.refresh()
         self.log.record(
             FeedbackKind.COMMIT_SOURCE, tab=tab_name, source=source_name, rows=len(relation)
         )
         return relation
+
+    # ============================================================== drift resync
+    def resync_source(self, name: str) -> ResyncReport:
+        """Re-extract a committed source from its live document.
+
+        The recorded wrapper is re-applied and the extraction verified
+        against the induction-time hypothesis (arity, record-count sanity,
+        example coverage, per-column token-pattern distributions). On drift
+        the wrapper is re-induced from the stored user examples — anchored
+        by value, not position — and swapped in place; unrecoverable drift
+        quarantines the source wholesale while its last-known-good rows keep
+        serving, rank-penalized. Every outcome that changes what queries can
+        answer bumps ``Catalog.version`` so plan/result caches invalidate.
+        """
+        record = self._wrappers.get(name)
+        if record is None:
+            raise FeedbackError(
+                f"no wrapper recorded for source {name!r}: it was never "
+                f"committed from a paste (or the drift layer was disabled)"
+            )
+        with TRACER.span("session.resync_source") as span, METRICS.timer(
+            "session.resync_ms"
+        ):
+            event = refetch_event(record)
+            if not DRIFT.enabled:
+                # Blind resync: the pre-drift-layer behavior — whatever the
+                # old wrapper extracts is committed, unverified.
+                try:
+                    rows = apply_wrapper(self.structure_learner, record, event)
+                except NoHypothesisError:
+                    rows = []
+                if rows:
+                    self._replace_source_rows(name, rows)
+                return ResyncReport(name, "blind", len(rows), 0)
+
+            METRICS.inc("drift.resyncs")
+            note_resync(self.catalog, name)
+            structural_reason: str | None = None
+            rows = None
+            try:
+                rows = apply_wrapper(self.structure_learner, record, event)
+            except NoHypothesisError as exc:
+                structural_reason = str(exc)
+
+            if rows is not None:
+                METRICS.inc("drift.verifications")
+                report = verify_extraction(record.snapshot, rows)
+                if not report.drifted:
+                    committed, quarantined = self._commit_resync(name, report)
+                    self._lift_quarantine(name)
+                    METRICS.inc("drift.resyncs_clean")
+                    if span.is_recording():
+                        span.set("source", name)
+                        span.set("action", "clean")
+                    return ResyncReport(name, "clean", committed, quarantined)
+                reasons = report.reasons
+            else:
+                reasons = (structural_reason,)
+
+            # Drift detected: heal by re-inducing from the stored examples.
+            METRICS.inc("drift.detected")
+            note_drift_event(self.catalog, name)
+            try:
+                healed, healed_report = reinduce_wrapper(
+                    self.structure_learner, record, event
+                )
+            except NoHypothesisError as exc:
+                self.quarantine.quarantine_source(name, str(exc))
+                quarantine_source_in_catalog(self.catalog, name, str(exc))
+                self.integration_learner.refresh()
+                METRICS.inc("drift.sources_quarantined")
+                self.log.record(
+                    FeedbackKind.REJECT_ROWS, tab=name, quarantined=True
+                )
+                if span.is_recording():
+                    span.set("source", name)
+                    span.set("action", "quarantined")
+                return ResyncReport(
+                    name, "quarantined", 0, 0, tuple(reasons) + (str(exc),)
+                )
+
+            self._wrappers[name] = healed
+            committed, quarantined = self._commit_resync(name, healed_report)
+            add_provenance_note(self.catalog, name, f"reinduced:{name}")
+            self._lift_quarantine(name)
+            METRICS.inc("drift.reinduced")
+            self.log.record(FeedbackKind.COMMIT_SOURCE, tab=name, reinduced=True)
+            if span.is_recording():
+                span.set("source", name)
+                span.set("action", "reinduced")
+                span.set("reasons", list(reasons))
+            return ResyncReport(name, "reinduced", committed, quarantined, tuple(reasons))
+
+    def _commit_resync(self, name: str, report) -> tuple[int, int]:
+        """Commit a verified extraction: valid rows in, violations held out."""
+        relation = Relation(name, self.catalog.relation(name).schema)
+        for row in report.valid_rows:
+            relation.add(list(row))
+        self.quarantine.clear_rows(name)
+        for violation in report.violations:
+            self.quarantine.add_row(
+                name, violation.row, violation.reason, f"{name}[{violation.index}]"
+            )
+        if report.violations:
+            METRICS.inc("drift.rows_quarantined", len(report.violations))
+        # Keep the metadata object (drift notes, trust) across the replace —
+        # add_relation(replace=True) bumps Catalog.version, so fingerprint
+        # caches can never serve rows from the superseded wrapper.
+        self._replace_source_rows(name, None, relation=relation)
+        return len(relation), len(report.violations)
+
+    def _replace_source_rows(self, name: str, rows, relation: Relation | None = None) -> None:
+        if relation is None:
+            relation = Relation(name, self.catalog.relation(name).schema)
+            for row in rows:
+                relation.add(list(row))
+        self.catalog.add_relation(relation, self.catalog.metadata(name), replace=True)
+        self.integration_learner.refresh()
+
+    def _lift_quarantine(self, name: str) -> None:
+        if self.quarantine.is_quarantined(name):
+            self.quarantine.release_source(name)
+        release_source_in_catalog(self.catalog, name)
 
     # ============================================================ integration mode
     def start_integration(self, source: str, tab: str | None = None) -> str:
@@ -325,6 +535,10 @@ class CopyCatSession:
             # newly degraded health both perturbs the signature (forcing a
             # recompute) and sinks chronically failing services in ranking.
             self.integration_learner.absorb_service_health()
+        if DRIFT.enabled:
+            # Same for extraction-side trust: drift history and quarantine
+            # fold into edge costs before the signature is computed.
+            self.integration_learner.absorb_drift_events()
         signature = self._suggestions_signature(k) if CACHE.suggestions else None
         if refresh is None:
             refresh = not (

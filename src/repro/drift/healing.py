@@ -1,0 +1,204 @@
+"""Self-healing wrappers: re-apply, and on drift re-induce from examples.
+
+The structure learner induces a wrapper once, at commit time; this module
+keeps enough of that induction around — the copy event (with its live
+document container), the user's example rows, and the winning hypothesis's
+descriptor — to do two things later:
+
+- :func:`apply_wrapper` re-runs the committed wrapper against the *current*
+  document: the expert committee proposes candidates again and we look for
+  the recorded (origin, width) region, projecting through the recorded
+  column map; fallback wrappers re-run the sequential-covering landmark
+  path. A missing region raises
+  :class:`~repro.errors.NoHypothesisError` — structural drift.
+- :func:`reinduce_wrapper` heals: it filters the stored user examples to
+  those whose *values* still occur in the live document (anchored by value,
+  not position — Section 3.1's "we do not need to know exactly where the
+  data was cut-and-pasted from" applies to re-induction too), re-runs the
+  full generalization (experts, clustering, projection search, and the
+  sequential-covering fallback in ``wrapper_induction.py``), and accepts
+  the first hypothesis whose output still matches the induction-time type
+  profile. Unrecoverable drift (no surviving examples, no hypothesis, or
+  nothing type-consistent) raises ``NoHypothesisError`` for the caller to
+  quarantine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dataclass_replace
+from typing import TYPE_CHECKING
+
+from ..errors import NoHypothesisError
+from ..learning.structure.wrapper_induction import induce_table
+from ..substrate.documents.clipboard import CopyEvent
+from ..util.text import is_blank
+from .verify import InductionSnapshot, VerificationReport, snapshot_extraction, verify_extraction
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..learning.structure.learner import StructureLearner
+
+
+@dataclass
+class WrapperRecord:
+    """Everything needed to re-apply or re-induce one source's wrapper."""
+
+    source: str
+    event: CopyEvent
+    examples: list[list[str]]
+    origin: str
+    n_columns: int
+    column_map: tuple[int, ...]
+    via_fallback: bool
+    snapshot: InductionSnapshot
+    reinductions: int = 0
+
+    def describe(self) -> str:
+        mechanism = "landmark-rules" if self.via_fallback else "projection"
+        return (
+            f"{self.source}: {mechanism} over {self.origin or 'document'} "
+            f"cols{list(self.column_map)} ({self.snapshot.n_rows} rows at "
+            f"induction, reinduced {self.reinductions}x)"
+        )
+
+
+def record_wrapper(
+    source: str,
+    event: CopyEvent,
+    hypothesis,
+    examples,
+    committed_rows,
+) -> WrapperRecord:
+    """Build the wrapper record for a just-committed source."""
+    return WrapperRecord(
+        source=source,
+        event=event,
+        examples=[[str(cell) for cell in row] for row in examples],
+        origin=hypothesis.candidate.origin,
+        n_columns=hypothesis.candidate.n_columns,
+        column_map=tuple(hypothesis.column_map),
+        via_fallback=hypothesis.via_fallback,
+        snapshot=snapshot_extraction(source, committed_rows, examples=examples),
+    )
+
+
+def refetch_event(record: WrapperRecord) -> CopyEvent:
+    """The stored copy event rebound to the document's *current* state.
+
+    Pages are re-fetched from the containing website (a replaced page means
+    the stored DOM handle is stale); sheets and text documents are live
+    handles already.
+    """
+    context = record.event.context
+    container = context.container
+    if container is not None and context.url is not None and hasattr(container, "fetch"):
+        page = container.fetch(context.url)
+        if page is not context.document:
+            context = dataclass_replace(context, document=page)
+    return dataclass_replace(record.event, context=context)
+
+
+def _matching_candidate(candidates, record: WrapperRecord):
+    """The candidate carrying the recorded template region, or ``None``.
+
+    Clustering merges identical record sets under a ``|``-joined origin, so
+    membership is checked against the split set, along with the region width
+    the column map was induced for.
+    """
+    wanted = set(record.origin.split("|"))
+    for candidate in candidates:
+        if candidate.n_columns != record.n_columns:
+            continue
+        if wanted & set(candidate.origin.split("|")):
+            return candidate
+    return None
+
+
+def apply_wrapper(
+    learner: "StructureLearner", record: WrapperRecord, event: CopyEvent
+) -> list[list[str]]:
+    """Re-run the committed wrapper against the event's current document.
+
+    Raises :class:`NoHypothesisError` when the recorded template region no
+    longer exists (re-templating, layout shifts) — structural drift.
+    """
+    candidates, serialized = learner.ranked_candidates(event)
+    if record.via_fallback:
+        if serialized is None:
+            raise NoHypothesisError(
+                f"{record.source}: landmark wrapper needs a serializable document"
+            )
+        return induce_table(serialized, record.examples)
+    candidate = _matching_candidate(candidates, record)
+    if candidate is None:
+        raise NoHypothesisError(
+            f"{record.source}: template region {record.origin!r} "
+            f"({record.n_columns} columns) no longer present in the document"
+        )
+    return [[row[c] for c in record.column_map] for row in candidate.records]
+
+
+def _document_corpus(serialized: str | None, candidates) -> str:
+    """Searchable text of the live document for value-anchoring examples."""
+    if serialized is not None:
+        return serialized
+    cells = [
+        cell
+        for candidate in candidates
+        for row in candidate.records
+        for cell in row
+    ]
+    return "\n".join(cells)
+
+
+def reinduce_wrapper(
+    learner: "StructureLearner", record: WrapperRecord, event: CopyEvent
+) -> tuple[WrapperRecord, VerificationReport]:
+    """Heal a drifted wrapper by re-inducing from the stored user examples.
+
+    Returns the replacement record plus the verification report of the new
+    extraction (judged against the *old* snapshot with record-count checks
+    relaxed — a source may legitimately shrink). Raises
+    :class:`NoHypothesisError` when the drift is unrecoverable.
+    """
+    candidates, serialized = learner.ranked_candidates(event)
+    corpus = _document_corpus(serialized, candidates)
+    surviving = [
+        example
+        for example in record.examples
+        if all(str(cell) in corpus for cell in example if not is_blank(str(cell)))
+    ]
+    if not surviving:
+        raise NoHypothesisError(
+            f"{record.source}: none of the {len(record.examples)} stored user "
+            f"examples survive in the live document (values gone)"
+        )
+    result = learner.generalize(event, surviving)
+    failures: list[str] = []
+    for hypothesis in result.hypotheses:
+        rows = hypothesis.rows()
+        report = verify_extraction(
+            record.snapshot, rows, check_counts=False, check_examples=False
+        )
+        if report.drifted:
+            failures.extend(report.reasons)
+            continue
+        healed = WrapperRecord(
+            source=record.source,
+            event=event,
+            examples=record.examples,
+            origin=hypothesis.candidate.origin,
+            n_columns=hypothesis.candidate.n_columns,
+            column_map=tuple(hypothesis.column_map),
+            via_fallback=hypothesis.via_fallback,
+            snapshot=snapshot_extraction(
+                record.source, report.valid_rows, examples=record.snapshot.examples
+            ),
+            reinductions=record.reinductions + 1,
+        )
+        return healed, report
+    detail = f"; rejected hypotheses: {failures[:3]}" if failures else ""
+    raise NoHypothesisError(
+        f"{record.source}: re-induction from {len(surviving)} surviving "
+        f"example(s) produced no hypothesis matching the induction-time "
+        f"type profile{detail}"
+    )

@@ -1,0 +1,255 @@
+"""Deterministic, seeded page perturbations: the drift test harness.
+
+Each perturbation mutates one listing page of a simulated
+:class:`~repro.substrate.documents.website.Website` the way real sources
+drift, and reports the rows a perfect re-extraction should now produce:
+
+- ``retemplate`` — the CMS switches layout (table → list → divs) keeping
+  the data; the induced template region disappears, re-induction from the
+  stored examples recovers.
+- ``reorder_fields`` — same layout, columns rotated; positions still
+  extract, but the per-column token-pattern distributions diverge (the
+  Section 3.2 check) and value-anchored re-induction finds the new map.
+- ``churn_classes`` — CSS class churn plus an injected sidebar widget that
+  shifts the template-region index; the recorded region goes stale,
+  re-induction re-locates it.
+- ``inject_junk_rows`` — malformed records (blank, markup remnants, wrong
+  arity) appear inside the list; row-level validation quarantines them and
+  the clean rows commit.
+- ``truncate_records`` — most records vanish; record-count sanity flags the
+  collapse, re-induction re-baselines on what remains.
+- ``wipe_values`` — every value is replaced with garbage (unrecoverable:
+  no stored example survives).
+- ``blank_page`` — the page is replaced by a maintenance notice
+  (unrecoverable: nothing to induce from).
+
+Every function is deterministic in its seed; two runs drift identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import DocumentError
+from ..substrate.documents.dom import DomNode, document, element
+from ..substrate.documents.render import ListingTemplate
+from ..substrate.documents.website import Page, Website
+from ..util.rng import derive_rng, make_rng
+
+#: perturbation kinds a healthy self-healing loop should recover from.
+RECOVERABLE = (
+    "retemplate",
+    "reorder_fields",
+    "churn_classes",
+    "inject_junk_rows",
+    "truncate_records",
+)
+#: kinds that destroy the data itself; the only safe outcome is quarantine.
+UNRECOVERABLE = ("wipe_values", "blank_page")
+
+
+@dataclass(frozen=True)
+class PerturbationResult:
+    """What one perturbation did, and what extraction should now yield."""
+
+    kind: str
+    url: str
+    expected_rows: tuple[tuple[str, ...], ...]
+    recoverable: bool
+
+
+# -- page scraping helpers ----------------------------------------------------
+def _listing_container(dom: DomNode) -> DomNode:
+    nodes = dom.find_where(lambda n: "listing" in n.css_classes)
+    if not nodes:
+        raise DocumentError("page has no listing container to perturb")
+    return nodes[0]
+
+
+def _record_nodes(container: DomNode) -> list[DomNode]:
+    return [child for child in container.children if "record" in child.css_classes]
+
+
+def _record_values(node: DomNode) -> list[str]:
+    if node.tag == "tr":
+        return [cell.text_content() for cell in node.find_all("td")]
+    if node.tag == "li":
+        return [span.text_content() for span in node.find_all("span")]
+    return [
+        child.text_content()
+        for child in node.find_all("div")
+        if "field" in child.css_classes
+    ]
+
+
+def _listing_rows(dom: DomNode) -> tuple[str, list[str], list[list[str]]]:
+    """(style, column names, record rows) scraped from a rendered listing."""
+    container = _listing_container(dom)
+    style = {"table": "table", "ul": "ul", "ol": "ul"}.get(container.tag, "div")
+    rows = [_record_values(node) for node in _record_nodes(container)]
+    rows = [row for row in rows if row]
+    headers = [th.text_content() for th in container.find_all("th")]
+    width = len(rows[0]) if rows else len(headers)
+    if len(headers) != width:
+        headers = [f"c{i}" for i in range(width)]
+    return style, headers, rows
+
+
+def _render(
+    columns: list[str],
+    rows: list[list[str]],
+    style: str,
+    title: str,
+    seed: int,
+    record_class: str = "record",
+) -> DomNode:
+    template = ListingTemplate(
+        columns=columns, style=style, record_class=record_class, noise=0, seed=seed
+    )
+    records = [dict(zip(columns, row)) for row in rows]
+    return template.render(records, title=title or "Listing")
+
+
+# -- perturbations ------------------------------------------------------------
+def retemplate(page: Page, rng) -> tuple[DomNode, list[list[str]]]:
+    style, columns, rows = _listing_rows(page.dom)
+    new_style = {"table": "ul", "ul": "div", "div": "table"}[style]
+    dom = _render(columns, rows, new_style, page.title, seed=rng.randrange(2**31))
+    return dom, rows
+
+
+def reorder_fields(page: Page, rng) -> tuple[DomNode, list[list[str]]]:
+    style, columns, rows = _listing_rows(page.dom)
+    rotated = [row[1:] + row[:1] for row in rows]
+    dom = _render(
+        columns[1:] + columns[:1], rotated, style, page.title, seed=rng.randrange(2**31)
+    )
+    # A perfect re-extraction restores the *original* column order: the
+    # user's examples anchor the projection by value.
+    return dom, rows
+
+
+def churn_classes(page: Page, rng) -> tuple[DomNode, list[list[str]]]:
+    _, _, rows = _listing_rows(page.dom)
+    suffix = f"{rng.randrange(16**4):04x}"
+    renames = {"record": f"itm-{suffix}", "listing": f"grid-{suffix}", "ad": f"promo-{suffix}"}
+    for node in page.dom.iter():
+        classes = node.attrs.get("class")
+        if not classes:
+            continue
+        node.attrs["class"] = " ".join(
+            renames.get(token, token) for token in classes.split()
+        )
+    # Layout shift: a sidebar widget lands before the listing, so the
+    # listing is no longer the page's first template region.
+    widget = element(
+        "table",
+        element("tr", element("td", "Mon"), element("td", "72")),
+        element("tr", element("td", "Tue"), element("td", "68")),
+        element("tr", element("td", "Wed"), element("td", "71")),
+        cls=f"wx-{suffix}",
+    )
+    body = page.dom.find("body") if page.dom.find_all("body") else page.dom
+    body.children.insert(0, widget)
+    widget.parent = body
+    return page.dom, rows
+
+
+def inject_junk_rows(page: Page, rng) -> tuple[DomNode, list[list[str]]]:
+    _, _, rows = _listing_rows(page.dom)
+    container = _listing_container(page.dom)
+    style = container.tag
+    width = len(rows[0]) if rows else 3
+    junk_rows = [
+        [""] * width,                                        # blank record
+        ["<b>404</b>"] + ["Server Error"] * (width - 1),     # markup remnant
+    ]
+    for junk in junk_rows:
+        if style == "table":
+            node = element(
+                "tr", *[element("td", value) for value in junk], cls="record"
+            )
+        elif style in ("ul", "ol"):
+            node = element(
+                "li",
+                *[element("span", value, cls=f"f{i}") for i, value in enumerate(junk)],
+                cls="record",
+            )
+        else:
+            node = element(
+                "div",
+                *[
+                    element("div", value, cls=f"field f{i}")
+                    for i, value in enumerate(junk)
+                ],
+                cls="record",
+            )
+        container.append(node)
+    if style == "table":  # a wrong-arity straggler too
+        container.append(
+            element("tr", element("td", "See also"), element("td", "Archive"), cls="record")
+        )
+    return page.dom, rows
+
+
+def truncate_records(page: Page, rng) -> tuple[DomNode, list[list[str]]]:
+    _, _, rows = _listing_rows(page.dom)
+    container = _listing_container(page.dom)
+    records = _record_nodes(container)
+    keep = max(2, int(len(records) * 0.4))
+    if keep >= len(records):
+        keep = max(1, len(records) - 1)
+    for node in records[keep:]:
+        container.children.remove(node)
+    return page.dom, rows[:keep]
+
+
+def wipe_values(page: Page, rng) -> tuple[DomNode, list[list[str]]]:
+    container = _listing_container(page.dom)
+    for node in _record_nodes(container):
+        for leaf in node.text_leaves():
+            leaf.text = "".join(rng.choice("0123456789abcdef") for _ in range(10))
+    return page.dom, []
+
+
+def blank_page(page: Page, rng) -> tuple[DomNode, list[list[str]]]:
+    dom = document(
+        element("h1", "Scheduled maintenance"),
+        element("div", "This page is temporarily unavailable.", cls="notice"),
+        title=page.title or "Maintenance",
+    )
+    return dom, []
+
+
+PERTURBATIONS: dict[str, Callable] = {
+    "retemplate": retemplate,
+    "reorder_fields": reorder_fields,
+    "churn_classes": churn_classes,
+    "inject_junk_rows": inject_junk_rows,
+    "truncate_records": truncate_records,
+    "wipe_values": wipe_values,
+    "blank_page": blank_page,
+}
+
+
+def perturb_page(
+    website: Website, url: str, kind: str, seed: int = 0
+) -> PerturbationResult:
+    """Apply one named perturbation to *url* in place, deterministically."""
+    try:
+        perturbation = PERTURBATIONS[kind]
+    except KeyError:
+        raise DocumentError(
+            f"unknown perturbation {kind!r}; known: {sorted(PERTURBATIONS)}"
+        ) from None
+    page = website.fetch(url)
+    rng = derive_rng(make_rng(seed), kind)
+    new_dom, expected = perturbation(page, rng)
+    website.replace_page(url, new_dom, title=page.title)
+    return PerturbationResult(
+        kind=kind,
+        url=website.absolute(url),
+        expected_rows=tuple(tuple(row) for row in expected),
+        recoverable=kind in RECOVERABLE,
+    )

@@ -18,6 +18,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Iterable, Mapping, Sequence
 
+from ...drift.config import DRIFT
+from ...drift.quarantine import (
+    DRIFT_EVENTS_NOTE,
+    DRIFT_RESYNCS_NOTE,
+    QUARANTINE_NOTE,
+    drift_epoch,
+    drift_rate,
+)
 from ...errors import CatalogError, GraphError, IntegrationError
 from ...obs import METRICS
 from ...resilience.config import RESILIENCE
@@ -70,6 +78,12 @@ class IntegrationLearner:
         # the *difference* and never clobbers MIRA-learned weights.
         self._health_penalty: dict[str, float] = {}
         self._health_state: tuple = ()
+        # Same delta-tracking for source-drift penalties (see
+        # absorb_drift_events): drifting and quarantined *relations* pay
+        # extra edge cost exactly like failing services do.
+        self._drift_penalty: dict[str, float] = {}
+        self._drift_state: tuple = ()
+        self._drift_fast_key: tuple | None = None
         self.graph = SourceGraph()
         self.mira = MiraLearner(
             self.graph,
@@ -151,6 +165,69 @@ class IntegrationLearner:
                 changed += 1
         if changed and METRICS.enabled:
             METRICS.inc("resilience.health_absorbed_edges", changed)
+        return changed
+
+    def absorb_drift_events(self) -> int:
+        """Fold observed source drift into source-graph weights.
+
+        The extraction-side analogue of :meth:`absorb_service_health`: every
+        edge touching a drifting relation pays ``DRIFT.drift_penalty × drift
+        rate`` (detected drift events over resync attempts, so a healed
+        drift decays as clean resyncs accrue), and an edge touching a
+        *quarantined* relation pays the flat ``DRIFT.quarantine_penalty`` —
+        above the default relevance threshold, so quarantined sources stop
+        being suggested at all until they heal. Deltas are tracked per edge
+        so repeated calls converge and never clobber MIRA-learned weights.
+        Returns the number of edges whose weight changed.
+
+        Called before every suggestion batch, so the steady state — no drift
+        bookkeeping movement since the last absorption — must be O(1), not a
+        per-relation notes scan: ``(catalog.version_counter, drift_epoch())``
+        is a complete staleness key for the notes the scan reads (the epoch
+        moves on every drift-note mutation, the counter on relation
+        add/replace/remove), so an unchanged key skips the sweep entirely.
+        """
+        fast_key = (self.catalog.version_counter, drift_epoch())
+        if fast_key == self._drift_fast_key:
+            return 0
+        self._drift_fast_key = fast_key
+        state = tuple(
+            (
+                name,
+                self.catalog.metadata(name).notes.get(DRIFT_EVENTS_NOTE, 0),
+                self.catalog.metadata(name).notes.get(DRIFT_RESYNCS_NOTE, 0),
+                QUARANTINE_NOTE in self.catalog.metadata(name).notes,
+            )
+            for name in self.catalog.relation_names()
+        )
+        if state == self._drift_state:
+            return 0
+        self._drift_state = state
+        penalties: dict[str, float] = {}
+        for name, events, _resyncs, quarantined in state:
+            if quarantined:
+                penalties[name] = DRIFT.quarantine_penalty
+            elif events:
+                penalties[name] = DRIFT.drift_penalty * drift_rate(self.catalog, name)
+        changed = 0
+        for edge in self.graph.edges():
+            penalty = max(
+                penalties.get(edge.left, 0.0), penalties.get(edge.right, 0.0)
+            )
+            previous = self._drift_penalty.get(edge.key, 0.0)
+            if abs(penalty - previous) > 1e-12:
+                self.graph.weights[edge.key] = (
+                    self.graph.weights.get(edge.key, edge.default_cost())
+                    + penalty
+                    - previous
+                )
+                if penalty:
+                    self._drift_penalty[edge.key] = penalty
+                else:
+                    self._drift_penalty.pop(edge.key, None)
+                changed += 1
+        if changed and METRICS.enabled:
+            METRICS.inc("drift.penalty_absorbed_edges", changed)
         return changed
 
     # -- query construction ---------------------------------------------------------

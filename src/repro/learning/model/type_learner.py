@@ -17,6 +17,7 @@ from typing import Sequence
 from ...errors import LearningError
 from ...obs import METRICS, TRACER
 from ...substrate.relational.schema import SemanticType
+from ...util.text import clean_cell
 from .patterns import TypeSignature
 
 
@@ -58,10 +59,18 @@ class SemanticTypeLearner:
         """
         if isinstance(semantic_type, str):
             semantic_type = SemanticType(semantic_type, parent="PR-Any")
-        values = [str(value) for value in values if str(value).strip()]
         if not values:
             raise LearningError(
-                f"cannot learn type {semantic_type} from zero non-empty values"
+                f"cannot learn type {semantic_type}: no training values given"
+            )
+        total = len(values)
+        values = [clean_cell(str(value)) for value in values]
+        values = [value for value in values if value]
+        if not values:
+            raise LearningError(
+                f"cannot learn type {semantic_type}: all {total} training "
+                f"values are empty or whitespace-only (including NBSP and "
+                f"zero-width characters)"
             )
         existing = self._types.get(semantic_type.name)
         with TRACER.span("types.learn") as span, METRICS.timer("types.learn_ms"):
@@ -99,8 +108,11 @@ class SemanticTypeLearner:
         Only hypotheses at or above ``recognition_threshold`` are returned;
         an empty list means "unknown type — invite the user to define one".
         """
-        values = [str(value) for value in values if str(value).strip()]
+        values = [clean_cell(str(value)) for value in values]
+        values = [value for value in values if value]
         if not values:
+            # Nothing recognizable: empty / all-whitespace columns never
+            # match a learned signature, and must not crash the pipeline.
             return []
         METRICS.inc("types.recognize_calls")
         with METRICS.timer("types.recognize_ms"):

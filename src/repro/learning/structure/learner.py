@@ -113,24 +113,7 @@ class StructureLearner:
         document = event.context.document
 
         with TRACER.span("structure.generalize") as span:
-            if isinstance(document, Sheet):
-                with TRACER.span("structure.expert.sheet"):
-                    candidates = self.sheet_expert.propose_sheet(document)
-                pages_html = None
-            elif isinstance(document, Page):
-                candidates, pages_html = self._page_candidates(event, document)
-            elif isinstance(document, TextDocument):
-                with TRACER.span("structure.expert.label-block"):
-                    candidates = self.label_block_expert.propose_text(document)
-                pages_html = document.text  # landmark fallback over raw text
-            else:
-                raise NoHypothesisError(
-                    f"cannot analyze document of type {type(document).__name__}"
-                )
-
-            with TRACER.span("structure.rescore+cluster"):
-                self.datatype_expert.rescore(candidates)
-                ranked = cluster_candidates(candidates)
+            ranked, pages_html = self.ranked_candidates(event)
 
             with TRACER.span("structure.projections"):
                 hypotheses: list[ProjectionHypothesis] = []
@@ -154,16 +137,49 @@ class StructureLearner:
 
             if span.is_recording():
                 span.set("source", event.context.source_name)
-                span.set("candidates", len(candidates))
+                span.set("candidates", len(ranked))
                 span.set("hypotheses", len(hypotheses))
             METRICS.inc("structure.generalize_calls")
-            METRICS.inc("structure.candidates", len(candidates))
 
         return GeneralizationResult(
             source_name=event.context.source_name,
             examples=examples,
             hypotheses=hypotheses,
         )
+
+    # -- candidate proposal -----------------------------------------------------
+    def ranked_candidates(
+        self, event: CopyEvent
+    ) -> tuple[list[RelationalCandidate], str | None]:
+        """Committee-proposed, rescored, clustered candidates for the event.
+
+        Returns the ranked candidate list plus the document's serialized text
+        (``None`` for sheets), which the landmark fallback and the drift
+        layer's re-induction use. This is the committee half of
+        :meth:`generalize`, exposed so a recorded wrapper can be re-applied
+        against a document's *current* state without searching projections.
+        """
+        document = event.context.document
+        if isinstance(document, Sheet):
+            with TRACER.span("structure.expert.sheet"):
+                candidates = self.sheet_expert.propose_sheet(document)
+            pages_html = None
+        elif isinstance(document, Page):
+            candidates, pages_html = self._page_candidates(event, document)
+        elif isinstance(document, TextDocument):
+            with TRACER.span("structure.expert.label-block"):
+                candidates = self.label_block_expert.propose_text(document)
+            pages_html = document.text  # landmark fallback over raw text
+        else:
+            raise NoHypothesisError(
+                f"cannot analyze document of type {type(document).__name__}"
+            )
+
+        with TRACER.span("structure.rescore+cluster"):
+            self.datatype_expert.rescore(candidates)
+            ranked = cluster_candidates(candidates)
+        METRICS.inc("structure.candidates", len(candidates))
+        return ranked, pages_html
 
     # -- page analysis ----------------------------------------------------------
     def _page_candidates(

@@ -17,7 +17,9 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from ...errors import NoHypothesisError
+from ...obs import METRICS
 from ...util.strings import longest_common_suffix
+from ...util.text import clean_cell, is_blank
 
 MAX_LANDMARK = 24   # landmark context window, characters
 MIN_LANDMARK = 2
@@ -48,7 +50,7 @@ class LandmarkRule:
             right_at = text.find(self.right, content_start)
             if right_at < 0:
                 break
-            value = text[content_start:right_at].strip()
+            value = clean_cell(text[content_start:right_at])
             if (
                 value
                 and len(value) <= MAX_VALUE_LEN
@@ -56,6 +58,11 @@ class LandmarkRule:
                 and ">" not in value
             ):
                 out.append((content_start, value))
+            elif not value:
+                # Cells that are empty once NBSP / zero-width characters are
+                # cleaned used to vanish without a trace; count the drops so
+                # ``drift:`` stats can surface them.
+                METRICS.inc("structure.empty_cells_dropped")
             cursor = left_at + 1
         return out
 
@@ -167,6 +174,11 @@ def learn_column_rules(html: str, examples: Sequence[str]) -> ColumnRuleSet:
     """Sequential covering over the examples of one column."""
     pending = [str(example) for example in examples]
     for example in pending:
+        if is_blank(example):
+            raise NoHypothesisError(
+                "blank example value (empty, whitespace, or invisible "
+                "characters only) cannot anchor a landmark rule"
+            )
         if not _occurrences(html, example):
             raise NoHypothesisError(
                 f"example value {example!r} does not occur in the document"

@@ -75,6 +75,19 @@ class Website:
         self._pages[url] = page
         return page
 
+    def replace_page(self, path: str, dom: DomNode, title: str = "") -> Page:
+        """Swap an existing page's content in place (the site "changed").
+
+        The URL keeps addressing the page; anything holding the old
+        :class:`Page` object must re-:meth:`fetch` to see the new content —
+        exactly the staleness the drift layer exists to catch.
+        """
+        url = self.absolute(path)
+        if url not in self._pages:
+            raise NavigationError(f"cannot replace missing page: {url}")
+        del self._pages[url]
+        return self.add_page(path, dom, title)
+
     def add_form(self, action: str, fields: Iterable[str], resolver: Callable[[Mapping[str, str]], str]) -> Form:
         url = self.absolute(action)
         form = Form(action=url, fields=tuple(fields), resolver=resolver)

@@ -26,6 +26,8 @@ from typing import Any, Iterable
 from ...cache.config import CACHE
 from ...cache.fingerprint import plan_fingerprint
 from ...cache.plan_cache import PlanResultCache
+from ...drift.config import DRIFT
+from ...drift.quarantine import QUARANTINE_NOTE
 from ...errors import EvaluationError, ServiceLookupFailed
 from ...obs import METRICS
 from ...provenance.expressions import Provenance, Var, plus, times
@@ -175,10 +177,23 @@ class Evaluator:
 
     def _eval_scan(self, plan: Scan) -> Iterable[AnnotatedRow]:
         annotated = self.catalog.relation(plan.source).annotated()
+        notes = self.catalog.metadata(plan.source).notes
+        if DRIFT.enabled:
+            quarantined = notes.get(QUARANTINE_NOTE)
+            if quarantined is not None:
+                # A quarantined source serves its last-known-good rows, but
+                # the result is flagged so suggestions built from it are
+                # rank-penalized and DEGRADED-marked like a dead service's.
+                self._degraded.append(
+                    Degradation(
+                        service=plan.source,
+                        reason=f"source quarantined: {quarantined}",
+                    )
+                )
         # Cross-learner feedback (paper §5 "Feedback interaction"): tuple
         # demotions can mark specific base rows as distrusted; scans skip
         # them so every downstream suggestion reflects the feedback.
-        distrusted = self.catalog.metadata(plan.source).notes.get("distrusted_rows")
+        distrusted = notes.get("distrusted_rows")
         if not distrusted:
             return annotated
         return [

@@ -10,8 +10,31 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
+from functools import lru_cache
+
+#: Invisible characters that survive ``str.strip()``: zero-width space /
+#: non-joiner / joiner / word-joiner, BOM, and soft hyphen. Real pages embed
+#: these inside otherwise-blank cells; treating them as content makes the
+#: learners hallucinate values (and pattern tokens) out of nothing.
+INVISIBLE_CHARS = "\u200b\u200c\u200d\u2060\ufeff\u00ad"
+_INVISIBLE_TABLE = {ord(ch): None for ch in INVISIBLE_CHARS}
 
 _TOKEN_RE = re.compile(
+    r"""
+    (?P<number>\d+(?:\.\d+)?)      # integers or decimals
+  | (?P<word>[^\W\d_]+)            # letter runs (any script, not just ASCII)
+  | (?P<space>[\s%s]+)             # whitespace, incl. invisible characters
+  | (?P<punct>[^\w\s])             # single punctuation character
+    """
+    % INVISIBLE_CHARS,
+    re.VERBOSE,
+)
+
+#: Fast path for pure-ASCII values (the overwhelmingly common case in the
+#: tokenizer's hot loops): invisible characters and non-ASCII letters cannot
+#: occur in an ASCII string, so the simple ASCII classes are semantically
+#: identical to :data:`_TOKEN_RE` there — and measurably faster.
+_ASCII_TOKEN_RE = re.compile(
     r"""
     (?P<number>\d+(?:\.\d+)?)      # integers or decimals
   | (?P<word>[A-Za-z]+)            # alphabetic runs
@@ -43,8 +66,9 @@ def tokenize(value: str, keep_space: bool = False) -> list[Token]:
     Whitespace tokens are dropped unless *keep_space* is true; the pattern
     language treats attribute values as space-separated token sequences.
     """
+    pattern = _ASCII_TOKEN_RE if value.isascii() else _TOKEN_RE
     tokens: list[Token] = []
-    for match in _TOKEN_RE.finditer(value):
+    for match in pattern.finditer(value):
         kind = match.lastgroup or "punct"
         if kind == "space" and not keep_space:
             continue
@@ -52,9 +76,37 @@ def tokenize(value: str, keep_space: bool = False) -> list[Token]:
     return tokens
 
 
+def strip_invisible(value: str) -> str:
+    """Remove zero-width/invisible characters (see :data:`INVISIBLE_CHARS`)."""
+    return value.translate(_INVISIBLE_TABLE)
+
+
+def clean_cell(value: str) -> str:
+    """Canonical cell cleanup: drop invisible characters, then strip.
+
+    ``str.strip()`` already handles NBSP and friends (they are unicode
+    whitespace); the invisible characters are the ones it misses.
+    """
+    return strip_invisible(value).strip()
+
+
+def is_blank(value) -> bool:
+    """True when *value* is None, empty, or whitespace/invisible-only."""
+    return value is None or not clean_cell(str(value))
+
+
+_SPACE_RUN_RE = re.compile(r"\s+")
+
+
+@lru_cache(maxsize=8192)
 def normalize(value: str) -> str:
-    """Lowercase, collapse whitespace, and strip punctuation-adjacent space."""
-    collapsed = re.sub(r"\s+", " ", value.strip())
+    """Lowercase, collapse whitespace, and strip punctuation-adjacent space.
+
+    Memoized: the record linker's soft-equality check normalizes the same
+    cell values against each other in a tight cross-product loop, so cache
+    hits dominate there (the function is pure and values are short).
+    """
+    collapsed = _SPACE_RUN_RE.sub(" ", clean_cell(value))
     return collapsed.lower()
 
 
