@@ -62,6 +62,7 @@ def _print_observability() -> None:
             f"p95={summary['p95']:.3f} max={summary['max']:.3f}"
         )
 
+    from repro.analysis import analysis_stats_line
     from repro.cache import cache_stats_line
     from repro.drift import drift_stats_line
     from repro.resilience import resilience_stats_line
@@ -70,6 +71,7 @@ def _print_observability() -> None:
     print(cache_stats_line())
     print(resilience_stats_line())
     print(drift_stats_line())
+    print(analysis_stats_line())
 
 
 def main() -> None:

@@ -1,0 +1,58 @@
+"""Static analysis: pre-execution plan checks and the repo invariant linter.
+
+Two levels, one goal — move whole classes of bugs from runtime (or from
+silently-wrong cached results) to a deterministic static check:
+
+- **Level 1 — plan analyzer** (:mod:`~repro.analysis.plan_analyzer`):
+  semantic checks over the ``Plan`` algebra against the catalog and
+  source graph — schema/arity inference, binding-pattern satisfiability,
+  provenance soundness, blowup warnings, and fingerprint/dispatch
+  completeness (:mod:`~repro.analysis.fingerprint_check`). Wired into
+  :class:`repro.core.engine.QueryEngine` (every plan is checked before it
+  reaches the evaluator) and into plan-cache admission, behind the
+  env-tunable :data:`ANALYSIS` config.
+- **Level 2 — repo linter** (:mod:`~repro.analysis.lint`): an AST-based
+  lint pass enforcing repo-wide invariants (REPRO001–REPRO005), run by CI
+  as ``python -m repro.analysis.lint src/``.
+"""
+
+from __future__ import annotations
+
+from .config import ANALYSIS, AnalysisConfig
+from .diagnostics import AnalysisReport, Diagnostic
+from .fingerprint_check import plan_subclasses, self_check
+from .plan_analyzer import PlanAnalyzer, predicate_attributes
+
+__all__ = [
+    "ANALYSIS",
+    "AnalysisConfig",
+    "AnalysisReport",
+    "Diagnostic",
+    "PlanAnalyzer",
+    "analysis_stats_line",
+    "plan_subclasses",
+    "predicate_attributes",
+    "self_check",
+]
+
+
+def analysis_stats_line(metrics=None) -> str:
+    """One-line summary of the analysis counters (``--trace`` output)."""
+    from ..obs import METRICS
+
+    m = metrics or METRICS
+    checked = int(m.counter_value("analysis.plans_checked"))
+    memo_hits = int(m.counter_value("analysis.memo.hits"))
+    memo_misses = int(m.counter_value("analysis.memo.misses"))
+    errors = int(m.counter_value("analysis.errors"))
+    warnings = int(m.counter_value("analysis.warnings"))
+    gate = int(m.counter_value("analysis.cache_gate_rejections"))
+    line = (
+        f"analysis: plans checked {checked} "
+        f"(memo {memo_hits}h/{memo_misses}m) · "
+        f"errors {errors} warnings {warnings} · "
+        f"cache admissions refused {gate}"
+    )
+    if not ANALYSIS.enabled:
+        line += " · disabled"
+    return line

@@ -1,0 +1,30 @@
+"""``python -m repro.analysis`` — the fingerprint-completeness self-check.
+
+Exits nonzero when any ``Plan`` subclass lacks a registered fingerprint,
+a field-complete fingerprint, or an analyzer check. CI runs this in the
+``lint-invariants`` job so a new operator cannot land half-wired.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .fingerprint_check import plan_subclasses, self_check
+
+
+def main() -> int:
+    report = self_check()
+    covered = plan_subclasses()
+    if report.diagnostics:
+        for diagnostic in report.diagnostics:
+            print(diagnostic.render())
+        print(f"self-check FAILED: {len(report.diagnostics)} gap(s) "
+              f"across {len(covered)} Plan subclasses")
+        return 1
+    print(f"self-check passed: {len(covered)} Plan subclasses, "
+          f"fingerprints field-complete, analyzer dispatch complete")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""Fingerprint- and dispatch-completeness verification.
+
+Reflects over every ``Plan`` subclass the process knows about (the full
+transitive ``__subclasses__`` closure) and asserts:
+
+- each has a cache fingerprint registered in
+  :mod:`repro.cache.fingerprint` (exact-type dispatch — a subclass never
+  silently inherits its parent's fingerprint and aliases cache entries);
+- the registered fingerprint **covers every dataclass field** of the
+  node, so no field can change a plan's behaviour without changing its
+  fingerprint;
+- each has an analyzer check registered in
+  :mod:`repro.analysis.plan_analyzer`.
+
+Run standalone via ``python -m repro.analysis`` (the CI
+``lint-invariants`` job) or from tests via :func:`self_check`.
+"""
+
+from __future__ import annotations
+
+from ..cache.fingerprint import is_registered, uncovered_fields
+from ..substrate.relational.algebra import Plan
+from .diagnostics import ERROR, AnalysisReport, Diagnostic
+from .plan_analyzer import is_checked
+
+
+def plan_subclasses() -> tuple[type, ...]:
+    """Every (transitive) subclass of :class:`Plan` currently defined."""
+    seen: list[type] = []
+    stack = list(Plan.__subclasses__())
+    while stack:
+        cls = stack.pop()
+        if cls not in seen:
+            seen.append(cls)
+            stack.extend(cls.__subclasses__())
+    return tuple(sorted(seen, key=lambda cls: cls.__qualname__))
+
+
+def fingerprint_completeness() -> list[Diagnostic]:
+    """Fingerprint registration + field coverage for every Plan subclass."""
+    diags: list[Diagnostic] = []
+    for cls in plan_subclasses():
+        where = f"{cls.__module__}.{cls.__qualname__}"
+        if not is_registered(cls):
+            diags.append(Diagnostic(
+                "PLAN005", ERROR,
+                f"Plan subclass {cls.__name__!r} has no fingerprint "
+                f"registered in repro.cache.fingerprint; its results "
+                f"can never be cached and a future registration by "
+                f"isinstance would alias",
+                path=where,
+            ))
+            continue
+        gaps = uncovered_fields(cls)
+        if gaps:
+            diags.append(Diagnostic(
+                "PLAN005", ERROR,
+                f"fingerprint for {cls.__name__!r} does not cover "
+                f"field(s) {sorted(gaps)}; two plans differing only "
+                f"there would share a cache entry",
+                path=where,
+            ))
+    return diags
+
+
+def analyzer_completeness() -> list[Diagnostic]:
+    """Analyzer-dispatch registration for every Plan subclass."""
+    diags: list[Diagnostic] = []
+    for cls in plan_subclasses():
+        if not is_checked(cls):
+            diags.append(Diagnostic(
+                "PLAN005", ERROR,
+                f"Plan subclass {cls.__name__!r} has no analyzer check "
+                f"registered in repro.analysis.plan_analyzer",
+                path=f"{cls.__module__}.{cls.__qualname__}",
+            ))
+    return diags
+
+
+def self_check() -> AnalysisReport:
+    """The full completeness report (empty = every operator is covered)."""
+    return AnalysisReport(tuple(fingerprint_completeness() + analyzer_completeness()))

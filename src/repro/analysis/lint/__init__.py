@@ -1,0 +1,17 @@
+"""AST-based repo invariant linter (REPRO001–REPRO005).
+
+Run as ``python -m repro.analysis.lint src/`` (CI's ``lint-invariants``
+job), or programmatically::
+
+    from repro.analysis.lint import Linter
+    diagnostics = Linter().run(["src"])
+
+See :mod:`~repro.analysis.lint.rules` for the rule catalog and
+:mod:`~repro.analysis.lint.engine` for the suppression syntax.
+"""
+
+from __future__ import annotations
+
+from .engine import Linter, SourceFile, main, parse_source
+
+__all__ = ["Linter", "SourceFile", "main", "parse_source"]

@@ -8,8 +8,12 @@ this facade adds per-tuple explanation and feedback-target extraction.
 
 from __future__ import annotations
 
-from typing import Any, Mapping
+from typing import Any, Callable, Mapping
 
+from ..analysis.config import ANALYSIS
+from ..analysis.plan_analyzer import PlanAnalyzer
+from ..cache.fingerprint import plan_fingerprint
+from ..cache.lru import LRUCache
 from ..obs import METRICS, TRACER
 from ..provenance.explain import Explanation, explain
 from ..provenance.expressions import Provenance
@@ -26,10 +30,49 @@ class QueryEngine:
         self.catalog = catalog
         self._evaluator = Evaluator(catalog)
         self.queries_run = 0
+        # Static analysis (repro.analysis): every plan is checked against
+        # the catalog — and the source graph when a supplier is wired in
+        # (CopyCatSession does) — before it reaches the evaluator.
+        self.graph_supplier: Callable[[], Any] | None = None
+        self._analyzer = PlanAnalyzer(catalog)
+        self._analysis_memo = LRUCache(
+            ANALYSIS.memo_capacity, metrics_prefix="analysis.memo"
+        )
+
+    def _check_plan(self, plan: Plan) -> None:
+        """Run the static plan analyzer; raises PlanAnalysisError on errors.
+
+        Verdicts are memoized on ``(fingerprint, catalog.version)`` — the
+        same key the result cache uses — so a suggestion refresh re-checking
+        the same candidate plans pays the analysis once.
+        """
+        if self.graph_supplier is not None:
+            self._analyzer.graph = self.graph_supplier()
+        key = None
+        try:
+            key = (plan_fingerprint(plan), self.catalog.version)
+        except TypeError:
+            pass  # unregistered node type: analyze unmemoized; PLAN005 fires
+        if key is not None:
+            report = self._analysis_memo.get(key)
+            if report is None:
+                report = self._analyzer.check(plan)
+                self._analysis_memo.put(key, report)
+        else:
+            report = self._analyzer.check(plan)
+        if METRICS.enabled:
+            METRICS.inc("analysis.plans_checked")
+            if report.errors:
+                METRICS.inc("analysis.errors", len(report.errors))
+            if report.warnings:
+                METRICS.inc("analysis.warnings", len(report.warnings))
+        report.raise_if_errors()
 
     def run(self, plan: Plan, distinct: bool = True) -> Result:
         """Evaluate *plan*; with *distinct*, duplicates merge via ⊕."""
         self.queries_run += 1
+        if ANALYSIS.enabled:
+            self._check_plan(plan)
         with TRACER.span("engine.run") as span, METRICS.timer("engine.run_ms"):
             result = self._evaluator.run(plan)
             merged = result.merged() if distinct else result

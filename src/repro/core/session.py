@@ -139,6 +139,9 @@ class CopyCatSession:
             linker_factory=self._linker_for,
         )
         self.engine = QueryEngine(self.catalog)
+        # Let the static plan analyzer cross-check DependentJoin bindings
+        # against the learned source graph (repro.analysis PLAN003).
+        self.engine.graph_supplier = lambda: self.integration_learner.graph
         self.autocomplete = AutoCompleteGenerator(
             self.engine,
             self.structure_learner,

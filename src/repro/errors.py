@@ -121,6 +121,24 @@ class ExportError(CopyCatError):
     """Export to an external format failed."""
 
 
+class AnalysisError(CopyCatError):
+    """Static analysis (plan checks or repo lint) failed."""
+
+
+class PlanAnalysisError(AnalysisError):
+    """A plan failed its pre-execution static checks.
+
+    ``diagnostics`` carries the individual findings
+    (:class:`repro.analysis.diagnostics.Diagnostic`), each naming the
+    offending operator and the precise problem, so callers can surface
+    them without re-running the analyzer.
+    """
+
+    def __init__(self, message: str, diagnostics: tuple = ()):
+        self.diagnostics = tuple(diagnostics)
+        super().__init__(message)
+
+
 class IntegrationError(CopyCatError):
     """The integration learner could not build or rank queries."""
 

@@ -1,0 +1,147 @@
+"""Declared metric names: the single registry every instrument must be in.
+
+Four fast-moving layers (obs, cache, resilience, drift) each grew their
+own ``METRICS`` names; nothing ever checked that a counter incremented in
+one module is spelled the same way the ``--trace`` summary or a dashboard
+reads it back. This registry makes the namespace explicit: every counter,
+gauge, and histogram the codebase emits is declared here, and the repo
+linter (REPRO002 in :mod:`repro.analysis.lint.rules`) fails CI when an
+``METRICS.inc(...)`` call site uses a name no declared pattern covers.
+
+Patterns may contain ``*``, which matches exactly one dot-free segment —
+``service.*.calls`` covers ``service.ZipcodeResolver.calls``. Call sites
+that build names dynamically (``"service." + self.name + ".calls"``) are
+checked by shape: the literal fragments must line up with some declared
+pattern.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: Counters: monotonically increasing event counts.
+DECLARED_COUNTERS: dict[str, str] = {
+    # -- analysis (static plan checks) -------------------------------------
+    "analysis.plans_checked": "plans statically analyzed before evaluation",
+    "analysis.errors": "error diagnostics raised by the plan analyzer",
+    "analysis.warnings": "warning diagnostics emitted by the plan analyzer",
+    "analysis.cache_gate_rejections": "plan-cache admissions refused (fingerprint field gap)",
+    "analysis.fingerprint_unregistered": "fingerprint lookups on unregistered plan nodes",
+    "analysis.memo.hits": "plan-analysis memo hits",
+    "analysis.memo.misses": "plan-analysis memo misses",
+    "analysis.memo.evictions": "plan-analysis memo evictions",
+    # -- cache -------------------------------------------------------------
+    "cache.blocking.joins": "record-link joins routed through token blocking",
+    "cache.blocking.pairs_pruned": "candidate pairs blocking never scored",
+    "cache.plan.degraded_uncached": "degraded results kept out of the plan cache",
+    "cache.plan.hits": "plan-result cache hits",
+    "cache.plan.misses": "plan-result cache misses",
+    "cache.plan.evictions": "plan-result cache evictions",
+    "service.cache.hits": "service memo hits",
+    "service.cache.misses": "service memo misses",
+    "service.cache.evictions": "service memo evictions",
+    # -- drift -------------------------------------------------------------
+    "drift.detected": "resyncs that failed verification",
+    "drift.penalty_absorbed_edges": "source-graph edges repriced for drift history",
+    "drift.reinduced": "wrappers healed by re-induction",
+    "drift.resyncs": "resync_source calls",
+    "drift.resyncs_clean": "resyncs whose extraction verified clean",
+    "drift.rows_quarantined": "individual malformed rows quarantined",
+    "drift.sources_quarantined": "sources quarantined wholesale",
+    "drift.verifications": "extraction verifications run",
+    # -- engine / session ---------------------------------------------------
+    "engine.queries": "plans evaluated by the query engine",
+    "session.columns_accepted": "column suggestions accepted",
+    "session.columns_rejected": "column suggestions rejected",
+    "session.pastes": "paste events processed",
+    "session.sources_committed": "sources committed to the catalog",
+    "session.suggestion_batches": "column-suggestion batches computed",
+    "session.suggestions_produced": "column suggestions produced",
+    "session.suggestions_reused": "suggestion batches served from the dirty-flag reuse",
+    # -- learners -----------------------------------------------------------
+    "experts.*.record_groups": "record groups seen per structure expert",
+    "experts.*.records_seen": "records seen per structure expert",
+    "experts.data-type.rescored": "candidates rescored by the data-type expert",
+    "mira.updates": "MIRA weight updates",
+    "mira.updates.*": "MIRA weight updates by feedback kind",
+    "mira.edges_changed": "edge weights moved by MIRA updates",
+    "steiner.exact_calls": "exact Steiner solver invocations",
+    "steiner.heap_pushes": "Steiner search heap pushes",
+    "steiner.mst_runs": "MST-approximation runs",
+    "steiner.spcsh_calls": "SPCSH heuristic invocations",
+    "steiner.spcsh_stretch_tightenings": "SPCSH stretch-bound tightenings",
+    "steiner.subsets_explored": "terminal subsets explored by the exact solver",
+    "structure.candidates": "wrapper candidates proposed",
+    "structure.empty_cells_dropped": "empty cells dropped during extraction",
+    "structure.expert.*.candidates": "wrapper candidates proposed per expert",
+    "structure.fallback_attempts": "landmark-fallback induction attempts",
+    "structure.generalize_calls": "generalize() calls on the structure learner",
+    "types.learn_calls": "semantic-type learn calls",
+    "types.recognize_calls": "semantic-type recognize calls",
+    # -- resilience ----------------------------------------------------------
+    "resilience.backend_errors": "unexpected backend exceptions converted to lookup failures",
+    "resilience.backend_errors.*": "unexpected backend exceptions by exception type",
+    "resilience.breaker.closed": "circuit breakers closed after recovery",
+    "resilience.breaker.half_open": "circuit breakers probing half-open",
+    "resilience.breaker.opened": "circuit breakers opened",
+    "resilience.breaker.short_circuits": "calls rejected by an open breaker",
+    "resilience.breaker.*.closed": "per-service breaker closes",
+    "resilience.breaker.*.opened": "per-service breaker opens",
+    "resilience.breaker.*.short_circuits": "per-service breaker rejections",
+    "resilience.deadline_expired": "invocations abandoned at the deadline",
+    "resilience.degraded_results": "results carrying degradation markers",
+    "resilience.degraded_rows": "rows null-padded after a service failure",
+    "resilience.degraded_suggestions": "suggestions rank-penalized for degradation",
+    "resilience.health_absorbed_edges": "source-graph edges repriced for failure rates",
+    "resilience.lookups_failed": "service lookups that exhausted their budget",
+    "resilience.retries": "backend retries",
+    "resilience.*.retries": "backend retries per service",
+    "resilience.transient_faults": "transient backend faults observed",
+    "service.calls": "service invocations",
+    "service.*.calls": "invocations per service",
+    "service.*.cache_hits": "memo hits per service",
+    "service.*.failures": "failed lookups per service",
+    "service.*.misses": "definitive empty results per service",
+}
+
+#: Gauges: last-value-wins readings.
+DECLARED_GAUGES: dict[str, str] = {
+    "cache.plan.size": "current plan-result cache entry count",
+}
+
+#: Histograms / timers: value reservoirs (``observe`` / ``timer``).
+DECLARED_HISTOGRAMS: dict[str, str] = {
+    "engine.run_ms": "plan evaluation wall time",
+    "mira.tau": "MIRA update step sizes",
+    "service.*.latency_ms": "backend latency per service",
+    "session.column_suggestions_ms": "column-suggestion batch wall time",
+    "session.paste_ms": "paste handling wall time",
+    "session.resync_ms": "resync_source wall time",
+    "steiner.spcsh_pruned_nodes": "nodes pruned per SPCSH call",
+    "types.learn_ms": "semantic-type learn wall time",
+    "types.recognize_ms": "semantic-type recognize wall time",
+}
+
+
+def declared_patterns() -> dict[str, str]:
+    """Every declared pattern (all three instrument kinds) -> description."""
+    return {**DECLARED_COUNTERS, **DECLARED_GAUGES, **DECLARED_HISTOGRAMS}
+
+
+def _pattern_regex(pattern: str) -> re.Pattern[str]:
+    # ``*`` matches one dot-free segment; everything else is literal.
+    return re.compile("[^.]+".join(re.escape(part) for part in pattern.split("*")))
+
+
+def is_declared(name: str) -> bool:
+    """True when the *literal* metric name matches a declared pattern."""
+    return any(_pattern_regex(p).fullmatch(name) for p in declared_patterns())
+
+
+def declared_samples() -> list[str]:
+    """One concrete sample name per pattern (``*`` -> a placeholder segment).
+
+    Dynamically-built call-site names (literal fragments with holes) are
+    validated by matching their shape against these samples.
+    """
+    return [pattern.replace("*", "X") for pattern in declared_patterns()]

@@ -75,12 +75,18 @@ class ResilienceConfig:
         self.failure_penalty = _env_float("REPRO_FAILURE_PENALTY", 2.0)
         #: seed for fault schedules and backoff jitter streams.
         self.seed = _env_int("REPRO_FAULT_SEED", 20090104)
+        #: env-armed global fault injection: transient-failure probability
+        #: and added latency (see :func:`repro.resilience.faults.
+        #: _policy_from_env`, which reads these instead of os.environ).
+        self.fault_rate = _env_float("REPRO_FAULT_RATE", 0.0)
+        self.fault_latency_ms = _env_float("REPRO_FAULT_LATENCY_MS", 0.0)
 
     #: knobs :meth:`overridden` accepts (everything mutable above).
     KNOBS = (
         "enabled", "retry_max", "retry_base_ms", "retry_multiplier",
         "retry_jitter", "deadline_ms", "breaker_threshold",
         "breaker_cooldown_ms", "degraded_penalty", "failure_penalty", "seed",
+        "fault_rate", "fault_latency_ms",
     )
 
     @contextmanager

@@ -25,7 +25,6 @@ Two ways to arm a policy:
 from __future__ import annotations
 
 import hashlib
-import os
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -190,9 +189,14 @@ class FaultInjector:
 
 
 def _policy_from_env() -> FaultPolicy | None:
-    """Build the env-armed global policy (``REPRO_FAULT_RATE`` > 0)."""
-    rate = float(os.environ.get("REPRO_FAULT_RATE", "0") or "0")
-    latency = float(os.environ.get("REPRO_FAULT_LATENCY_MS", "0") or "0")
+    """Build the env-armed global policy (``REPRO_FAULT_RATE`` > 0).
+
+    The environment variables themselves are read once in
+    :mod:`repro.resilience.config` (REPRO001); this only consults the
+    resulting knobs.
+    """
+    rate = RESILIENCE.fault_rate
+    latency = RESILIENCE.fault_latency_ms
     if rate <= 0.0 and latency <= 0.0:
         return None
     return FaultPolicy(default=FaultSpec(transient_rate=rate, latency_ms=latency))

@@ -23,8 +23,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
+from ...analysis.config import ANALYSIS
 from ...cache.config import CACHE
-from ...cache.fingerprint import plan_fingerprint
+from ...cache.fingerprint import plan_fingerprint, uncovered_fields
 from ...cache.plan_cache import PlanResultCache
 from ...drift.config import DRIFT
 from ...drift.quarantine import QUARANTINE_NOTE
@@ -44,6 +45,7 @@ from .algebra import (
     Scan,
     Select,
     Union,
+    walk,
 )
 from .catalog import Catalog
 from .rows import Row, TupleId
@@ -159,7 +161,15 @@ class Evaluator:
             raise EvaluationError(f"no evaluator for plan node {kind}")
         if not CACHE.plan or kind not in _CACHEABLE_NODES:
             return method(plan)
-        fingerprint = plan_fingerprint(plan)
+        try:
+            fingerprint = plan_fingerprint(plan)
+        except TypeError:
+            # A plan node with no registered fingerprint (e.g. a subclass
+            # reusing a cacheable name) must evaluate uncached: reusing the
+            # parent's fingerprint would alias cache entries across types.
+            if METRICS.enabled:
+                METRICS.inc("analysis.fingerprint_unregistered")
+            return method(plan)
         version = self.catalog.version
         cached = self.plan_cache.get(fingerprint, version)
         if cached is not None:
@@ -169,11 +179,28 @@ class Evaluator:
         # A degraded evaluation is transient by nature: caching it would
         # keep serving the partial result after the service recovers, the
         # same poisoning the service memo guards against.
-        if len(self._degraded) == degraded_before:
+        if len(self._degraded) != degraded_before:
+            if METRICS.enabled:
+                METRICS.inc("cache.plan.degraded_uncached")
+        elif self._cache_admissible(plan):
             self.plan_cache.put(fingerprint, version, rows)
-        elif METRICS.enabled:
-            METRICS.inc("cache.plan.degraded_uncached")
         return rows
+
+    @staticmethod
+    def _cache_admissible(plan: Plan) -> bool:
+        """Admission gate: refuse to cache a plan whose fingerprint has
+        field gaps anywhere in the tree — two plans differing only in an
+        uncovered field would share the entry. Field coverage is recomputed
+        (not memoized per class) so test-defined subclasses stay collectable.
+        """
+        if not ANALYSIS.enabled or not ANALYSIS.gate_cache:
+            return True
+        for node in walk(plan):
+            if uncovered_fields(type(node)):
+                if METRICS.enabled:
+                    METRICS.inc("analysis.cache_gate_rejections")
+                return False
+        return True
 
     def _eval_scan(self, plan: Scan) -> Iterable[AnnotatedRow]:
         annotated = self.catalog.relation(plan.source).annotated()

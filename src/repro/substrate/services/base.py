@@ -234,9 +234,14 @@ class Service:
                 raise
             except (BindingError, ServiceError):
                 raise  # caller/contract bug, not backend weather
+            except (KeyboardInterrupt, SystemExit):
+                raise  # never absorb interpreter-shutdown signals
             except Exception as exc:  # backend blew up: surface as a failure
                 self.health.failures += 1
                 self.breaker.record_failure()
+                if METRICS.enabled:
+                    METRICS.inc("resilience.backend_errors")
+                    METRICS.inc("resilience.backend_errors." + type(exc).__name__)
                 raise ServiceLookupFailed(
                     f"service {self.name!r} backend error: {exc}",
                     service=self.name,
