@@ -66,12 +66,14 @@ def _print_observability() -> None:
     from repro.cache import cache_stats_line
     from repro.drift import drift_stats_line
     from repro.resilience import resilience_stats_line
+    from repro.substrate.relational import columnar_stats_line
 
     print()
     print(cache_stats_line())
     print(resilience_stats_line())
     print(drift_stats_line())
     print(analysis_stats_line())
+    print(columnar_stats_line())
 
 
 def main() -> None:

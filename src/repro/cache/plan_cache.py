@@ -45,6 +45,27 @@ class PlanResultCache:
         if METRICS.enabled:
             METRICS.gauge("cache.plan.size", float(len(self._lru)))
 
+    # -- columnar entries ----------------------------------------------------
+    # Batches live in the same LRU under a mode-tagged key: the columnar and
+    # row representations of one subplan are distinct entries, so toggling
+    # REPRO_COLUMNAR (the parity A/B benchmarks do, mid-process) can never
+    # hand one mode a result materialized by the other.
+    _BATCH_MODE = "columnar"
+
+    def get_batch(self, fingerprint: Hashable, version: Hashable):
+        """Cached :class:`ColumnBatch` for the key, or ``None``.
+
+        Batches are immutable by contract (columns are never mutated in
+        place), so the stored instance is returned as-is — no copy.
+        """
+        batch = self._lru.get((fingerprint, version, self._BATCH_MODE), _MISSING)
+        return None if batch is _MISSING else batch
+
+    def put_batch(self, fingerprint: Hashable, version: Hashable, batch) -> None:
+        self._lru.put((fingerprint, version, self._BATCH_MODE), batch)
+        if METRICS.enabled:
+            METRICS.gauge("cache.plan.size", float(len(self._lru)))
+
     def clear(self) -> None:
         self._lru.clear()
 

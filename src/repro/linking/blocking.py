@@ -49,17 +49,52 @@ def candidate_pairs(
     ``key_fns`` is a list of (left_key_fn, right_key_fn) tuples; a pair is a
     candidate if any function pair produces an overlapping key.
     """
+    left_keys = [[left_key(row) for row in left_rows] for left_key, _ in key_fns]
+    right_keys = [[right_key(row) for row in right_rows] for _, right_key in key_fns]
+    return candidate_pairs_from_keys(left_keys, right_keys)
+
+
+def candidate_pairs_from_keys(
+    left_keys: Sequence[Sequence[Iterable[str]]],
+    right_keys: Sequence[Sequence[Iterable[str]]],
+) -> list[tuple[int, int]]:
+    """Index pairs (i, j) whose precomputed key sets overlap, any key family.
+
+    ``left_keys[f][i]`` is the key set of left row *i* under key family
+    *f* (and symmetrically for the right side). This is the batch-at-a-time
+    core shared by the row-based :func:`candidate_pairs` and the columnar
+    evaluator (which derives key columns directly from its value arrays,
+    via :func:`column_token_keys`, without materializing rows).
+    """
     pairs: set[tuple[int, int]] = set()
-    for left_key, right_key in key_fns:
+    for family_left, family_right in zip(left_keys, right_keys):
         index: dict[str, list[int]] = {}
-        for j, row in enumerate(right_rows):
-            for key in right_key(row):
+        for j, keys in enumerate(family_right):
+            for key in keys:
                 index.setdefault(key, []).append(j)
-        for i, row in enumerate(left_rows):
-            for key in left_key(row):
+        for i, keys in enumerate(family_left):
+            for key in keys:
                 for j in index.get(key, ()):
                     pairs.add((i, j))
     return sorted(pairs)
+
+
+def column_token_keys(values: Sequence[Any]) -> list[Iterable[str]]:
+    """Per-value token block keys for a whole column in one pass.
+
+    Mirrors :func:`token_block_key` exactly (lowercased tokens longer than
+    one character; ``None`` blocks nothing) but takes the value array
+    straight from a columnar batch.
+    """
+    keys: list[Iterable[str]] = []
+    for value in values:
+        if value is None:
+            keys.append(())
+        else:
+            keys.append(
+                {token.lower() for token in token_strings(str(value)) if len(token) > 1}
+            )
+    return keys
 
 
 def full_cross(left_rows: Sequence[Any], right_rows: Sequence[Any]) -> list[tuple[int, int]]:

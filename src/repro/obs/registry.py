@@ -32,6 +32,18 @@ DECLARED_COUNTERS: dict[str, str] = {
     "analysis.memo.evictions": "plan-analysis memo evictions",
     # -- cache -------------------------------------------------------------
     "cache.blocking.joins": "record-link joins routed through token blocking",
+    # -- columnar (batch execution) ----------------------------------------
+    "columnar.plans": "plans executed by the columnar engine",
+    "columnar.fallbacks": "plans sent down the row path (unsupported shape)",
+    "columnar.compile.hits": "columnar compile-memo hits",
+    "columnar.compile.misses": "columnar compile-memo misses",
+    "columnar.compile.evictions": "columnar compile-memo evictions",
+    "columnar.scan.hits": "scan-transpose cache hits",
+    "columnar.scan.misses": "scan-transpose cache misses",
+    "columnar.scan.evictions": "scan-transpose cache evictions",
+    "text.normalize.hits": "normalize() memo hits",
+    "text.normalize.misses": "normalize() memo misses",
+    "text.normalize.evictions": "normalize() memo evictions",
     "cache.blocking.pairs_pruned": "candidate pairs blocking never scored",
     "cache.plan.degraded_uncached": "degraded results kept out of the plan cache",
     "cache.plan.hits": "plan-result cache hits",
@@ -107,6 +119,8 @@ DECLARED_COUNTERS: dict[str, str] = {
 #: Gauges: last-value-wins readings.
 DECLARED_GAUGES: dict[str, str] = {
     "cache.plan.size": "current plan-result cache entry count",
+    "columnar.intern.size": "strings held by the global interning pool",
+    "text.normalize.eviction_rate": "normalize() memo evictions per miss",
 }
 
 #: Histograms / timers: value reservoirs (``observe`` / ``timer``).

@@ -17,7 +17,9 @@ from .algebra import (
 )
 from .aggregates import AGGREGATES, AggSpec, GroupBy
 from .catalog import Catalog, SourceMetadata
-from .evaluator import Evaluator, Result
+from .columns import ColumnBatch
+from .config import COLUMNAR
+from .evaluator import ColumnarEngine, Evaluator, Result
 from .predicates import (
     And,
     AttrCompare,
@@ -58,13 +60,42 @@ from .schema import (
 )
 
 __all__ = [
-    "ANY", "BUILTIN_TYPES", "CITY", "CURRENCY", "DATE", "LATITUDE", "LONGITUDE",
+    "ANY", "BUILTIN_TYPES", "CITY", "COLUMNAR", "CURRENCY", "DATE", "LATITUDE", "LONGITUDE",
     "NAME", "NULL", "NUMBER", "PHONE", "PLACE", "STATE", "STREET", "TEXT", "URL", "ZIPCODE",
-    "AGGREGATES", "AggSpec", "And", "AttrCompare", "Attribute", "BindingPattern", "Catalog", "Compare",
+    "AGGREGATES", "AggSpec", "And", "AttrCompare", "Attribute", "BindingPattern", "Catalog",
+    "ColumnBatch", "ColumnarEngine", "Compare",
     "GroupBy",
     "Contains", "DependentJoin", "Distinct", "Evaluator", "IsNull", "Join",
     "Limit", "Not", "NotNull", "Or", "Plan", "Predicate", "Project",
     "RecordLinkJoin", "Relation", "Rename", "Result", "Row", "RowLinker", "Scan",
     "Schema", "Select", "SemanticType", "SourceMetadata", "TupleId", "Union",
-    "builtin_type", "eq", "relation_from_dicts", "schema_of", "walk",
+    "builtin_type", "columnar_stats_line", "eq", "relation_from_dicts", "schema_of", "walk",
 ]
+
+
+def columnar_stats_line(metrics=None) -> str:
+    """One-line summary of the columnar counters (``--trace`` output)."""
+    from ...obs import METRICS
+    from ...util.text import INTERN, normalize_cache_stats
+
+    m = metrics or METRICS
+    plans = int(m.counter_value("columnar.plans"))
+    fallbacks = int(m.counter_value("columnar.fallbacks"))
+    compile_hits = int(m.counter_value("columnar.compile.hits"))
+    compile_misses = int(m.counter_value("columnar.compile.misses"))
+    scan_hits = int(m.counter_value("columnar.scan.hits"))
+    scan_misses = int(m.counter_value("columnar.scan.misses"))
+    normalize = normalize_cache_stats()
+    if m.enabled:
+        m.gauge("columnar.intern.size", float(len(INTERN)))
+        m.gauge("text.normalize.eviction_rate", normalize["eviction_rate"])
+    line = (
+        f"columnar: plans {plans} · fallbacks {fallbacks} · "
+        f"compile {compile_hits}/{compile_hits + compile_misses} hits · "
+        f"scan {scan_hits}/{scan_hits + scan_misses} hits · "
+        f"interned {len(INTERN)} · "
+        f"normalize evict rate {normalize['eviction_rate']:.3f}"
+    )
+    if not COLUMNAR.enabled:
+        line += " · disabled"
+    return line

@@ -156,3 +156,41 @@ def evaluate_groupby(
         prov = times(*(member_prov for _, member_prov in members))
         out.append((Row(schema, values), prov))
     return out
+
+
+def evaluate_groupby_columnar(plan: GroupBy, child, schema: Schema):
+    """Batch-at-a-time :class:`GroupBy` over a columnar child batch.
+
+    Groups by gathering directly from the child's column arrays (no Row
+    allocation, attribute positions resolved once) and produces output
+    columns in place. Semantics — group order (first appearance), member
+    order, aggregate values, and the ⊗-combined provenance per group —
+    match :func:`evaluate_groupby` exactly.
+    """
+    from .columns import ColumnBatch
+
+    key_columns = [child.column(name) for name in plan.keys]
+    agg_columns = [child.column(spec.attribute) for spec in plan.aggregates]
+    groups: dict[tuple, list[int]] = {}
+    order: list[tuple] = []
+    for index in range(child.n_rows):
+        key = tuple(column[index] for column in key_columns)
+        members = groups.get(key)
+        if members is None:
+            groups[key] = [index]
+            order.append(key)
+        else:
+            members.append(index)
+    out_columns: list[list[Any]] = [[] for _ in schema.names]
+    n_keys = len(plan.keys)
+    agg_fns = [AGGREGATES[spec.fn] for spec in plan.aggregates]
+    provs: list[Provenance] = []
+    child_provs = child.provs
+    for key in order:
+        members = groups[key]
+        for position, value in enumerate(key):
+            out_columns[position].append(value)
+        for offset, (fn, column) in enumerate(zip(agg_fns, agg_columns)):
+            out_columns[n_keys + offset].append(fn([column[i] for i in members]))
+        provs.append(times(*(child_provs[i] for i in members)))
+    return ColumnBatch(schema, out_columns, provs)

@@ -16,16 +16,29 @@ refresh evaluate their common join prefix once, and a refresh with an
 unchanged catalog is nearly free. Streaming nodes (scan/select/project/
 rename/limit) stay lazy and uncached, preserving ``Limit``
 short-circuiting. See :mod:`repro.cache`.
+
+Columnar batch execution (``REPRO_COLUMNAR``, on by default): plans whose
+every node the :class:`ColumnarEngine` supports are precompiled — once per
+``(plan fingerprint, catalog version)`` — into closures over per-column
+value arrays (:mod:`.columns`), with attribute positions resolved at
+compile time from the analyzer's bottom-up schema inference and predicates
+vectorized by :func:`.predicates.compile_predicate`. The row path is kept
+verbatim as the semantic reference: any plan the engine cannot compile
+(``Limit`` short-circuiting, unknown node/predicate subclasses, failed
+schema inference) falls back to it, and ``REPRO_COLUMNAR=0`` reproduces it
+bit-for-bit — rows, provenance, degradations, service-call counts, cache
+and blocking decisions.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable
+from typing import Any, Callable, Iterable
 
 from ...analysis.config import ANALYSIS
 from ...cache.config import CACHE
 from ...cache.fingerprint import plan_fingerprint, uncovered_fields
+from ...cache.lru import LRUCache
 from ...cache.plan_cache import PlanResultCache
 from ...drift.config import DRIFT
 from ...drift.quarantine import QUARANTINE_NOTE
@@ -48,6 +61,9 @@ from .algebra import (
     walk,
 )
 from .catalog import Catalog
+from .columns import ColumnBatch
+from .config import COLUMNAR
+from .predicates import compile_predicate
 from .rows import Row, TupleId
 from .schema import Schema
 
@@ -143,6 +159,7 @@ class Evaluator:
     def __init__(self, catalog: Catalog):
         self.catalog = catalog
         self.plan_cache = PlanResultCache()
+        self.columnar = ColumnarEngine(self)
         # Service failures absorbed during the current run() (graceful
         # degradation); attached to the Result and reset per run.
         self._degraded: list[Degradation] = []
@@ -150,6 +167,17 @@ class Evaluator:
     def run(self, plan: Plan) -> Result:
         schema = plan.output_schema(self.catalog)
         self._degraded = []
+        if COLUMNAR.enabled:
+            thunk = self.columnar.compiled(plan)
+            if thunk is not None:
+                if METRICS.enabled:
+                    METRICS.inc("columnar.plans")
+                batch = thunk()
+                return Result(
+                    schema, batch.to_annotated(), degraded=tuple(self._degraded)
+                )
+            if METRICS.enabled:
+                METRICS.inc("columnar.fallbacks")
         rows = list(self._eval(plan))
         return Result(schema, rows, degraded=tuple(self._degraded))
 
@@ -407,3 +435,537 @@ class Evaluator:
             emitted += 1
             if emitted >= plan.count:
                 break
+
+
+# -- columnar batch execution --------------------------------------------------
+
+#: Negative compile-memo entry: the plan was analyzed and found unsupported,
+#: so repeated runs skip straight to the row path without re-walking it.
+_UNSUPPORTED = object()
+_MISS = object()
+
+#: A compiled plan: zero-argument closure producing the result batch.
+BatchThunk = Callable[[], ColumnBatch]
+
+
+class _Unsupported(Exception):
+    """Internal: the plan contains a node the columnar engine cannot run."""
+
+
+def _batch_rows(batch: ColumnBatch) -> list[Row]:
+    """Materialize plain Rows from a batch (record-link scoring only)."""
+    schema = batch.schema
+    from_values = Row.from_values
+    if not batch.columns:
+        return [from_values(schema, ()) for _ in range(batch.n_rows)]
+    return [from_values(schema, values) for values in zip(*batch.columns)]
+
+
+def _column_or_nulls(batch: ColumnBatch, name: str) -> list[Any]:
+    """A column by name, or all-``None`` when the schema lacks it.
+
+    Mirrors the ``row.get(attribute)`` default inside ``token_block_key``:
+    a missing blocking attribute blocks nothing rather than erroring.
+    """
+    if name in batch.schema:
+        return batch.column(name)
+    return [None] * batch.n_rows
+
+
+class ColumnarEngine:
+    """Compiles whole plan trees into batch-at-a-time closures.
+
+    Compilation resolves everything resolvable once per ``(plan
+    fingerprint, catalog version)``: per-node output schemas (via the
+    analyzer's bottom-up inference), attribute positions, predicate mask
+    functions, join key/kept-column indices. The resulting closure tree
+    moves whole columns per operator and allocates Rows only at the
+    ``Result`` boundary (and for record-link scoring, whose linkers take
+    Rows by contract).
+
+    Parity contract: for every supported plan the closure produces exactly
+    the rows, provenance expressions, degradation notes, service-invocation
+    sequence, and cache/blocking decisions of the row path. Anything it
+    cannot guarantee that for — ``Limit`` (whose short-circuit changes how
+    many service calls happen), unregistered node types, predicate
+    subclasses, failed schema inference — compiles to "unsupported" and the
+    whole plan runs row-at-a-time.
+    """
+
+    def __init__(self, evaluator: Evaluator):
+        from .aggregates import GroupBy
+
+        self._evaluator = evaluator
+        self.catalog = evaluator.catalog
+        # Compiled closures per (fingerprint, version); negative results are
+        # memoized too, so known-unsupported plans pay one dict probe.
+        self._compile_memo = LRUCache(
+            COLUMNAR.compile_capacity, metrics_prefix="columnar.compile"
+        )
+        # Raw relation transposes per (source, version). Notes-driven
+        # filtering (distrusted rows) and quarantine degradations are applied
+        # per evaluation, after the memo, so feedback that edits metadata
+        # without committing rows is always honored.
+        self._scan_memo = LRUCache(
+            COLUMNAR.scan_capacity, metrics_prefix="columnar.scan"
+        )
+        self._analyzer = None
+        self._dispatch: dict[type, Callable[..., BatchThunk]] = {
+            Scan: self._compile_scan,
+            Select: self._compile_select,
+            Project: self._compile_project,
+            Rename: self._compile_rename,
+            Join: self._compile_join,
+            DependentJoin: self._compile_dependentjoin,
+            RecordLinkJoin: self._compile_recordlinkjoin,
+            Union: self._compile_union,
+            Distinct: self._compile_distinct,
+            GroupBy: self._compile_groupby,
+        }
+
+    # -- entry ---------------------------------------------------------------
+    def compiled(self, plan: Plan) -> BatchThunk | None:
+        """The compiled closure for *plan*, or ``None`` when unsupported."""
+        try:
+            fingerprint = plan_fingerprint(plan)
+        except TypeError:
+            # An unregistered node type anywhere in the tree: exactly the
+            # plans the exact-type dispatch below could not compile anyway,
+            # and without a fingerprint the memo has no sound key.
+            return None
+        version = self.catalog.version
+        key = (fingerprint, version)
+        thunk = self._compile_memo.get(key, _MISS)
+        if thunk is _MISS:
+            thunk = self._compile_root(plan, version)
+            self._compile_memo.put(
+                key, _UNSUPPORTED if thunk is None else thunk
+            )
+        return None if thunk is _UNSUPPORTED else thunk
+
+    def _compile_root(self, plan: Plan, version: Any) -> BatchThunk | None:
+        schemas = self._infer_schemas(plan)
+        try:
+            return self._compile(plan, schemas, version)
+        except _Unsupported:
+            return None
+
+    def _infer_schemas(self, plan: Plan) -> dict[int, Schema | None]:
+        if self._analyzer is None:
+            # Local import: ``repro.analysis`` imports sibling modules at
+            # package-import time, so importing it at this module's top
+            # level would cycle when the analysis CLI loads first.
+            from ...analysis.plan_analyzer import PlanAnalyzer
+
+            self._analyzer = PlanAnalyzer(self.catalog)
+        return self._analyzer.infer_schemas(plan)
+
+    def _compile(
+        self, plan: Plan, schemas: dict[int, Schema | None], version: Any
+    ) -> BatchThunk:
+        schema = schemas.get(id(plan))
+        if schema is None:
+            raise _Unsupported(f"no inferred schema for {type(plan).__name__}")
+        compiler = self._dispatch.get(type(plan))
+        if compiler is None:
+            raise _Unsupported(type(plan).__name__)
+        thunk = compiler(plan, schemas, version)
+        if type(plan).__name__ in _CACHEABLE_NODES:
+            thunk = self._cached(plan, version, thunk)
+        return thunk
+
+    def _cached(self, plan: Plan, version: Any, inner: BatchThunk) -> BatchThunk:
+        """Wrap a cacheable node's closure with the shared-subplan cache.
+
+        Same policy as the row path, against mode-tagged batch entries:
+        consulted only while ``CACHE.plan`` is on, degraded evaluations are
+        never stored, and the analyzer's admission gate applies. The root
+        fingerprint succeeded, so this node's cannot raise.
+        """
+        fingerprint = plan_fingerprint(plan)
+        evaluator = self._evaluator
+
+        def thunk() -> ColumnBatch:
+            if not CACHE.plan:
+                return inner()
+            cached = evaluator.plan_cache.get_batch(fingerprint, version)
+            if cached is not None:
+                return cached
+            degraded_before = len(evaluator._degraded)
+            batch = inner()
+            if len(evaluator._degraded) != degraded_before:
+                if METRICS.enabled:
+                    METRICS.inc("cache.plan.degraded_uncached")
+            elif evaluator._cache_admissible(plan):
+                evaluator.plan_cache.put_batch(fingerprint, version, batch)
+            return batch
+
+        return thunk
+
+    # -- per-node compilers ---------------------------------------------------
+    def _compile_scan(self, plan: Scan, schemas, version) -> BatchThunk:
+        source = plan.source
+        catalog = self.catalog
+        evaluator = self._evaluator
+
+        def thunk() -> ColumnBatch:
+            batch = self._scan_batch(source, version)
+            notes = catalog.metadata(source).notes
+            if DRIFT.enabled:
+                quarantined = notes.get(QUARANTINE_NOTE)
+                if quarantined is not None:
+                    evaluator._degraded.append(
+                        Degradation(
+                            service=source,
+                            reason=f"source quarantined: {quarantined}",
+                        )
+                    )
+            distrusted = notes.get("distrusted_rows")
+            if not distrusted:
+                return batch
+            return batch.gather(
+                [index for index in range(batch.n_rows) if index not in distrusted]
+            )
+
+        return thunk
+
+    def _scan_batch(self, source: str, version: Any) -> ColumnBatch:
+        key = (source, version)
+        batch = self._scan_memo.get(key, _MISS)
+        if batch is _MISS:
+            relation = self.catalog.relation(source)
+            batch = ColumnBatch.from_relation_rows(
+                source, relation.schema, relation.rows()
+            )
+            self._scan_memo.put(key, batch)
+        return batch
+
+    def _compile_select(self, plan: Select, schemas, version) -> BatchThunk:
+        child = self._compile(plan.child, schemas, version)
+        mask_fn = compile_predicate(plan.predicate, schemas[id(plan.child)])
+        if mask_fn is None:
+            # Unknown predicate subclass, or an attribute the row path would
+            # only fault on lazily — either way row-at-a-time owns it.
+            raise _Unsupported(f"predicate {plan.predicate}")
+
+        def thunk() -> ColumnBatch:
+            batch = child()
+            mask = mask_fn(batch.columns, batch.n_rows)
+            keep = [index for index, flag in enumerate(mask) if flag]
+            if len(keep) == batch.n_rows:
+                return batch
+            return batch.gather(keep)
+
+        return thunk
+
+    def _compile_project(self, plan: Project, schemas, version) -> BatchThunk:
+        child = self._compile(plan.child, schemas, version)
+        child_schema = schemas[id(plan.child)]
+        target = schemas[id(plan)]
+        positions = [child_schema.position(name) for name in plan.names]
+
+        def thunk() -> ColumnBatch:
+            batch = child()
+            columns = batch.columns
+            return ColumnBatch(
+                target, [columns[position] for position in positions], batch.provs
+            )
+
+        return thunk
+
+    def _compile_rename(self, plan: Rename, schemas, version) -> BatchThunk:
+        child = self._compile(plan.child, schemas, version)
+        target = schemas[id(plan)]
+
+        def thunk() -> ColumnBatch:
+            return child().with_schema(target)
+
+        return thunk
+
+    def _compile_join(self, plan: Join, schemas, version) -> BatchThunk:
+        left = self._compile(plan.left, schemas, version)
+        right = self._compile(plan.right, schemas, version)
+        left_schema = schemas[id(plan.left)]
+        right_schema = schemas[id(plan.right)]
+        target = schemas[id(plan)]
+        left_positions = [
+            left_schema.position(name) for name, _ in plan.conditions
+        ]
+        right_positions = [
+            right_schema.position(name) for _, name in plan.conditions
+        ]
+        right_key_names = {name for _, name in plan.conditions}
+        kept_right = [
+            position
+            for position, name in enumerate(right_schema.names)
+            if name not in right_key_names
+        ]
+
+        def thunk() -> ColumnBatch:
+            left_batch, right_batch = left(), right()
+            right_key_cols = [right_batch.columns[p] for p in right_positions]
+            index: dict[tuple[Any, ...], list[int]] = {}
+            for j in range(right_batch.n_rows):
+                key = tuple(col[j] for col in right_key_cols)
+                if any(part is None for part in key):
+                    continue
+                index.setdefault(key, []).append(j)
+            left_key_cols = [left_batch.columns[p] for p in left_positions]
+            left_idx: list[int] = []
+            right_idx: list[int] = []
+            for i in range(left_batch.n_rows):
+                key = tuple(col[i] for col in left_key_cols)
+                if any(part is None for part in key):
+                    continue
+                for j in index.get(key, ()):
+                    left_idx.append(i)
+                    right_idx.append(j)
+            columns = [[col[i] for i in left_idx] for col in left_batch.columns]
+            columns += [
+                [right_batch.columns[p][j] for j in right_idx] for p in kept_right
+            ]
+            left_provs, right_provs = left_batch.provs, right_batch.provs
+            provs = [
+                times(left_provs[i], right_provs[j])
+                for i, j in zip(left_idx, right_idx)
+            ]
+            return ColumnBatch(target, columns, provs)
+
+        return thunk
+
+    def _compile_dependentjoin(
+        self, plan: DependentJoin, schemas, version
+    ) -> BatchThunk:
+        child = self._compile(plan.child, schemas, version)
+        child_schema = schemas[id(plan.child)]
+        target = schemas[id(plan)]
+        # Same dict() pass as the row path: duplicate service inputs keep
+        # their first position and last binding.
+        input_positions = [
+            (svc_input, child_schema.position(child_attr))
+            for svc_input, child_attr in dict(plan.input_map).items()
+        ]
+        service_name = plan.service
+        catalog = self.catalog
+        evaluator = self._evaluator
+
+        def thunk() -> ColumnBatch:
+            batch = child()
+            # Resolved per evaluation (not at compile) so a re-registered
+            # service object is picked up exactly as the row path would.
+            service = catalog.service(service_name)
+            output_names = service.output_names
+            input_cols = [
+                (svc_input, batch.columns[position])
+                for svc_input, position in input_positions
+            ]
+            seen: dict[tuple[Any, ...], list[tuple[list[Any], Any]]] = {}
+            keep_idx: list[int] = []
+            out_cols: list[list[Any]] = [[] for _ in output_names]
+            provs: list[Provenance] = []
+            child_provs = batch.provs
+            for i in range(batch.n_rows):
+                inputs = {name: col[i] for name, col in input_cols}
+                if any(value is None for value in inputs.values()):
+                    continue
+                try:
+                    binding = tuple(sorted(inputs.items()))
+                    expansions = seen.get(binding)
+                except TypeError:  # unhashable input value: invoke directly
+                    binding, expansions = None, None
+                if expansions is None:
+                    try:
+                        invoked = service.invoke(inputs)
+                    except ServiceLookupFailed as exc:
+                        evaluator._degraded.append(
+                            Degradation(service=service_name, reason=str(exc))
+                        )
+                        if METRICS.enabled:
+                            METRICS.inc("resilience.degraded_rows")
+                        marker = Var(TupleId(degraded_source(service_name), 0))
+                        keep_idx.append(i)
+                        for column in out_cols:
+                            column.append(None)
+                        provs.append(times(child_provs[i], marker))
+                        continue
+                    expansions = []
+                    for result in invoked:
+                        result_id = service.result_tuple_id(result)
+                        expansions.append(
+                            ([result[name] for name in output_names], result_id)
+                        )
+                    if binding is not None:
+                        seen[binding] = expansions
+                for out_values, result_id in expansions:
+                    keep_idx.append(i)
+                    for column, value in zip(out_cols, out_values):
+                        column.append(value)
+                    provs.append(times(child_provs[i], Var(result_id)))
+            columns = [[col[i] for i in keep_idx] for col in batch.columns]
+            columns += out_cols
+            return ColumnBatch(target, columns, provs)
+
+        return thunk
+
+    def _compile_recordlinkjoin(
+        self, plan: RecordLinkJoin, schemas, version
+    ) -> BatchThunk:
+        left = self._compile(plan.left, schemas, version)
+        right = self._compile(plan.right, schemas, version)
+        target = schemas[id(plan)]
+        linker = plan.linker
+        threshold = plan.threshold
+        best_only = plan.best_only
+
+        def thunk() -> ColumnBatch:
+            left_batch, right_batch = left(), right()
+            # Linkers score Rows by contract, so both sides materialize —
+            # but through the trusted constructor, and blocking keys come
+            # straight off the column arrays.
+            left_rows = _batch_rows(left_batch)
+            right_rows = _batch_rows(right_batch)
+            candidates = self._link_candidates_batch(plan, left_batch, right_batch)
+            score = linker.score
+            left_idx: list[int] = []
+            right_idx: list[int] = []
+            for i, row in enumerate(left_rows):
+                if best_only:
+                    # Single max pass, ties keep the earliest right row —
+                    # identical to the row path.
+                    best_j = -1
+                    best_score = float("-inf")
+                    for j in candidates(i):
+                        current = score(row, right_rows[j])
+                        if current >= threshold and current > best_score:
+                            best_j, best_score = j, current
+                    matched = [best_j] if best_j >= 0 else []
+                else:
+                    matched = [
+                        j
+                        for j in candidates(i)
+                        if score(row, right_rows[j]) >= threshold
+                    ]
+                for j in matched:
+                    left_idx.append(i)
+                    right_idx.append(j)
+            columns = [[col[i] for i in left_idx] for col in left_batch.columns]
+            columns += [[col[j] for j in right_idx] for col in right_batch.columns]
+            left_provs, right_provs = left_batch.provs, right_batch.provs
+            provs = [
+                times(left_provs[i], right_provs[j])
+                for i, j in zip(left_idx, right_idx)
+            ]
+            return ColumnBatch(target, columns, provs)
+
+        return thunk
+
+    def _link_candidates_batch(
+        self, plan: RecordLinkJoin, left_batch: ColumnBatch, right_batch: ColumnBatch
+    ):
+        """Batch twin of :meth:`Evaluator._link_candidates`.
+
+        Same gate (``CACHE.blocking``, pair-count floor, linker-derived
+        attribute pairs) and same candidate sets — the key sets are computed
+        per column instead of per row, then fed to the shared
+        ``candidate_pairs_from_keys`` core.
+        """
+        n_pairs = left_batch.n_rows * right_batch.n_rows
+        pairs = None
+        if CACHE.blocking and n_pairs >= CACHE.blocking_min_pairs:
+            attr_pairs = plan.linker.block_attribute_pairs()
+            if attr_pairs:
+                from ...linking.blocking import (
+                    candidate_pairs_from_keys,
+                    column_token_keys,
+                )
+
+                left_keys = [
+                    column_token_keys(_column_or_nulls(left_batch, left_attr))
+                    for left_attr, _ in attr_pairs
+                ]
+                right_keys = [
+                    column_token_keys(_column_or_nulls(right_batch, right_attr))
+                    for _, right_attr in attr_pairs
+                ]
+                blocked = candidate_pairs_from_keys(left_keys, right_keys)
+                pairs = {}
+                for i, j in blocked:
+                    pairs.setdefault(i, []).append(j)
+                if METRICS.enabled:
+                    METRICS.inc("cache.blocking.joins")
+                    METRICS.inc("cache.blocking.pairs_pruned", n_pairs - len(blocked))
+        if pairs is None:
+            all_right = range(right_batch.n_rows)
+            return lambda i: all_right
+        empty: list[int] = []
+        return lambda i: pairs.get(i, empty)
+
+    def _compile_union(self, plan: Union, schemas, version) -> BatchThunk:
+        parts = [self._compile(part, schemas, version) for part in plan.parts]
+        target = schemas[id(plan)]
+        # Position of each target attribute in each part (None => pad with
+        # NULL), replacing the row path's per-row ``pad_to`` dict lookups.
+        mappings = []
+        for part in plan.parts:
+            part_schema = schemas[id(part)]
+            mappings.append(
+                [
+                    part_schema.position(name) if name in part_schema else None
+                    for name in target.names
+                ]
+            )
+
+        def thunk() -> ColumnBatch:
+            columns: list[list[Any]] = [[] for _ in target.names]
+            provs: list[Provenance] = []
+            for part_thunk, mapping in zip(parts, mappings):
+                batch = part_thunk()
+                for k, position in enumerate(mapping):
+                    if position is None:
+                        columns[k].extend([None] * batch.n_rows)
+                    else:
+                        columns[k].extend(batch.columns[position])
+                provs.extend(batch.provs)
+            return ColumnBatch(target, columns, provs)
+
+        return thunk
+
+    def _compile_distinct(self, plan: Distinct, schemas, version) -> BatchThunk:
+        child = self._compile(plan.child, schemas, version)
+
+        def thunk() -> ColumnBatch:
+            batch = child()
+            columns = batch.columns
+            provs = batch.provs
+            # First-seen order with ⊕-merged provenance, exactly like
+            # Result.merged() over the row path's output.
+            first_seen: dict[tuple[Any, ...], int] = {}
+            keep: list[int] = []
+            merged_provs: list[Provenance] = []
+            for i in range(batch.n_rows):
+                key = tuple(column[i] for column in columns)
+                position = first_seen.get(key)
+                if position is None:
+                    first_seen[key] = len(keep)
+                    keep.append(i)
+                    merged_provs.append(provs[i])
+                else:
+                    merged_provs[position] = plus(merged_provs[position], provs[i])
+            return ColumnBatch(
+                batch.schema,
+                [[column[i] for i in keep] for column in columns],
+                merged_provs,
+            )
+
+        return thunk
+
+    def _compile_groupby(self, plan, schemas, version) -> BatchThunk:
+        from .aggregates import evaluate_groupby_columnar
+
+        child = self._compile(plan.child, schemas, version)
+        target = schemas[id(plan)]
+
+        def thunk() -> ColumnBatch:
+            return evaluate_groupby_columnar(plan, child(), target)
+
+        return thunk

@@ -3,6 +3,14 @@
 Predicates are small structured objects (not bare lambdas) so that query
 plans remain introspectable — the explanation machinery renders them, and
 tests can assert on their structure.
+
+Each predicate additionally *compiles* against a schema into a columnar
+mask function (:func:`compile_predicate`): attribute positions are resolved
+once, and evaluation runs a list comprehension over whole column arrays
+instead of per-row ``matches`` dispatch. Compiled masks replicate the
+row-at-a-time semantics exactly — ``None`` operands compare false, and an
+incomparable pair (``TypeError``) is false rather than an error — so the
+columnar evaluator is bit-for-bit interchangeable with the row path.
 """
 
 from __future__ import annotations
@@ -13,6 +21,10 @@ from typing import Any, Callable
 
 from ...errors import EvaluationError
 from .rows import Row
+from .schema import Schema
+
+#: A compiled predicate: column arrays -> boolean mask (one flag per row).
+MaskFn = Callable[[list[list[Any]], int], list[bool]]
 
 _OPS: dict[str, Callable[[Any, Any], bool]] = {
     "==": operator.eq,
@@ -171,3 +183,189 @@ class Not(Predicate):
 
 
 TRUE = And(())  # vacuous conjunction
+
+
+# -- columnar compilation -----------------------------------------------------
+#
+# Exact-type dispatch (a subclass may override ``matches`` arbitrarily, so
+# only the known leaf types compile; anything else sends the whole plan
+# down the row-at-a-time path).
+
+
+def _safe_op_mask(column: list[Any], op: Callable[[Any, Any], bool], const: Any) -> list[bool]:
+    """``[op(v, const)]`` with row-path semantics: None/TypeError -> False.
+
+    Tries one C-speed comprehension first; a TypeError anywhere falls back
+    to a per-element loop so partially-comparable columns still evaluate.
+    """
+    try:
+        return [v is not None and bool(op(v, const)) for v in column]
+    except TypeError:
+        out: list[bool] = []
+        for v in column:
+            if v is None:
+                out.append(False)
+                continue
+            try:
+                out.append(bool(op(v, const)))
+            except TypeError:
+                out.append(False)
+        return out
+
+
+def _compile_compare(predicate: Compare, schema: Schema) -> MaskFn:
+    position = schema.position(predicate.attribute)
+    op = _OPS[predicate.op]
+    const = predicate.value
+
+    def mask(columns: list[list[Any]], n_rows: int) -> list[bool]:
+        return _safe_op_mask(columns[position], op, const)
+
+    return mask
+
+
+def _compile_attr_compare(predicate: AttrCompare, schema: Schema) -> MaskFn:
+    left = schema.position(predicate.left)
+    right = schema.position(predicate.right)
+    op = _OPS[predicate.op]
+
+    def mask(columns: list[list[Any]], n_rows: int) -> list[bool]:
+        a_col, b_col = columns[left], columns[right]
+        try:
+            return [
+                a is not None and b is not None and bool(op(a, b))
+                for a, b in zip(a_col, b_col)
+            ]
+        except TypeError:
+            out: list[bool] = []
+            for a, b in zip(a_col, b_col):
+                if a is None or b is None:
+                    out.append(False)
+                    continue
+                try:
+                    out.append(bool(op(a, b)))
+                except TypeError:
+                    out.append(False)
+            return out
+
+    return mask
+
+
+def _compile_is_null(predicate: IsNull, schema: Schema) -> MaskFn:
+    position = schema.position(predicate.attribute)
+
+    def mask(columns: list[list[Any]], n_rows: int) -> list[bool]:
+        return [v is None for v in columns[position]]
+
+    return mask
+
+
+def _compile_not_null(predicate: NotNull, schema: Schema) -> MaskFn:
+    position = schema.position(predicate.attribute)
+
+    def mask(columns: list[list[Any]], n_rows: int) -> list[bool]:
+        return [v is not None for v in columns[position]]
+
+    return mask
+
+
+def _compile_contains(predicate: Contains, schema: Schema) -> MaskFn:
+    position = schema.position(predicate.attribute)
+    needle = predicate.needle.lower()
+
+    def mask(columns: list[list[Any]], n_rows: int) -> list[bool]:
+        return [
+            v is not None and needle in str(v).lower() for v in columns[position]
+        ]
+
+    return mask
+
+
+def _compile_and(predicate: And, schema: Schema) -> MaskFn:
+    parts = [_compile(part, schema) for part in predicate.parts]
+
+    def mask(columns: list[list[Any]], n_rows: int) -> list[bool]:
+        if not parts:
+            return [True] * n_rows
+        acc = parts[0](columns, n_rows)
+        for part in parts[1:]:
+            acc = [a and b for a, b in zip(acc, part(columns, n_rows))]
+        return acc
+
+    return mask
+
+
+def _compile_or(predicate: Or, schema: Schema) -> MaskFn:
+    parts = [_compile(part, schema) for part in predicate.parts]
+
+    def mask(columns: list[list[Any]], n_rows: int) -> list[bool]:
+        if not parts:
+            return [False] * n_rows
+        acc = parts[0](columns, n_rows)
+        for part in parts[1:]:
+            acc = [a or b for a, b in zip(acc, part(columns, n_rows))]
+        return acc
+
+    return mask
+
+
+def _compile_not(predicate: Not, schema: Schema) -> MaskFn:
+    inner = _compile(predicate.inner, schema)
+
+    def mask(columns: list[list[Any]], n_rows: int) -> list[bool]:
+        return [not flag for flag in inner(columns, n_rows)]
+
+    return mask
+
+
+_COMPILERS: dict[type, Callable[[Any, Schema], MaskFn]] = {
+    Compare: _compile_compare,
+    AttrCompare: _compile_attr_compare,
+    IsNull: _compile_is_null,
+    NotNull: _compile_not_null,
+    Contains: _compile_contains,
+    And: _compile_and,
+    Or: _compile_or,
+    Not: _compile_not,
+}
+
+
+class _Uncompilable(Exception):
+    """Internal: the predicate tree contains an unknown (sub)type."""
+
+
+def is_compilable(predicate: Predicate) -> bool:
+    """True when every node of the tree is a known, exact predicate type."""
+    compiler = _COMPILERS.get(type(predicate))
+    if compiler is None:
+        return False
+    if type(predicate) in (And, Or):
+        return all(is_compilable(part) for part in predicate.parts)
+    if type(predicate) is Not:
+        return is_compilable(predicate.inner)
+    return True
+
+
+def _compile(predicate: Predicate, schema: Schema) -> MaskFn:
+    compiler = _COMPILERS.get(type(predicate))
+    if compiler is None:
+        raise _Uncompilable(type(predicate).__name__)
+    return compiler(predicate, schema)
+
+
+def compile_predicate(predicate: Predicate, schema: Schema) -> MaskFn | None:
+    """Compile *predicate* against *schema* into a columnar mask function.
+
+    Returns ``None`` when the tree is not compilable — an unknown predicate
+    subclass (its overridden ``matches`` cannot be vectorized), or an
+    attribute the schema lacks (the row path surfaces that error lazily,
+    only when a row is actually evaluated, so the caller must fall back
+    rather than raise eagerly). Callers send such plans down the
+    row-at-a-time path.
+    """
+    from ...errors import UnknownAttributeError
+
+    try:
+        return _compile(predicate, schema)
+    except (_Uncompilable, UnknownAttributeError):
+        return None

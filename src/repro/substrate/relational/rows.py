@@ -51,6 +51,19 @@ class Row:
         self._schema = schema
         self._values = ordered
 
+    @classmethod
+    def from_values(cls, schema: Schema, values: tuple[Any, ...]) -> "Row":
+        """Trusted constructor: *values* must already be a schema-shaped tuple.
+
+        Skips the coercion/arity validation of ``__init__`` — used by the
+        columnar batch → Result materialization, where values come straight
+        out of parallel column arrays and are correct by construction.
+        """
+        row = cls.__new__(cls)
+        row._schema = schema
+        row._values = values
+        return row
+
     # -- protocol -----------------------------------------------------------
     @property
     def schema(self) -> Schema:

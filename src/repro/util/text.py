@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from functools import lru_cache
+from typing import Any, Iterable
 
 #: Invisible characters that survive ``str.strip()``: zero-width space /
 #: non-joiner / joiner / word-joiner, BOM, and soft hyphen. Real pages embed
@@ -98,16 +98,145 @@ def is_blank(value) -> bool:
 _SPACE_RUN_RE = re.compile(r"\s+")
 
 
-@lru_cache(maxsize=8192)
+class InternPool:
+    """A global string-interning pool (one canonical instance per value).
+
+    Grown from the old ``normalize`` memo: the columnar scan path interns
+    every string cell while transposing relations into column arrays, so
+    repeated values across rows/sources share one object — join keys and
+    distinct/group-by dict operations then compare by identity first, and
+    each distinct string's hash is computed once process-wide.
+
+    Interning is capped: once ``capacity`` distinct strings are pooled,
+    further values pass through un-interned (correctness is unaffected;
+    only the sharing stops). Hit/miss counters are kept locally (the pool
+    sits in hot loops) and surfaced via :meth:`stats` and the ``columnar:``
+    trace line.
+    """
+
+    __slots__ = ("_pool", "capacity", "hits", "misses", "passes")
+
+    def __init__(self, capacity: int = 1 << 20):
+        self._pool: dict[str, str] = {}
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        #: values skipped: non-strings, or pool at capacity.
+        self.passes = 0
+
+    def intern(self, value: Any) -> Any:
+        """Return the canonical instance of *value* (strings only)."""
+        if type(value) is not str:
+            self.passes += 1
+            return value
+        canonical = self._pool.get(value)
+        if canonical is not None:
+            self.hits += 1
+            return canonical
+        if len(self._pool) >= self.capacity:
+            self.passes += 1
+            return value
+        self._pool[value] = value
+        self.misses += 1
+        return value
+
+    def intern_all(self, values: Iterable[Any]) -> list[Any]:
+        """Intern a whole column in one pass (the scan-transpose hot loop)."""
+        pool = self._pool
+        out: list[Any] = []
+        append = out.append
+        for value in values:
+            if type(value) is not str:
+                self.passes += 1
+                append(value)
+                continue
+            canonical = pool.get(value)
+            if canonical is not None:
+                self.hits += 1
+                append(canonical)
+            elif len(pool) >= self.capacity:
+                self.passes += 1
+                append(value)
+            else:
+                pool[value] = value
+                self.misses += 1
+                append(value)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._pool)
+
+    def clear(self) -> None:
+        """Drop pooled strings (tests); lifetime counters survive."""
+        self._pool.clear()
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "size": len(self._pool),
+            "hits": self.hits,
+            "misses": self.misses,
+            "passes": self.passes,
+        }
+
+
+#: The process-wide interning pool (columnar scans, normalize results).
+INTERN = InternPool()
+
+#: Entries the normalize memo may hold before evicting least-recently-used.
+NORMALIZE_CACHE_CAPACITY = 8192
+
+# The normalize memo is the cache layer's stats-counting LRU rather than
+# functools.lru_cache: evictions become observable (an eviction-rate metric
+# instead of silent churn) and ``--trace`` can report hit rates alongside
+# every other cache tier. Built lazily on first use — repro.cache imports
+# the relational substrate, which imports drift/resilience modules that in
+# turn use this module, so a top-level import would cycle.
+_NORMALIZE_CACHE = None
+
+
+def _normalize_cache():
+    global _NORMALIZE_CACHE
+    if _NORMALIZE_CACHE is None:
+        from ..cache.lru import LRUCache
+
+        _NORMALIZE_CACHE = LRUCache(
+            NORMALIZE_CACHE_CAPACITY, metrics_prefix="text.normalize"
+        )
+    return _NORMALIZE_CACHE
+
+
+_NORMALIZE_MISSING = object()
+
+
 def normalize(value: str) -> str:
     """Lowercase, collapse whitespace, and strip punctuation-adjacent space.
 
     Memoized: the record linker's soft-equality check normalizes the same
     cell values against each other in a tight cross-product loop, so cache
-    hits dominate there (the function is pure and values are short).
+    hits dominate there (the function is pure and values are short). The
+    memo is a bounded stats-counting LRU (hit/miss/eviction counters under
+    ``text.normalize.*``) and results are interned through :data:`INTERN`,
+    so every caller shares one canonical normalized instance.
     """
-    collapsed = _SPACE_RUN_RE.sub(" ", clean_cell(value))
-    return collapsed.lower()
+    cache = _normalize_cache()
+    cached = cache.get(value, _NORMALIZE_MISSING)
+    if cached is not _NORMALIZE_MISSING:
+        return cached
+    collapsed = INTERN.intern(_SPACE_RUN_RE.sub(" ", clean_cell(value)).lower())
+    cache.put(value, collapsed)
+    return collapsed
+
+
+def normalize_cache_stats() -> dict[str, float]:
+    """Normalize-memo counters plus the eviction rate (evictions/insertions).
+
+    A rate near 1.0 means the working set no longer fits
+    :data:`NORMALIZE_CACHE_CAPACITY` and the memo is thrashing.
+    """
+    stats = dict(_normalize_cache().stats())
+    inserted = max(stats["misses"], 1)
+    stats["eviction_rate"] = stats["evictions"] / inserted
+    return stats
 
 
 def token_strings(value: str) -> list[str]:
