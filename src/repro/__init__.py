@@ -18,6 +18,7 @@ from .learning.model.type_learner import SemanticTypeLearner
 from .learning.structure.learner import StructureLearner
 from .learning.transforms import Transform, TransformLearner
 from .linking.linker import LearnedLinker
+from .server import SessionManager, SharedBase
 from .substrate.documents.apps import Browser, SpreadsheetApp
 from .substrate.documents.clipboard import Clipboard
 from .substrate.relational.catalog import Catalog
@@ -28,6 +29,7 @@ __all__ = [
     "Browser", "Catalog", "CellState", "Clipboard", "CopyCatSession",
     "IntegrationLearner", "KeystrokeModel", "LearnedLinker", "ManualUser",
     "Mode", "PasteOutcome", "Scenario", "ScpUser", "SemanticTypeLearner",
+    "SessionManager", "SharedBase",
     "SpreadsheetApp", "StructureLearner", "Transform", "TransformLearner",
     "Workspace", "WorkspaceTable",
     "__version__", "build_scenario", "load_session", "save_session",

@@ -66,6 +66,7 @@ def _print_observability() -> None:
     from repro.cache import cache_stats_line
     from repro.drift import drift_stats_line
     from repro.resilience import resilience_stats_line
+    from repro.server import server_stats_line
     from repro.substrate.relational import columnar_stats_line
 
     print()
@@ -74,6 +75,7 @@ def _print_observability() -> None:
     print(drift_stats_line())
     print(analysis_stats_line())
     print(columnar_stats_line())
+    print(server_stats_line())
 
 
 def main() -> None:

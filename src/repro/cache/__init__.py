@@ -28,10 +28,12 @@ from .config import CACHE, CacheConfig
 from .fingerprint import linker_token, plan_fingerprint
 from .lru import LRUCache
 from .plan_cache import PlanResultCache
+from .tiers import CacheTiers
 
 __all__ = [
     "CACHE",
     "CacheConfig",
+    "CacheTiers",
     "LRUCache",
     "PlanResultCache",
     "cache_stats_line",

@@ -4,10 +4,19 @@ Backs both the evaluator's plan-result cache and per-service call
 memoization. Counters are kept locally (cheap, always on, drive the
 ``--trace`` cache summary and per-service stats) and mirrored into the
 shared :data:`~repro.obs.METRICS` registry when that is enabled.
+
+Thread safety: every operation that touches the ordered dict or the
+counters runs under one per-cache mutex, so a cache instance can be
+promoted to a *shared tier* (see :mod:`repro.cache.tiers`) and consulted
+by many sessions concurrently — a ``get`` reorders recency and a ``put``
+may evict, both of which would corrupt an ``OrderedDict`` under a bare
+race. The lock is uncontended (and therefore cheap) in the single-session
+case, which keeps the pre-server behavior and stats byte-identical.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Hashable
 
@@ -23,12 +32,21 @@ class LRUCache:
     (``<prefix>.hits`` / ``.misses`` / ``.evictions``).
     """
 
-    __slots__ = ("_data", "capacity", "metrics_prefix", "hits", "misses", "evictions")
+    __slots__ = (
+        "_data",
+        "_lock",
+        "capacity",
+        "metrics_prefix",
+        "hits",
+        "misses",
+        "evictions",
+    )
 
     def __init__(self, capacity: int = 256, metrics_prefix: str | None = None):
         if capacity < 1:
             raise ValueError(f"cache capacity must be positive, got {capacity}")
         self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
         self.capacity = capacity
         self.metrics_prefix = metrics_prefix
         self.hits = 0
@@ -36,46 +54,54 @@ class LRUCache:
         self.evictions = 0
 
     def get(self, key: Hashable, default: Any = None) -> Any:
-        entry = self._data.get(key, _MISSING)
-        if entry is _MISSING:
-            self.misses += 1
-            if METRICS.enabled and self.metrics_prefix:
-                METRICS.inc(self.metrics_prefix + ".misses")
-            return default
-        self._data.move_to_end(key)
-        self.hits += 1
+        with self._lock:
+            entry = self._data.get(key, _MISSING)
+            if entry is _MISSING:
+                self.misses += 1
+            else:
+                self._data.move_to_end(key)
+                self.hits += 1
         if METRICS.enabled and self.metrics_prefix:
-            METRICS.inc(self.metrics_prefix + ".hits")
-        return entry
+            METRICS.inc(
+                self.metrics_prefix + (".misses" if entry is _MISSING else ".hits")
+            )
+        return default if entry is _MISSING else entry
 
     def put(self, key: Hashable, value: Any) -> None:
-        data = self._data
-        if key in data:
-            data.move_to_end(key)
-        data[key] = value
-        if len(data) > self.capacity:
-            data.popitem(last=False)
-            self.evictions += 1
-            if METRICS.enabled and self.metrics_prefix:
-                METRICS.inc(self.metrics_prefix + ".evictions")
+        evicted = False
+        with self._lock:
+            data = self._data
+            if key in data:
+                data.move_to_end(key)
+            data[key] = value
+            if len(data) > self.capacity:
+                data.popitem(last=False)
+                self.evictions += 1
+                evicted = True
+        if evicted and METRICS.enabled and self.metrics_prefix:
+            METRICS.inc(self.metrics_prefix + ".evictions")
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def clear(self) -> None:
         """Explicit invalidation: drop entries, keep lifetime stats."""
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
     def stats(self) -> dict[str, int]:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "size": len(self._data),
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "size": len(self._data),
+            }
 
     def __repr__(self) -> str:
         return (

@@ -6,6 +6,12 @@ invalidation *precise*: any catalog mutation — a committed source, a trust
 adjustment, link-example feedback — moves the version forward, so stale
 entries simply stop being addressable and age out of the LRU.
 
+When the cache is promoted to a shared tier (the multi-tenant server),
+callers additionally pass the catalog's ``cache_scope``, which is folded
+into every key: sessions forked from the same frozen base share a scope
+(so tenant A's evaluation is a hit for tenant B), while catalogs of
+different lineage — or forks that have diverged — can never collide.
+
 Entries are shared: a hit returns a shallow copy of the stored list (rows
 and provenance expressions are immutable), so callers may extend/slice
 their view without corrupting the cache.
@@ -34,14 +40,18 @@ class PlanResultCache:
             capacity or CACHE.plan_capacity, metrics_prefix="cache.plan"
         )
 
-    def get(self, fingerprint: Hashable, version: Hashable) -> AnnotatedRows | None:
-        rows = self._lru.get((fingerprint, version), _MISSING)
+    def get(
+        self, fingerprint: Hashable, version: Hashable, *, scope: Hashable = None
+    ) -> AnnotatedRows | None:
+        rows = self._lru.get((scope, fingerprint, version), _MISSING)
         if rows is _MISSING:
             return None
         return list(rows)
 
-    def put(self, fingerprint: Hashable, version: Hashable, rows: AnnotatedRows) -> None:
-        self._lru.put((fingerprint, version), list(rows))
+    def put(
+        self, fingerprint: Hashable, version: Hashable, rows: AnnotatedRows, *, scope: Hashable = None
+    ) -> None:
+        self._lru.put((scope, fingerprint, version), list(rows))
         if METRICS.enabled:
             METRICS.gauge("cache.plan.size", float(len(self._lru)))
 
@@ -52,17 +62,19 @@ class PlanResultCache:
     # hand one mode a result materialized by the other.
     _BATCH_MODE = "columnar"
 
-    def get_batch(self, fingerprint: Hashable, version: Hashable):
+    def get_batch(self, fingerprint: Hashable, version: Hashable, *, scope: Hashable = None):
         """Cached :class:`ColumnBatch` for the key, or ``None``.
 
         Batches are immutable by contract (columns are never mutated in
         place), so the stored instance is returned as-is — no copy.
         """
-        batch = self._lru.get((fingerprint, version, self._BATCH_MODE), _MISSING)
+        batch = self._lru.get((scope, fingerprint, version, self._BATCH_MODE), _MISSING)
         return None if batch is _MISSING else batch
 
-    def put_batch(self, fingerprint: Hashable, version: Hashable, batch) -> None:
-        self._lru.put((fingerprint, version, self._BATCH_MODE), batch)
+    def put_batch(
+        self, fingerprint: Hashable, version: Hashable, batch, *, scope: Hashable = None
+    ) -> None:
+        self._lru.put((scope, fingerprint, version, self._BATCH_MODE), batch)
         if METRICS.enabled:
             METRICS.gauge("cache.plan.size", float(len(self._lru)))
 

@@ -1,0 +1,111 @@
+"""Shared cache tiers for the multi-tenant session server.
+
+One :class:`CacheTiers` bundle holds every memo an evaluation stack uses:
+
+- **plan** — the :class:`~repro.cache.plan_cache.PlanResultCache` of
+  materialized subplan results (PR 2);
+- **analysis** — the static plan-analyzer report memo (PR 5);
+- **compile** / **scan** — the columnar engine's compiled-closure and
+  scan-transpose memos (PR 6).
+
+Historically each evaluator/engine owned private instances of these. The
+server promotes one bundle to a *shared tier* consulted by every tenant:
+keys fold in the catalog's ``cache_scope`` (see
+:meth:`repro.substrate.relational.catalog.Catalog.fork`), so tenants forked
+from one frozen base address the same entries — tenant A's compiled plan
+closure or materialized join is a hit for tenant B — while diverged or
+unrelated catalogs can never collide. The underlying :class:`LRUCache`
+instances are internally locked, which makes the bundle thread-safe without
+any locking here.
+
+The bundle also provides **single-flight** execution (:meth:`flight`): when
+N tenants concurrently miss on the same root plan, one computes while the
+rest wait and then hit, instead of all N redundantly computing under the
+GIL — without it, a cold start pays N× the work and the shared tier buys
+nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Hashable
+
+from .lru import LRUCache
+from .plan_cache import PlanResultCache
+
+
+class CacheTiers:
+    """The full set of evaluation memos, optionally shared across sessions.
+
+    ``shared=False`` (the default, and the only mode exercised with
+    ``REPRO_SERVER=0``) reproduces the historical per-evaluator layout
+    exactly: same capacities, same metrics prefixes, and :meth:`flight` is a
+    no-op. ``shared=True`` marks the bundle as a cross-tenant tier and turns
+    on single-flight keying.
+    """
+
+    def __init__(self, *, shared: bool = False):
+        # Deferred: importing repro.analysis at module scope would cycle back
+        # through repro.cache (plan_analyzer uses cache.fingerprint).
+        from ..analysis.config import ANALYSIS
+        from ..substrate.relational.config import COLUMNAR
+
+        self.shared = shared
+        self.plan = PlanResultCache()
+        self.analysis = LRUCache(ANALYSIS.memo_capacity, metrics_prefix="analysis.memo")
+        self.compile = LRUCache(COLUMNAR.compile_capacity, metrics_prefix="columnar.compile")
+        self.scan = LRUCache(COLUMNAR.scan_capacity, metrics_prefix="columnar.scan")
+        self._flight_master = threading.Lock()
+        self._flights: dict[Hashable, tuple[threading.Lock, int]] = {}
+
+    @contextmanager
+    def flight(self, key: Hashable):
+        """Serialize concurrent work on *key* (single-flight).
+
+        The first caller acquires a per-key lock and computes; later callers
+        block on the same lock, and on waking re-probe the cache and hit.
+        Locks are refcounted and dropped when the last flight on a key
+        lands, so the dict stays bounded by in-progress work. No-op when the
+        bundle is not shared — single-session evaluation stays lock-free on
+        this path.
+        """
+        if not self.shared:
+            yield
+            return
+        with self._flight_master:
+            lock, refs = self._flights.get(key, (None, 0))
+            if lock is None:
+                lock = threading.Lock()
+            self._flights[key] = (lock, refs + 1)
+        lock.acquire()
+        try:
+            yield
+        finally:
+            lock.release()
+            with self._flight_master:
+                lock, refs = self._flights[key]
+                if refs <= 1:
+                    del self._flights[key]
+                else:
+                    self._flights[key] = (lock, refs - 1)
+
+    def clear(self) -> None:
+        """Drop every tier's entries (lifetime stats survive)."""
+        self.plan.clear()
+        self.analysis.clear()
+        self.compile.clear()
+        self.scan.clear()
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        return {
+            "plan": self.plan.stats(),
+            "analysis": self.analysis.stats(),
+            "compile": self.compile.stats(),
+            "scan": self.scan.stats(),
+        }
+
+    def __repr__(self) -> str:
+        kind = "shared" if self.shared else "private"
+        sizes = ", ".join(f"{name}={s['size']}" for name, s in self.stats().items())
+        return f"CacheTiers({kind}, {sizes})"

@@ -13,7 +13,7 @@ from typing import Any, Callable, Mapping
 from ..analysis.config import ANALYSIS
 from ..analysis.plan_analyzer import PlanAnalyzer
 from ..cache.fingerprint import plan_fingerprint
-from ..cache.lru import LRUCache
+from ..cache.tiers import CacheTiers
 from ..obs import METRICS, TRACER
 from ..provenance.explain import Explanation, explain
 from ..provenance.expressions import Provenance
@@ -26,18 +26,20 @@ from ..substrate.relational.rows import Row, TupleId
 class QueryEngine:
     """Evaluates plans and explains their answers."""
 
-    def __init__(self, catalog: Catalog):
+    def __init__(self, catalog: Catalog, tiers: CacheTiers | None = None):
         self.catalog = catalog
-        self._evaluator = Evaluator(catalog)
+        self._evaluator = Evaluator(catalog, tiers)
         self.queries_run = 0
         # Static analysis (repro.analysis): every plan is checked against
         # the catalog — and the source graph when a supplier is wired in
         # (CopyCatSession does) — before it reaches the evaluator.
         self.graph_supplier: Callable[[], Any] | None = None
         self._analyzer = PlanAnalyzer(catalog)
-        self._analysis_memo = LRUCache(
-            ANALYSIS.memo_capacity, metrics_prefix="analysis.memo"
-        )
+        # The analysis-report memo is one of the evaluator's cache tiers:
+        # private per engine by default, shared fleet-wide under the server
+        # (analysis is pure graph-topology + catalog-schema work, so a
+        # report is valid for every tenant on the same scope/version).
+        self._analysis_memo = self._evaluator.tiers.analysis
 
     def _check_plan(self, plan: Plan) -> None:
         """Run the static plan analyzer; raises PlanAnalysisError on errors.
@@ -50,7 +52,7 @@ class QueryEngine:
             self._analyzer.graph = self.graph_supplier()
         key = None
         try:
-            key = (plan_fingerprint(plan), self.catalog.version)
+            key = (self.catalog.cache_scope, plan_fingerprint(plan), self.catalog.version)
         except TypeError:
             pass  # unregistered node type: analyze unmemoized; PLAN005 fires
         if key is not None:

@@ -32,6 +32,7 @@ from pathlib import Path
 from typing import Any, Mapping, Sequence
 
 from ..cache.config import CACHE
+from ..cache.tiers import CacheTiers
 from ..drift import (
     DRIFT,
     QuarantineLog,
@@ -123,6 +124,7 @@ class CopyCatSession:
         seed: int = 0,
         relevance_threshold: float = 2.0,
         use_semantic_types: bool = True,
+        cache_tiers: "CacheTiers | None" = None,
     ):
         self.catalog = catalog or Catalog()
         self.clipboard = clipboard or Clipboard()
@@ -138,7 +140,10 @@ class CopyCatSession:
             use_semantic_types=use_semantic_types,
             linker_factory=self._linker_for,
         )
-        self.engine = QueryEngine(self.catalog)
+        # cache_tiers: the session server passes one shared bundle so every
+        # tenant's evaluator amortizes the fleet's plan/analysis/columnar
+        # work; standalone sessions keep private tiers (the default).
+        self.engine = QueryEngine(self.catalog, cache_tiers)
         # Let the static plan analyzer cross-check DependentJoin bindings
         # against the learned source graph (repro.analysis PLAN003).
         self.engine.graph_supplier = lambda: self.integration_learner.graph

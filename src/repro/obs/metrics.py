@@ -11,11 +11,19 @@ Like the tracer, the registry is disabled by default and every mutator
 starts with a single ``enabled`` test, so instrumented hot loops cost one
 branch per call when observability is off. Truly inner loops (the Steiner
 heap) accumulate into local ints and record once per call instead.
+
+Thread safety: every enabled-path mutation and every reader runs under one
+registry lock, so concurrent sessions (the multi-tenant server) never drop
+increments to a shared counter or observe a half-appended histogram. The
+disabled path is untouched — still a single ``enabled`` branch, no lock —
+which is what keeps the <5% disabled-overhead assertion in
+``tests/test_obs_overhead.py`` true.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 import time
 from typing import Any
 
@@ -73,6 +81,7 @@ class Metrics:
 
     def __init__(self, enabled: bool = False):
         self.enabled = enabled
+        self._lock = threading.Lock()
         self._counters: dict[str, float] = {}
         self._gauges: dict[str, float] = {}
         self._histograms: dict[str, list[float]] = {}
@@ -81,17 +90,20 @@ class Metrics:
     def inc(self, name: str, value: float = 1.0) -> None:
         if not self.enabled:
             return
-        self._counters[name] = self._counters.get(name, 0.0) + value
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + value
 
     def gauge(self, name: str, value: float) -> None:
         if not self.enabled:
             return
-        self._gauges[name] = value
+        with self._lock:
+            self._gauges[name] = value
 
     def observe(self, name: str, value: float) -> None:
         if not self.enabled:
             return
-        self._histograms.setdefault(name, []).append(value)
+        with self._lock:
+            self._histograms.setdefault(name, []).append(value)
 
     def timer(self, name: str):
         """Time a ``with`` block into histogram *name* (ms); free when off."""
@@ -101,16 +113,20 @@ class Metrics:
 
     # -- readers -------------------------------------------------------------
     def counter_value(self, name: str) -> float:
-        return self._counters.get(name, 0.0)
+        with self._lock:
+            return self._counters.get(name, 0.0)
 
     def gauge_value(self, name: str) -> float | None:
-        return self._gauges.get(name)
+        with self._lock:
+            return self._gauges.get(name)
 
     def histogram_values(self, name: str) -> list[float]:
-        return list(self._histograms.get(name, []))
+        with self._lock:
+            return list(self._histograms.get(name, []))
 
     def histogram_summary(self, name: str) -> dict[str, float] | None:
-        values = self._histograms.get(name)
+        with self._lock:
+            values = list(self._histograms.get(name, ()))
         if not values:
             return None
         return {
@@ -122,7 +138,8 @@ class Metrics:
         }
 
     def names(self) -> list[str]:
-        return sorted({*self._counters, *self._gauges, *self._histograms})
+        with self._lock:
+            return sorted({*self._counters, *self._gauges, *self._histograms})
 
     # -- lifecycle -----------------------------------------------------------
     def enable(self) -> None:
@@ -132,19 +149,23 @@ class Metrics:
         self.enabled = False
 
     def reset(self) -> None:
-        self._counters.clear()
-        self._gauges.clear()
-        self._histograms.clear()
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
 
     # -- export --------------------------------------------------------------
     def snapshot(self) -> dict[str, Any]:
         """A JSON-ready view of every instrument's current state."""
+        with self._lock:
+            counters = dict(sorted(self._counters.items()))
+            gauges = dict(sorted(self._gauges.items()))
+            histogram_names = sorted(self._histograms)
         return {
-            "counters": dict(sorted(self._counters.items())),
-            "gauges": dict(sorted(self._gauges.items())),
+            "counters": counters,
+            "gauges": gauges,
             "histograms": {
-                name: self.histogram_summary(name)
-                for name in sorted(self._histograms)
+                name: self.histogram_summary(name) for name in histogram_names
             },
         }
 

@@ -114,12 +114,19 @@ DECLARED_COUNTERS: dict[str, str] = {
     "service.*.cache_hits": "memo hits per service",
     "service.*.failures": "failed lookups per service",
     "service.*.misses": "definitive empty results per service",
+    # -- server (multi-tenant session manager) ------------------------------
+    "server.sessions_created": "tenant sessions created by the session manager",
+    "server.sessions_evicted": "sessions evicted by LRU capacity pressure",
+    "server.sessions_expired": "sessions evicted by idle TTL",
+    "server.requests": "requests dispatched through the session manager",
+    "server.request_errors": "dispatched requests that raised",
 }
 
 #: Gauges: last-value-wins readings.
 DECLARED_GAUGES: dict[str, str] = {
     "cache.plan.size": "current plan-result cache entry count",
     "columnar.intern.size": "strings held by the global interning pool",
+    "server.sessions_active": "sessions currently registered with the manager",
     "text.normalize.eviction_rate": "normalize() memo evictions per miss",
 }
 
@@ -127,6 +134,7 @@ DECLARED_GAUGES: dict[str, str] = {
 DECLARED_HISTOGRAMS: dict[str, str] = {
     "engine.run_ms": "plan evaluation wall time",
     "mira.tau": "MIRA update step sizes",
+    "server.request_ms": "per-request wall time through the session manager",
     "service.*.latency_ms": "backend latency per service",
     "session.column_suggestions_ms": "column-suggestion batch wall time",
     "session.paste_ms": "paste handling wall time",

@@ -1,0 +1,64 @@
+"""The multi-tenant concurrent session server.
+
+The paper's Smart Copy & Paste vision is an *interactive service* — many
+users simultaneously pasting, accepting, and resyncing. This package turns
+the single-session library into that shape:
+
+- :mod:`~repro.server.config` — the :data:`SERVER` switch set
+  (``REPRO_SERVER=0`` reproduces single-session behavior exactly);
+- :mod:`~repro.server.base` — :class:`SharedBase`: the frozen base catalog
+  plus the shared cache-tier bundle every tenant's evaluator consults;
+- :mod:`~repro.server.manager` — :class:`SessionManager`: session registry
+  and lifecycle (create / touch / LRU-evict / idle-TTL-expire) over a
+  bounded worker pool, per-session FIFO dispatch, per-tenant deterministic
+  seeding.
+
+Tenant isolation model: the base catalog is frozen (mutation raises);
+each tenant works on a copy-on-write fork carrying its own trust weights,
+MIRA weights, workspace, and drift ledger; shared cache tiers key entries
+on ``(cache scope, fingerprint, version)``, so pristine forks share warm
+entries and diverged forks silently stop colliding.
+"""
+
+from __future__ import annotations
+
+from .base import SharedBase
+from .config import SERVER, ServerConfig
+from .manager import SessionError, SessionManager
+
+__all__ = [
+    "SERVER",
+    "ServerConfig",
+    "SessionError",
+    "SessionManager",
+    "SharedBase",
+    "server_stats_line",
+]
+
+
+def server_stats_line(manager: SessionManager | None = None, metrics=None) -> str:
+    """One-line summary of server activity (``--trace`` output)."""
+    if manager is not None:
+        stats = manager.stats()
+        return (
+            f"server: {stats['active']} active · {stats['created']} created · "
+            f"{stats['evicted']} evicted · {stats['expired']} expired · "
+            f"{stats['requests']} requests ({stats['request_errors']} errors)"
+        )
+    from ..obs import METRICS
+
+    m = metrics or METRICS
+    created = int(m.counter_value("server.sessions_created"))
+    evicted = int(m.counter_value("server.sessions_evicted"))
+    expired = int(m.counter_value("server.sessions_expired"))
+    requests = int(m.counter_value("server.requests"))
+    errors = int(m.counter_value("server.request_errors"))
+    active = m.gauge_value("server.sessions_active")
+    line = (
+        f"server: {int(active) if active is not None else 0} active · "
+        f"{created} created · {evicted} evicted · {expired} expired · "
+        f"{requests} requests ({errors} errors)"
+    )
+    if not SERVER.enabled:
+        line += " · disabled"
+    return line

@@ -1,0 +1,96 @@
+"""Session-server configuration: one process-wide switch set.
+
+Mirrors the other layers' config singletons (:mod:`repro.cache.config`,
+:mod:`repro.substrate.relational.config`, …): plain attributes on
+:data:`SERVER`, programmatic overrides for tests and benchmarks
+(:meth:`ServerConfig.disabled`, :meth:`ServerConfig.overridden`), and
+environment variables read once at import:
+
+- ``REPRO_SERVER=0`` disables the concurrent server entirely — the
+  :class:`~repro.server.manager.SessionManager` runs every request inline
+  on the calling thread with *private* per-session cache tiers, which
+  reproduces pre-server behavior exactly (the env-toggle contract every
+  prior layer honors);
+- ``REPRO_SERVER_WORKERS`` sizes the worker pool (default 8);
+- ``REPRO_SERVER_MAX_SESSIONS`` caps live sessions; creating one past the
+  cap evicts the least-recently-used session first (default 64);
+- ``REPRO_SERVER_IDLE_TTL`` (seconds) lets :meth:`SessionManager.
+  evict_idle` expire sessions untouched for longer than the TTL
+  (default 900).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+_FALSY = {"0", "false", "no", "off", ""}
+
+
+def _env_flag(name: str, default: bool = True) -> bool:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    return raw.strip().lower() not in _FALSY
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    return int(raw) if raw is not None else default
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    return float(raw) if raw is not None else default
+
+
+class ServerConfig:
+    """Mutable knobs for the multi-tenant session server."""
+
+    def __init__(self) -> None:
+        #: master switch; off runs requests inline with private cache tiers.
+        self.enabled = _env_flag("REPRO_SERVER", True)
+        #: worker threads dispatching per-session requests.
+        self.workers = _env_int("REPRO_SERVER_WORKERS", 8)
+        #: live-session cap; LRU eviction beyond it.
+        self.max_sessions = _env_int("REPRO_SERVER_MAX_SESSIONS", 64)
+        #: idle seconds after which evict_idle() expires a session.
+        self.idle_ttl = _env_float("REPRO_SERVER_IDLE_TTL", 900.0)
+
+    #: knobs :meth:`overridden` accepts (everything mutable above).
+    KNOBS = ("enabled", "workers", "max_sessions", "idle_ttl")
+
+    @contextmanager
+    def disabled(self):
+        """Temporarily force inline, private-tier execution."""
+        with self.overridden(enabled=False):
+            yield self
+
+    @contextmanager
+    def overridden(self, **knobs):
+        """Temporarily override any named knob (tests and benchmarks)."""
+        for name in knobs:
+            if name not in self.KNOBS:
+                raise ValueError(f"unknown server knob {name!r}; known: {self.KNOBS}")
+        previous = {name: getattr(self, name) for name in knobs}
+        try:
+            for name, value in knobs.items():
+                setattr(self, name, value)
+            yield self
+        finally:
+            for name, value in previous.items():
+                setattr(self, name, value)
+
+    def snapshot(self) -> dict[str, int | float | bool]:
+        return {name: getattr(self, name) for name in self.KNOBS}
+
+    def __repr__(self) -> str:
+        state = "on" if self.enabled else "off"
+        return (
+            f"ServerConfig({state}, workers={self.workers}, "
+            f"max_sessions={self.max_sessions}, idle_ttl={self.idle_ttl:g}s)"
+        )
+
+
+#: The process-wide server configuration the session manager consults.
+SERVER = ServerConfig()

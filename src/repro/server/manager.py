@@ -1,0 +1,261 @@
+"""The multi-tenant session manager.
+
+One :class:`SessionManager` serves many independent user sessions
+concurrently on a bounded worker pool:
+
+- **registry + lifecycle** — sessions are created on first use, touched on
+  every request (LRU order), evicted when the registry exceeds
+  ``SERVER.max_sessions``, and expired by :meth:`evict_idle` once idle
+  longer than ``SERVER.idle_ttl``;
+- **per-session FIFO dispatch** — requests for one tenant are serialized
+  in submission order (a session is single-threaded state: workspace,
+  learners, feedback log), while requests for *different* tenants run
+  concurrently on the pool. This is the snapshot-isolation story's other
+  half: within a tenant there is no concurrency at all, and across tenants
+  the only shared mutable state is the internally-locked cache tiers and
+  the frozen base;
+- **shared caching** — every session's evaluator consults the
+  :class:`~repro.server.base.SharedBase`'s shared tier bundle, so tenant
+  A's compiled plan closure, analyzer verdict, or materialized join is a
+  hit for tenant B;
+- **determinism** — each tenant's stochastic components are seeded by
+  :func:`repro.util.rng.seed_for` over ``(manager seed, tenant id)``,
+  which depends on *labels only* — never on creation order or thread
+  scheduling — so a tenant's outputs are reproducible regardless of which
+  other tenants run beside it.
+
+With ``REPRO_SERVER=0`` (:data:`~repro.server.config.SERVER` disabled) the
+manager keeps the same API but runs every request inline on the calling
+thread with *private* per-session cache tiers — pre-server behavior,
+exactly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..core.session import CopyCatSession
+from ..errors import CopyCatError
+from ..obs import METRICS
+from ..util.rng import DEFAULT_SEED, seed_for
+from .base import SharedBase
+from .config import SERVER
+
+
+class SessionError(CopyCatError):
+    """Raised for session-manager lifecycle misuse (unknown/closed state)."""
+
+
+@dataclass
+class _Entry:
+    """Registry slot: the session plus its dispatch and lifecycle state."""
+
+    session: CopyCatSession
+    seed: int
+    created: float
+    last_used: float
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    queue: deque = field(default_factory=deque)
+    #: True while a drain task for this session is live on the pool.
+    scheduled: bool = False
+
+
+class SessionManager:
+    """Serves many tenant sessions concurrently over one shared base."""
+
+    def __init__(
+        self,
+        base: SharedBase | None = None,
+        *,
+        seed: int = DEFAULT_SEED,
+        session_factory: Callable[..., CopyCatSession] | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.base = base if base is not None else SharedBase()
+        self.seed = seed
+        self._session_factory = session_factory or self._default_factory
+        self._clock = clock
+        self._registry: "OrderedDict[str, _Entry]" = OrderedDict()
+        self._registry_lock = threading.Lock()
+        self._pool: ThreadPoolExecutor | None = None
+        self._closed = False
+        # Lifetime counters (always on; mirrored into METRICS when enabled).
+        self.sessions_created = 0
+        self.sessions_evicted = 0
+        self.sessions_expired = 0
+        self.requests = 0
+        self.request_errors = 0
+
+    # -- session lifecycle ---------------------------------------------------
+    def _default_factory(self, *, catalog, seed, cache_tiers) -> CopyCatSession:
+        return CopyCatSession(catalog=catalog, seed=seed, cache_tiers=cache_tiers)
+
+    def session(self, tenant_id: str) -> CopyCatSession:
+        """The tenant's session, created on first use (touches LRU order)."""
+        return self._entry(tenant_id).session
+
+    def _entry(self, tenant_id: str) -> _Entry:
+        if self._closed:
+            raise SessionError("session manager is shut down")
+        evicted: list[_Entry] = []
+        with self._registry_lock:
+            entry = self._registry.get(tenant_id)
+            if entry is not None:
+                entry.last_used = self._clock()
+                self._registry.move_to_end(tenant_id)
+                return entry
+            seed = seed_for(self.seed, tenant_id)
+            tiers = self.base.tiers if SERVER.enabled else None
+            session = self._session_factory(
+                catalog=self.base.fork_catalog(), seed=seed, cache_tiers=tiers
+            )
+            now = self._clock()
+            entry = _Entry(session=session, seed=seed, created=now, last_used=now)
+            self._registry[tenant_id] = entry
+            self.sessions_created += 1
+            while len(self._registry) > max(1, SERVER.max_sessions):
+                _, victim = self._registry.popitem(last=False)
+                evicted.append(victim)
+                self.sessions_evicted += 1
+        if METRICS.enabled:
+            METRICS.inc("server.sessions_created")
+            if evicted:
+                METRICS.inc("server.sessions_evicted", len(evicted))
+            METRICS.gauge("server.sessions_active", float(len(self._registry)))
+        return entry
+
+    def evict(self, tenant_id: str) -> bool:
+        """Drop the tenant's session; True when one existed."""
+        with self._registry_lock:
+            entry = self._registry.pop(tenant_id, None)
+            if entry is not None:
+                self.sessions_evicted += 1
+        if entry is not None and METRICS.enabled:
+            METRICS.inc("server.sessions_evicted")
+            METRICS.gauge("server.sessions_active", float(len(self._registry)))
+        return entry is not None
+
+    def evict_idle(self, ttl: float | None = None) -> list[str]:
+        """Expire sessions idle longer than *ttl* (``SERVER.idle_ttl``)."""
+        limit = SERVER.idle_ttl if ttl is None else ttl
+        now = self._clock()
+        expired: list[str] = []
+        with self._registry_lock:
+            for tenant_id, entry in list(self._registry.items()):
+                if now - entry.last_used > limit:
+                    del self._registry[tenant_id]
+                    expired.append(tenant_id)
+                    self.sessions_expired += 1
+        if expired and METRICS.enabled:
+            METRICS.inc("server.sessions_expired", len(expired))
+            METRICS.gauge("server.sessions_active", float(len(self._registry)))
+        return expired
+
+    # -- dispatch ------------------------------------------------------------
+    def submit(self, tenant_id: str, fn: Callable[[CopyCatSession], Any]) -> "Future[Any]":
+        """Run ``fn(session)`` for the tenant; returns a Future.
+
+        Requests for one tenant execute FIFO (a session is single-threaded
+        state); requests across tenants run concurrently on the pool. With
+        the server disabled, the call runs inline on the calling thread and
+        the returned future is already resolved.
+        """
+        entry = self._entry(tenant_id)
+        self.requests += 1
+        if METRICS.enabled:
+            METRICS.inc("server.requests")
+        future: "Future[Any]" = Future()
+        if not SERVER.enabled:
+            self._execute(entry, fn, future)
+            return future
+        with entry.lock:
+            entry.queue.append((fn, future))
+            schedule = not entry.scheduled
+            if schedule:
+                entry.scheduled = True
+        if schedule:
+            self._executor().submit(self._drain, entry)
+        return future
+
+    def call(self, tenant_id: str, fn: Callable[[CopyCatSession], Any]) -> Any:
+        """Synchronous :meth:`submit`: dispatch and wait for the result."""
+        return self.submit(tenant_id, fn).result()
+
+    def _executor(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            with self._registry_lock:
+                if self._pool is None:
+                    self._pool = ThreadPoolExecutor(
+                        max_workers=max(1, SERVER.workers),
+                        thread_name_prefix="repro-server",
+                    )
+        return self._pool
+
+    def _drain(self, entry: _Entry) -> None:
+        """Worker task: run the session's queued requests FIFO, then park."""
+        while True:
+            with entry.lock:
+                if not entry.queue:
+                    entry.scheduled = False
+                    return
+                fn, future = entry.queue.popleft()
+            self._execute(entry, fn, future)
+
+    def _execute(self, entry: _Entry, fn, future: "Future[Any]") -> None:
+        if not future.set_running_or_notify_cancel():
+            return
+        entry.last_used = self._clock()
+        with METRICS.timer("server.request_ms"):
+            try:
+                result = fn(entry.session)
+            except BaseException as exc:
+                self.request_errors += 1
+                if METRICS.enabled:
+                    METRICS.inc("server.request_errors")
+                future.set_exception(exc)
+            else:
+                future.set_result(result)
+
+    # -- introspection / shutdown ---------------------------------------------
+    def tenant_ids(self) -> list[str]:
+        with self._registry_lock:
+            return list(self._registry)
+
+    def __len__(self) -> int:
+        with self._registry_lock:
+            return len(self._registry)
+
+    def stats(self) -> dict[str, Any]:
+        """Lifecycle counters plus the shared tier bundle's cache stats."""
+        with self._registry_lock:
+            active = len(self._registry)
+        return {
+            "active": active,
+            "created": self.sessions_created,
+            "evicted": self.sessions_evicted,
+            "expired": self.sessions_expired,
+            "requests": self.requests,
+            "request_errors": self.request_errors,
+            "tiers": self.base.tiers.stats(),
+        }
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Drain the pool and refuse further requests."""
+        self._closed = True
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=wait)
+        with self._registry_lock:
+            self._registry.clear()
+
+    def __enter__(self) -> "SessionManager":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.shutdown()
+        return False

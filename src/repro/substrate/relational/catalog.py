@@ -8,6 +8,9 @@ scores, provenance of how the source was learned, and learned semantic types.
 
 from __future__ import annotations
 
+import copy
+import itertools
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
@@ -34,14 +37,85 @@ class SourceMetadata:
     notes: dict[str, Any] = field(default_factory=dict)
 
 
+#: Process-global allocator for catalog cache scopes. ``next()`` on an
+#: ``itertools.count`` is atomic under CPython, so concurrent forks always
+#: receive distinct scope tokens without extra locking.
+_SCOPE_COUNTER = itertools.count(1)
+
+
 class Catalog:
-    """Named registry of relations and services."""
+    """Named registry of relations and services.
+
+    Multi-tenant sharing (the session server) adds two notions on top of the
+    plain registry:
+
+    - a **cache scope** — a process-unique token naming the *lineage* of this
+      catalog's contents. Shared cache tiers key entries on
+      ``(scope, fingerprint, version)``; two unrelated catalogs can never
+      collide on a key, while a pristine fork *shares* its parent's scope (and
+      therefore the parent's warm cache entries) until its first divergent
+      mutation, at which point it silently acquires a fresh scope of its own.
+    - **freezing** — the server freezes the shared base catalog after setup;
+      any later mutation raises, which is what makes lock-free concurrent
+      reads of the base sound.
+    """
 
     def __init__(self) -> None:
         self._relations: dict[str, Relation] = {}
         self._services: dict[str, "Service"] = {}
         self._metadata: dict[str, SourceMetadata] = {}
         self._version = 0
+        self._scope = next(_SCOPE_COUNTER)
+        self._frozen = False
+        self._fork_pristine = False
+        self._scope_lock = threading.Lock()
+
+    # -- multi-tenant sharing ----------------------------------------------------
+    @property
+    def cache_scope(self) -> int:
+        """The token shared cache tiers fold into every key for this catalog."""
+        return self._scope
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def freeze(self) -> None:
+        """Make the catalog immutable (the server's shared base layer)."""
+        self._frozen = True
+
+    def fork(self) -> "Catalog":
+        """A copy-on-write per-tenant view of this catalog.
+
+        The fork shares ``Relation`` and ``Service`` *objects* with its parent
+        (session commit paths always build a fresh ``Relation`` and replace
+        the registry entry, never append to a registered one, so object
+        sharing is safe) but owns its registry dicts and deep-copies
+        :class:`SourceMetadata` (trust scores and drift notes are per-tenant
+        state, mutated in place by the learners). It inherits the parent's
+        cache scope — so reads hit the parent's warm shared-tier entries —
+        until its first mutation diverges it onto a fresh scope.
+        """
+        child = Catalog.__new__(Catalog)
+        child._relations = dict(self._relations)
+        child._services = dict(self._services)
+        child._metadata = {name: copy.deepcopy(meta) for name, meta in self._metadata.items()}
+        child._version = self._version
+        child._scope = self._scope
+        child._frozen = False
+        child._fork_pristine = True
+        child._scope_lock = threading.Lock()
+        return child
+
+    def _mutated(self) -> None:
+        """Guard + scope divergence, called before every registry mutation."""
+        if self._frozen:
+            raise CatalogError("catalog is frozen (shared server base); fork() it instead")
+        if self._fork_pristine:
+            with self._scope_lock:
+                if self._fork_pristine:
+                    self._scope = next(_SCOPE_COUNTER)
+                    self._fork_pristine = False
 
     # -- versioning --------------------------------------------------------------
     @property
@@ -61,6 +135,7 @@ class Catalog:
 
     def bump_version(self) -> None:
         """Record an out-of-band change that may affect query answers."""
+        self._mutated()
         self._version += 1
 
     @property
@@ -81,6 +156,7 @@ class Catalog:
         name = relation.name
         if not replace and name in self:
             raise CatalogError(f"catalog already contains a source named {name!r}")
+        self._mutated()
         self._relations[name] = relation
         self._services.pop(name, None)
         self._metadata[name] = metadata or SourceMetadata()
@@ -93,6 +169,7 @@ class Catalog:
         name = service.name
         if not replace and name in self:
             raise CatalogError(f"catalog already contains a source named {name!r}")
+        self._mutated()
         self._services[name] = service
         self._relations.pop(name, None)
         self._metadata[name] = metadata or SourceMetadata(origin="predefined")
@@ -102,6 +179,7 @@ class Catalog:
     def remove(self, name: str) -> None:
         if name not in self:
             raise CatalogError(f"no source named {name!r} to remove")
+        self._mutated()
         self._relations.pop(name, None)
         self._services.pop(name, None)
         self._metadata.pop(name, None)

@@ -38,8 +38,7 @@ from typing import Any, Callable, Iterable
 from ...analysis.config import ANALYSIS
 from ...cache.config import CACHE
 from ...cache.fingerprint import plan_fingerprint, uncovered_fields
-from ...cache.lru import LRUCache
-from ...cache.plan_cache import PlanResultCache
+from ...cache.tiers import CacheTiers
 from ...drift.config import DRIFT
 from ...drift.quarantine import QUARANTINE_NOTE
 from ...errors import EvaluationError, ServiceLookupFailed
@@ -156,23 +155,62 @@ _CACHEABLE_NODES = frozenset(
 class Evaluator:
     """Evaluates :class:`~repro.substrate.relational.algebra.Plan` trees."""
 
-    def __init__(self, catalog: Catalog):
+    def __init__(self, catalog: Catalog, tiers: CacheTiers | None = None):
         self.catalog = catalog
-        self.plan_cache = PlanResultCache()
+        #: every memo this evaluation stack consults. Private by default
+        #: (historical behavior); the session server passes one shared
+        #: bundle so tenants amortize each other's work.
+        self.tiers = tiers if tiers is not None else CacheTiers()
+        self.plan_cache = self.tiers.plan
         self.columnar = ColumnarEngine(self)
         # Service failures absorbed during the current run() (graceful
         # degradation); attached to the Result and reset per run.
         self._degraded: list[Degradation] = []
+        # Snapshot isolation: run() pins the catalog version and cache scope
+        # once, so every cache probe inside one evaluation addresses the
+        # same snapshot even if another thread bumps the catalog mid-run.
+        self._run_version: Any = None
+        self._run_scope: Any = None
+
+    # -- snapshot pinning ----------------------------------------------------
+    def _active_version(self) -> Any:
+        version = self._run_version
+        return version if version is not None else self.catalog.version
+
+    def _active_scope(self) -> Any:
+        scope = self._run_scope
+        return scope if scope is not None else self.catalog.cache_scope
 
     def run(self, plan: Plan) -> Result:
         schema = plan.output_schema(self.catalog)
         self._degraded = []
+        self._run_version = self.catalog.version
+        self._run_scope = self.catalog.cache_scope
+        try:
+            if not self.tiers.shared:
+                return self._run_pinned(plan, schema)
+            # Single-flight on the root plan: when N tenants miss the shared
+            # tier on the same plan simultaneously, one computes (and
+            # populates the tier) while the rest wait, then re-evaluate
+            # against warm entries — without this, a cold start pays N× the
+            # work under the GIL and sharing buys nothing.
+            try:
+                fingerprint = plan_fingerprint(plan)
+            except TypeError:
+                return self._run_pinned(plan, schema)
+            with self.tiers.flight((self._run_scope, fingerprint, self._run_version)):
+                return self._run_pinned(plan, schema)
+        finally:
+            self._run_version = None
+            self._run_scope = None
+
+    def _run_pinned(self, plan: Plan, schema: Schema) -> Result:
         if COLUMNAR.enabled:
             thunk = self.columnar.compiled(plan)
             if thunk is not None:
                 if METRICS.enabled:
                     METRICS.inc("columnar.plans")
-                batch = thunk()
+                batch = thunk(self)
                 return Result(
                     schema, batch.to_annotated(), degraded=tuple(self._degraded)
                 )
@@ -198,8 +236,9 @@ class Evaluator:
             if METRICS.enabled:
                 METRICS.inc("analysis.fingerprint_unregistered")
             return method(plan)
-        version = self.catalog.version
-        cached = self.plan_cache.get(fingerprint, version)
+        version = self._active_version()
+        scope = self._active_scope()
+        cached = self.plan_cache.get(fingerprint, version, scope=scope)
         if cached is not None:
             return cached
         degraded_before = len(self._degraded)
@@ -211,7 +250,7 @@ class Evaluator:
             if METRICS.enabled:
                 METRICS.inc("cache.plan.degraded_uncached")
         elif self._cache_admissible(plan):
-            self.plan_cache.put(fingerprint, version, rows)
+            self.plan_cache.put(fingerprint, version, rows, scope=scope)
         return rows
 
     @staticmethod
@@ -444,8 +483,13 @@ class Evaluator:
 _UNSUPPORTED = object()
 _MISS = object()
 
-#: A compiled plan: zero-argument closure producing the result batch.
-BatchThunk = Callable[[], ColumnBatch]
+#: A compiled plan: a closure producing the result batch for the evaluator
+#: it is passed. Thunks are *context-threaded* — they capture no evaluator
+#: or catalog, only compile-time-resolved positions/schemas — so one
+#: compiled closure in a shared tier serves every tenant on the same cache
+#: scope, each execution reading the invoking evaluator's catalog state
+#: (metadata notes, service objects) and degradation list.
+BatchThunk = Callable[["Evaluator"], ColumnBatch]
 
 
 class _Unsupported(Exception):
@@ -497,18 +541,16 @@ class ColumnarEngine:
 
         self._evaluator = evaluator
         self.catalog = evaluator.catalog
-        # Compiled closures per (fingerprint, version); negative results are
-        # memoized too, so known-unsupported plans pay one dict probe.
-        self._compile_memo = LRUCache(
-            COLUMNAR.compile_capacity, metrics_prefix="columnar.compile"
-        )
-        # Raw relation transposes per (source, version). Notes-driven
+        # Compiled closures per (scope, fingerprint, version); negative
+        # results are memoized too, so known-unsupported plans pay one dict
+        # probe. Lives in the evaluator's cache-tier bundle, so under the
+        # session server one tenant's compilation is every tenant's hit.
+        self._compile_memo = evaluator.tiers.compile
+        # Raw relation transposes per (scope, source, version). Notes-driven
         # filtering (distrusted rows) and quarantine degradations are applied
         # per evaluation, after the memo, so feedback that edits metadata
         # without committing rows is always honored.
-        self._scan_memo = LRUCache(
-            COLUMNAR.scan_capacity, metrics_prefix="columnar.scan"
-        )
+        self._scan_memo = evaluator.tiers.scan
         self._analyzer = None
         self._dispatch: dict[type, Callable[..., BatchThunk]] = {
             Scan: self._compile_scan,
@@ -533,8 +575,9 @@ class ColumnarEngine:
             # plans the exact-type dispatch below could not compile anyway,
             # and without a fingerprint the memo has no sound key.
             return None
-        version = self.catalog.version
-        key = (fingerprint, version)
+        evaluator = self._evaluator
+        version = evaluator._active_version()
+        key = (evaluator._active_scope(), fingerprint, version)
         thunk = self._compile_memo.get(key, _MISS)
         if thunk is _MISS:
             thunk = self._compile_root(plan, version)
@@ -583,21 +626,21 @@ class ColumnarEngine:
         fingerprint succeeded, so this node's cannot raise.
         """
         fingerprint = plan_fingerprint(plan)
-        evaluator = self._evaluator
 
-        def thunk() -> ColumnBatch:
+        def thunk(ev: Evaluator) -> ColumnBatch:
             if not CACHE.plan:
-                return inner()
-            cached = evaluator.plan_cache.get_batch(fingerprint, version)
+                return inner(ev)
+            scope = ev._active_scope()
+            cached = ev.plan_cache.get_batch(fingerprint, version, scope=scope)
             if cached is not None:
                 return cached
-            degraded_before = len(evaluator._degraded)
-            batch = inner()
-            if len(evaluator._degraded) != degraded_before:
+            degraded_before = len(ev._degraded)
+            batch = inner(ev)
+            if len(ev._degraded) != degraded_before:
                 if METRICS.enabled:
                     METRICS.inc("cache.plan.degraded_uncached")
-            elif evaluator._cache_admissible(plan):
-                evaluator.plan_cache.put_batch(fingerprint, version, batch)
+            elif ev._cache_admissible(plan):
+                ev.plan_cache.put_batch(fingerprint, version, batch, scope=scope)
             return batch
 
         return thunk
@@ -605,16 +648,14 @@ class ColumnarEngine:
     # -- per-node compilers ---------------------------------------------------
     def _compile_scan(self, plan: Scan, schemas, version) -> BatchThunk:
         source = plan.source
-        catalog = self.catalog
-        evaluator = self._evaluator
 
-        def thunk() -> ColumnBatch:
-            batch = self._scan_batch(source, version)
-            notes = catalog.metadata(source).notes
+        def thunk(ev: Evaluator) -> ColumnBatch:
+            batch = ev.columnar._scan_batch(source, version)
+            notes = ev.catalog.metadata(source).notes
             if DRIFT.enabled:
                 quarantined = notes.get(QUARANTINE_NOTE)
                 if quarantined is not None:
-                    evaluator._degraded.append(
+                    ev._degraded.append(
                         Degradation(
                             service=source,
                             reason=f"source quarantined: {quarantined}",
@@ -630,7 +671,7 @@ class ColumnarEngine:
         return thunk
 
     def _scan_batch(self, source: str, version: Any) -> ColumnBatch:
-        key = (source, version)
+        key = (self._evaluator._active_scope(), source, version)
         batch = self._scan_memo.get(key, _MISS)
         if batch is _MISS:
             relation = self.catalog.relation(source)
@@ -648,8 +689,8 @@ class ColumnarEngine:
             # only fault on lazily — either way row-at-a-time owns it.
             raise _Unsupported(f"predicate {plan.predicate}")
 
-        def thunk() -> ColumnBatch:
-            batch = child()
+        def thunk(ev: Evaluator) -> ColumnBatch:
+            batch = child(ev)
             mask = mask_fn(batch.columns, batch.n_rows)
             keep = [index for index, flag in enumerate(mask) if flag]
             if len(keep) == batch.n_rows:
@@ -664,8 +705,8 @@ class ColumnarEngine:
         target = schemas[id(plan)]
         positions = [child_schema.position(name) for name in plan.names]
 
-        def thunk() -> ColumnBatch:
-            batch = child()
+        def thunk(ev: Evaluator) -> ColumnBatch:
+            batch = child(ev)
             columns = batch.columns
             return ColumnBatch(
                 target, [columns[position] for position in positions], batch.provs
@@ -677,8 +718,8 @@ class ColumnarEngine:
         child = self._compile(plan.child, schemas, version)
         target = schemas[id(plan)]
 
-        def thunk() -> ColumnBatch:
-            return child().with_schema(target)
+        def thunk(ev: Evaluator) -> ColumnBatch:
+            return child(ev).with_schema(target)
 
         return thunk
 
@@ -701,8 +742,8 @@ class ColumnarEngine:
             if name not in right_key_names
         ]
 
-        def thunk() -> ColumnBatch:
-            left_batch, right_batch = left(), right()
+        def thunk(ev: Evaluator) -> ColumnBatch:
+            left_batch, right_batch = left(ev), right(ev)
             right_key_cols = [right_batch.columns[p] for p in right_positions]
             index: dict[tuple[Any, ...], list[int]] = {}
             for j in range(right_batch.n_rows):
@@ -746,14 +787,12 @@ class ColumnarEngine:
             for svc_input, child_attr in dict(plan.input_map).items()
         ]
         service_name = plan.service
-        catalog = self.catalog
-        evaluator = self._evaluator
 
-        def thunk() -> ColumnBatch:
-            batch = child()
+        def thunk(ev: Evaluator) -> ColumnBatch:
+            batch = child(ev)
             # Resolved per evaluation (not at compile) so a re-registered
             # service object is picked up exactly as the row path would.
-            service = catalog.service(service_name)
+            service = ev.catalog.service(service_name)
             output_names = service.output_names
             input_cols = [
                 (svc_input, batch.columns[position])
@@ -777,7 +816,7 @@ class ColumnarEngine:
                     try:
                         invoked = service.invoke(inputs)
                     except ServiceLookupFailed as exc:
-                        evaluator._degraded.append(
+                        ev._degraded.append(
                             Degradation(service=service_name, reason=str(exc))
                         )
                         if METRICS.enabled:
@@ -817,14 +856,14 @@ class ColumnarEngine:
         threshold = plan.threshold
         best_only = plan.best_only
 
-        def thunk() -> ColumnBatch:
-            left_batch, right_batch = left(), right()
+        def thunk(ev: Evaluator) -> ColumnBatch:
+            left_batch, right_batch = left(ev), right(ev)
             # Linkers score Rows by contract, so both sides materialize —
             # but through the trusted constructor, and blocking keys come
             # straight off the column arrays.
             left_rows = _batch_rows(left_batch)
             right_rows = _batch_rows(right_batch)
-            candidates = self._link_candidates_batch(plan, left_batch, right_batch)
+            candidates = ev.columnar._link_candidates_batch(plan, left_batch, right_batch)
             score = linker.score
             left_idx: list[int] = []
             right_idx: list[int] = []
@@ -915,11 +954,11 @@ class ColumnarEngine:
                 ]
             )
 
-        def thunk() -> ColumnBatch:
+        def thunk(ev: Evaluator) -> ColumnBatch:
             columns: list[list[Any]] = [[] for _ in target.names]
             provs: list[Provenance] = []
             for part_thunk, mapping in zip(parts, mappings):
-                batch = part_thunk()
+                batch = part_thunk(ev)
                 for k, position in enumerate(mapping):
                     if position is None:
                         columns[k].extend([None] * batch.n_rows)
@@ -933,8 +972,8 @@ class ColumnarEngine:
     def _compile_distinct(self, plan: Distinct, schemas, version) -> BatchThunk:
         child = self._compile(plan.child, schemas, version)
 
-        def thunk() -> ColumnBatch:
-            batch = child()
+        def thunk(ev: Evaluator) -> ColumnBatch:
+            batch = child(ev)
             columns = batch.columns
             provs = batch.provs
             # First-seen order with ⊕-merged provenance, exactly like
@@ -965,7 +1004,7 @@ class ColumnarEngine:
         child = self._compile(plan.child, schemas, version)
         target = schemas[id(plan)]
 
-        def thunk() -> ColumnBatch:
-            return evaluate_groupby_columnar(plan, child(), target)
+        def thunk(ev: Evaluator) -> ColumnBatch:
+            return evaluate_groupby_columnar(plan, child(ev), target)
 
         return thunk

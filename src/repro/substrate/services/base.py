@@ -15,6 +15,7 @@ return multiple answers").
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Any, Mapping, Sequence
 
@@ -59,7 +60,11 @@ class Service:
         self._memo = LRUCache(CACHE.service_capacity, metrics_prefix="service.cache")
         # Interning table assigning stable TupleIds to distinct results, so
         # provenance over service outputs is well-defined and repeatable.
+        # Guarded by _lock: a service object may be shared by concurrent
+        # sessions (the server's frozen base registers one instance), and
+        # two tenants racing the same new result must agree on one id.
         self._result_ids: dict[tuple[Any, ...], TupleId] = {}
+        self._lock = threading.Lock()
         # Resilience state (repro.resilience): a circuit breaker gating the
         # backend, an operational-health ledger the integration learner
         # reads, and a per-invocation counter seeding backoff jitter.
@@ -106,7 +111,8 @@ class Service:
         backend.
         """
         self.binding.check_bound(inputs.keys())
-        self._call_count += 1
+        with self._lock:
+            self._call_count += 1
         memo_key: tuple[Any, ...] | None = None
         if CACHE.service:
             try:
@@ -121,7 +127,8 @@ class Service:
                     METRICS.inc("service." + self.name + ".cache_hits")
                 return [dict(row) for row in cached]
         start = time.perf_counter() if METRICS.enabled else 0.0
-        self._backend_calls += 1
+        with self._lock:
+            self._backend_calls += 1
         bound = {name: inputs[name] for name in self.binding.inputs}
         try:
             if RESILIENCE.enabled:
@@ -185,7 +192,8 @@ class Service:
             raise CircuitOpenError(
                 f"service {self.name!r} circuit breaker is open", service=self.name
             )
-        self._resilient_invocations += 1
+        with self._lock:
+            self._resilient_invocations += 1
         policy = RetryPolicy.from_config()
         deadline = Deadline(RESILIENCE.deadline_ms)
         rng = None  # jitter stream derived lazily, only when a retry happens
@@ -274,11 +282,21 @@ class Service:
         self._memo.clear()
 
     def result_tuple_id(self, row: Mapping[str, Any]) -> TupleId:
-        """Stable provenance id for a full-schema result *row*."""
+        """Stable provenance id for a full-schema result *row*.
+
+        Ids are assigned in first-seen order, under the lock: concurrent
+        tenants sharing one service object always agree on the id of a
+        result, though *which* result gets which ordinal depends on arrival
+        order (which is why the bit-for-bit parity benchmark runs tenants
+        over relations-only catalogs, where no such ordering exists).
+        """
         key = tuple(row[name] for name in self.schema.names)
-        if key not in self._result_ids:
-            self._result_ids[key] = TupleId(self.name, len(self._result_ids))
-        return self._result_ids[key]
+        with self._lock:
+            tid = self._result_ids.get(key)
+            if tid is None:
+                tid = TupleId(self.name, len(self._result_ids))
+                self._result_ids[key] = tid
+        return tid
 
     # -- subclass hook --------------------------------------------------------
     def _lookup(self, inputs: Mapping[str, Any]) -> Sequence[Mapping[str, Any]]:

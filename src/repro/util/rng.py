@@ -44,6 +44,27 @@ def derive_rng(rng: random.Random, *labels: str | int) -> random.Random:
     return random.Random(int.from_bytes(digest[:8], "big"))
 
 
+def seed_for(*labels: str | int) -> int:
+    """A stable 64-bit seed derived purely from *labels* (no parent stream).
+
+    Unlike :func:`derive_rng` — which draws from a parent ``Random`` and is
+    therefore sensitive to how many values were drawn before it — this
+    derivation depends only on the labels. That is the property concurrent
+    tenants need: ``seed_for(manager_seed, tenant_id)`` gives every session
+    its own deterministic generator **regardless of the order sessions are
+    created or scheduled**, keeping per-tenant outputs reproducible under
+    any thread interleaving (the REPRO005 invariant, extended to threads).
+    """
+    token = ":".join(str(label) for label in labels)
+    digest = hashlib.sha256(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def session_rng(*labels: str | int) -> random.Random:
+    """A per-session generator seeded by :func:`seed_for` over *labels*."""
+    return random.Random(seed_for(*labels))
+
+
 def stable_shuffle(items: Sequence[T], seed: int | random.Random | None = None) -> list[T]:
     """Return a shuffled copy of *items* using a deterministic stream."""
     rng = make_rng(seed)

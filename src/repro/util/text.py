@@ -9,6 +9,7 @@ components consistent about what a "token" is.
 from __future__ import annotations
 
 import re
+import threading
 from dataclasses import dataclass
 from typing import Any, Iterable
 
@@ -112,17 +113,41 @@ class InternPool:
     only the sharing stops). Hit/miss counters are kept locally (the pool
     sits in hot loops) and surfaced via :meth:`stats` and the ``columnar:``
     trace line.
+
+    Thread safety: the pool is process-global mutable state, shared by
+    every concurrent session. The hit path is **lock-free** — a plain dict
+    probe, atomic under CPython — so the overwhelmingly common case costs
+    exactly what it did single-threaded. Only a miss takes the insert lock,
+    and re-probes under it, so two threads racing to intern the same new
+    value always agree on one canonical instance (no duplicate identities).
+    Hit/pass counters on the lock-free path are best-effort under
+    contention (a lost increment is cosmetic); the miss counter is exact.
     """
 
-    __slots__ = ("_pool", "capacity", "hits", "misses", "passes")
+    __slots__ = ("_pool", "_insert_lock", "capacity", "hits", "misses", "passes")
 
     def __init__(self, capacity: int = 1 << 20):
         self._pool: dict[str, str] = {}
+        self._insert_lock = threading.Lock()
         self.capacity = capacity
         self.hits = 0
         self.misses = 0
         #: values skipped: non-strings, or pool at capacity.
         self.passes = 0
+
+    def _insert(self, value: str) -> str:
+        """Slow path: pool *value* under the lock; returns the canonical one."""
+        with self._insert_lock:
+            canonical = self._pool.get(value)
+            if canonical is not None:
+                self.hits += 1
+                return canonical
+            if len(self._pool) >= self.capacity:
+                self.passes += 1
+                return value
+            self._pool[value] = value
+            self.misses += 1
+            return value
 
     def intern(self, value: Any) -> Any:
         """Return the canonical instance of *value* (strings only)."""
@@ -133,12 +158,7 @@ class InternPool:
         if canonical is not None:
             self.hits += 1
             return canonical
-        if len(self._pool) >= self.capacity:
-            self.passes += 1
-            return value
-        self._pool[value] = value
-        self.misses += 1
-        return value
+        return self._insert(value)
 
     def intern_all(self, values: Iterable[Any]) -> list[Any]:
         """Intern a whole column in one pass (the scan-transpose hot loop)."""
@@ -154,13 +174,8 @@ class InternPool:
             if canonical is not None:
                 self.hits += 1
                 append(canonical)
-            elif len(pool) >= self.capacity:
-                self.passes += 1
-                append(value)
             else:
-                pool[value] = value
-                self.misses += 1
-                append(value)
+                append(self._insert(value))
         return out
 
     def __len__(self) -> int:
@@ -192,16 +207,21 @@ NORMALIZE_CACHE_CAPACITY = 8192
 # the relational substrate, which imports drift/resilience modules that in
 # turn use this module, so a top-level import would cycle.
 _NORMALIZE_CACHE = None
+_NORMALIZE_INIT_LOCK = threading.Lock()
 
 
 def _normalize_cache():
     global _NORMALIZE_CACHE
     if _NORMALIZE_CACHE is None:
-        from ..cache.lru import LRUCache
+        # Double-checked init: two sessions racing the first normalize()
+        # must agree on one memo (the LRU itself is internally locked).
+        with _NORMALIZE_INIT_LOCK:
+            if _NORMALIZE_CACHE is None:
+                from ..cache.lru import LRUCache
 
-        _NORMALIZE_CACHE = LRUCache(
-            NORMALIZE_CACHE_CAPACITY, metrics_prefix="text.normalize"
-        )
+                _NORMALIZE_CACHE = LRUCache(
+                    NORMALIZE_CACHE_CAPACITY, metrics_prefix="text.normalize"
+                )
     return _NORMALIZE_CACHE
 
 
@@ -216,7 +236,10 @@ def normalize(value: str) -> str:
     hits dominate there (the function is pure and values are short). The
     memo is a bounded stats-counting LRU (hit/miss/eviction counters under
     ``text.normalize.*``) and results are interned through :data:`INTERN`,
-    so every caller shares one canonical normalized instance.
+    so every caller shares one canonical normalized instance. Both the memo
+    and the pool are internally locked, so concurrent sessions share them
+    safely; a racy double-compute of the same value converges on one
+    interned result.
     """
     cache = _normalize_cache()
     cached = cache.get(value, _NORMALIZE_MISSING)

@@ -1,0 +1,240 @@
+"""Tests for the multi-tenant session server (repro.server).
+
+Contracts under test:
+
+- **copy-on-write forks** — a pristine fork shares the base's cache scope
+  and relation objects; its first divergent mutation silently moves it to
+  a private scope without touching the base; metadata (trust, notes) is
+  per-fork from the start;
+- **frozen base** — mutating the shared base catalog raises;
+- **lifecycle** — LRU eviction past ``max_sessions``, idle-TTL expiry on
+  an injected clock, touch-on-use keeps a session alive;
+- **dispatch** — per-tenant FIFO, per-tenant deterministic seeding
+  (label-only, independent of creation order), exceptions propagate
+  through futures without killing the pool;
+- **REPRO_SERVER=0** — the manager keeps its API but runs inline with
+  private tiers: plain pre-server behavior.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CopyCatSession
+from repro.cache.tiers import CacheTiers
+from repro.errors import CatalogError
+from repro.server import SERVER, SessionError, SessionManager, SharedBase, server_stats_line
+from repro.substrate.relational import Catalog, Relation, Scan, schema_of
+from repro.util.rng import seed_for
+
+
+def small_catalog() -> Catalog:
+    catalog = Catalog()
+    cities = Relation("Cities", schema_of("City", "Zip"))
+    cities.extend([[f"City{i}", f"{33000 + i}"] for i in range(6)])
+    catalog.add_relation(cities)
+    return catalog
+
+
+class TestCatalogFork:
+    def test_pristine_fork_shares_scope_and_relations(self):
+        base = small_catalog()
+        fork = base.fork()
+        assert fork.cache_scope == base.cache_scope
+        assert fork.relation("Cities") is base.relation("Cities")
+        assert fork.version == base.version
+
+    def test_first_mutation_diverges_scope_once(self):
+        base = small_catalog()
+        fork = base.fork()
+        fork.bump_version()
+        diverged = fork.cache_scope
+        assert diverged != base.cache_scope
+        fork.bump_version()
+        assert fork.cache_scope == diverged  # scope moves once, then sticks
+        assert base.cache_scope != diverged
+
+    def test_fork_metadata_is_private(self):
+        base = small_catalog()
+        fork = base.fork()
+        fork.metadata("Cities").trust = 0.25
+        fork.metadata("Cities").notes.setdefault("distrusted_rows", set()).add(3)
+        assert base.metadata("Cities").trust != 0.25
+        assert "distrusted_rows" not in base.metadata("Cities").notes
+
+    def test_frozen_base_raises_on_mutation(self):
+        shared = SharedBase(small_catalog())
+        with pytest.raises(CatalogError):
+            shared.catalog.bump_version()
+        with pytest.raises(CatalogError):
+            shared.catalog.add_relation(Relation("X", schema_of("A")))
+        # ... but forks stay writable.
+        shared.fork_catalog().bump_version()
+
+    def test_distinct_catalogs_get_distinct_scopes(self):
+        assert small_catalog().cache_scope != small_catalog().cache_scope
+
+
+class TestCacheTiers:
+    def test_private_tiers_flight_is_a_noop(self):
+        tiers = CacheTiers()
+        with tiers.flight(("k", 1)):
+            pass
+        assert not tiers.shared
+
+    def test_shared_flight_serializes_per_key(self):
+        tiers = CacheTiers(shared=True)
+        with tiers.flight(("k", 1)):
+            # A different key must not deadlock while "k" is in flight.
+            with tiers.flight(("other", 2)):
+                pass
+        assert tiers.stats()["plan"]["size"] == 0
+
+    def test_stats_shape(self):
+        stats = CacheTiers(shared=True).stats()
+        assert set(stats) == {"plan", "analysis", "compile", "scan"}
+
+
+class TestLifecycle:
+    def test_lru_eviction_past_max_sessions(self):
+        with SERVER.overridden(enabled=True, max_sessions=2):
+            with SessionManager(SharedBase(small_catalog())) as manager:
+                manager.session("a")
+                manager.session("b")
+                manager.session("a")  # touch: now b is the LRU victim
+                manager.session("c")
+                assert manager.tenant_ids() == ["a", "c"]
+                assert manager.sessions_evicted == 1
+
+    def test_idle_ttl_expiry_with_injected_clock(self):
+        now = [0.0]
+        with SERVER.overridden(enabled=True, idle_ttl=10.0):
+            manager = SessionManager(SharedBase(small_catalog()), clock=lambda: now[0])
+            manager.session("a")
+            now[0] = 5.0
+            manager.session("b")
+            now[0] = 12.0
+            assert manager.evict_idle() == ["a"]  # idle 12s > ttl; b idle 7s stays
+            assert manager.tenant_ids() == ["b"]
+            assert manager.sessions_expired == 1
+            manager.shutdown()
+
+    def test_evict_returns_whether_present(self):
+        with SessionManager(SharedBase(small_catalog())) as manager:
+            manager.session("a")
+            assert manager.evict("a") is True
+            assert manager.evict("a") is False
+
+    def test_shutdown_refuses_new_requests(self):
+        manager = SessionManager(SharedBase(small_catalog()))
+        manager.shutdown()
+        with pytest.raises(SessionError):
+            manager.session("a")
+
+    def test_recreated_session_is_fresh_but_same_seed(self):
+        with SessionManager(SharedBase(small_catalog())) as manager:
+            first = manager.session("a")
+            first_seed = manager._registry["a"].seed
+            manager.evict("a")
+            second = manager.session("a")
+            assert second is not first
+            assert manager._registry["a"].seed == first_seed == seed_for(manager.seed, "a")
+
+
+class TestDispatch:
+    def test_per_tenant_seeding_is_order_independent(self):
+        def seeds(manager, order):
+            for tenant in order:
+                manager.session(tenant)
+            return {t: manager._registry[t].seed for t in order}
+
+        with SessionManager(SharedBase(small_catalog()), seed=7) as forward:
+            seeds_fwd = seeds(forward, ("a", "b", "c"))
+        with SessionManager(SharedBase(small_catalog()), seed=7) as backward:
+            seeds_bwd = seeds(backward, ("c", "b", "a"))
+        assert seeds_fwd == seeds_bwd
+        assert seeds_fwd == {t: seed_for(7, t) for t in ("a", "b", "c")}
+
+    def test_call_runs_against_the_tenants_session(self):
+        with SessionManager(SharedBase(small_catalog())) as manager:
+            n = manager.call("a", lambda s: len(s.engine.run(Scan("Cities"))))
+            assert n == 6
+
+    def test_fifo_order_within_a_tenant(self):
+        with SERVER.overridden(enabled=True, workers=4):
+            with SessionManager(SharedBase(small_catalog())) as manager:
+                seen: list[int] = []
+                futures = [
+                    manager.submit("a", lambda s, i=i: seen.append(i)) for i in range(20)
+                ]
+                for future in futures:
+                    future.result()
+                assert seen == list(range(20))
+
+    def test_exceptions_propagate_and_pool_survives(self):
+        with SERVER.overridden(enabled=True):
+            with SessionManager(SharedBase(small_catalog())) as manager:
+                def boom(session):
+                    raise ValueError("bad request")
+                with pytest.raises(ValueError, match="bad request"):
+                    manager.call("a", boom)
+                assert manager.request_errors == 1
+                assert manager.call("a", lambda s: "ok") == "ok"
+
+    def test_sessions_share_the_base_tiers_when_enabled(self):
+        with SERVER.overridden(enabled=True):
+            with SessionManager(SharedBase(small_catalog())) as manager:
+                a = manager.session("a")
+                b = manager.session("b")
+                assert a.engine._evaluator.tiers is manager.base.tiers
+                assert b.engine._evaluator.tiers is manager.base.tiers
+
+    def test_stats_include_tier_stats(self):
+        with SessionManager(SharedBase(small_catalog())) as manager:
+            manager.session("a")
+            stats = manager.stats()
+            assert stats["active"] == 1
+            assert stats["created"] == 1
+            assert "plan" in stats["tiers"]
+
+
+class TestServerDisabled:
+    def test_disabled_runs_inline_with_private_tiers(self):
+        with SERVER.disabled():
+            with SessionManager(SharedBase(small_catalog())) as manager:
+                future = manager.submit("a", lambda s: len(s.engine.run(Scan("Cities"))))
+                assert future.done()  # resolved inline, no pool involved
+                assert future.result() == 6
+                session = manager.session("a")
+                assert session.engine._evaluator.tiers is not manager.base.tiers
+                assert not session.engine._evaluator.tiers.shared
+                assert manager._pool is None
+
+    def test_disabled_matches_plain_session(self):
+        with SERVER.disabled():
+            with SessionManager(SharedBase(small_catalog()), seed=3) as manager:
+                served = manager.call(
+                    "t", lambda s: [r.values for r, _ in s.engine.run(Scan("Cities"))]
+                )
+        plain = CopyCatSession(catalog=small_catalog(), seed=seed_for(3, "t"))
+        direct = [r.values for r, _ in plain.engine.run(Scan("Cities"))]
+        assert served == direct
+
+    def test_stats_line_mentions_disabled(self):
+        with SERVER.disabled():
+            assert "disabled" in server_stats_line()
+
+    def test_stats_line_with_manager(self):
+        with SessionManager(SharedBase(small_catalog())) as manager:
+            manager.call("a", lambda s: None)
+            line = server_stats_line(manager)
+            assert "1 active" in line and "1 requests" in line
+
+
+class TestConfig:
+    def test_snapshot_and_overridden(self):
+        snap = SERVER.snapshot()
+        assert set(snap) == {"enabled", "workers", "max_sessions", "idle_ttl"}
+        with SERVER.overridden(workers=2):
+            assert SERVER.workers == 2
+        assert SERVER.workers == snap["workers"]
