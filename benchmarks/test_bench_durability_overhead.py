@@ -1,0 +1,137 @@
+"""Durability layer A/B: write-ahead logging cost on suggestion refreshes.
+
+Every recorded session action costs one JSON encode + one framed append
+to the tenant's log (plus a periodic checkpoint compaction). This
+benchmark drives the Figure-2 session twice — recorder attached and
+logging to a real on-disk root, versus the plain in-memory session — and
+measures a forced suggestion-refresh burst in both modes, asserting the
+durable session's suggestion batches are *identical* to the plain ones
+(recording is pure observation) and that the logging overhead stays
+under the 10% ceiling.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+
+from repro import CopyCatSession, build_scenario
+from repro.durability import DurabilityStore, recover_session
+
+from .common import (
+    format_table,
+    import_contacts_via_session,
+    import_shelters_via_session,
+    table_series,
+    write_report,
+)
+
+N_REFRESHES = 6
+K = 8
+
+
+def _integration_session(root=None):
+    """The Figure-2 session; with *root*, recorded to an on-disk store."""
+    scenario = build_scenario(seed=5, n_shelters=10, noise=1)
+    session = CopyCatSession(catalog=scenario.catalog, seed=1)
+    store = None
+    if root is not None:
+        store = DurabilityStore(root)
+        recover_session(session, "bench", store, seed=1)
+    import_shelters_via_session(scenario, session)
+    import_contacts_via_session(scenario, session)
+    session.start_integration("Shelters")
+    return session, store
+
+
+def _refresh_burst(session: CopyCatSession):
+    """Forced refreshes: every one recomputes (and is logged, if durable)."""
+    batches = []
+    for _ in range(N_REFRESHES):
+        batches.append(session.column_suggestions(k=K, refresh=True))
+    return batches
+
+
+def _batch_key(batch):
+    return [
+        (
+            s.source,
+            s.attribute_names,
+            s.values,
+            [str(p) for p in s.provenances],
+            s.coverage,
+        )
+        for s in batch
+    ]
+
+
+class TestDurabilityOverhead:
+    def test_durability_overhead_under_ten_percent(self):
+        """Write-ahead logging must cost <10% on a refresh burst.
+
+        One session per mode, warmed, then interleaved timed bursts
+        (slow drift hits both modes equally); best-of damps scheduler
+        noise and the occasional checkpoint-compaction spike, which is
+        amortized cost, not per-action cost.
+        """
+
+        def timed_burst(session) -> float:
+            start = time.perf_counter()
+            _refresh_burst(session)
+            return time.perf_counter() - start
+
+        with tempfile.TemporaryDirectory() as root:
+            plain_session, _ = _integration_session()
+            durable_session, store = _integration_session(root)
+            timed_burst(plain_session)
+            timed_burst(durable_session)
+            plain_times, durable_times = [], []
+            for _ in range(10):
+                plain_times.append(timed_burst(plain_session))
+                durable_times.append(timed_burst(durable_session))
+
+            # Parity leg: recording is observation — identical batches,
+            # provenance expressions included.
+            assert _batch_key(_refresh_burst(durable_session)[-1]) == _batch_key(
+                _refresh_burst(plain_session)[-1]
+            )
+            assert durable_session.durability.actions_recorded > 0
+            store.close()
+
+        plain_s, durable_s = min(plain_times), min(durable_times)
+        overhead_pct = (durable_s / plain_s - 1.0) * 100.0
+        headers = ["mode", "refreshes", "best burst ms", "ms/refresh"]
+        rows = [
+            ("durability off", N_REFRESHES, f"{plain_s * 1000:.1f}",
+             f"{plain_s * 1000 / N_REFRESHES:.2f}"),
+            ("durability on", N_REFRESHES, f"{durable_s * 1000:.1f}",
+             f"{durable_s * 1000 / N_REFRESHES:.2f}"),
+        ]
+        write_report(
+            "durability_overhead",
+            format_table(headers, rows)
+            + ["", f"write-ahead logging overhead {overhead_pct:+.1f}% on a "
+                   f"forced {N_REFRESHES}-refresh burst (10% ceiling; "
+                   "durable batches identical to in-memory ones)"],
+            series={
+                "table": table_series(headers, rows),
+                "overhead_pct": overhead_pct,
+                "n_refreshes": N_REFRESHES,
+            },
+        )
+        assert overhead_pct < 10.0, (
+            f"write-ahead logging costs {overhead_pct:.1f}% on suggestion "
+            f"refresh, over the 10% budget"
+        )
+
+    def test_bench_durable_refresh(self, benchmark):
+        with tempfile.TemporaryDirectory() as root:
+            session, store = _integration_session(root)
+            session.column_suggestions(k=K)  # prime
+
+            def burst():
+                return _refresh_burst(session)
+
+            batches = benchmark(burst)
+            assert batches[-1]
+            store.close()

@@ -65,6 +65,7 @@ def _print_observability() -> None:
     from repro.analysis import analysis_stats_line
     from repro.cache import cache_stats_line
     from repro.drift import drift_stats_line
+    from repro.durability import durability_stats_line
     from repro.resilience import resilience_stats_line
     from repro.server import server_stats_line
     from repro.substrate.relational import columnar_stats_line
@@ -76,6 +77,7 @@ def _print_observability() -> None:
     print(analysis_stats_line())
     print(columnar_stats_line())
     print(server_stats_line())
+    print(durability_stats_line())
 
 
 def main() -> None:

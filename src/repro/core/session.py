@@ -49,6 +49,7 @@ from ..drift import (
     validate_row,
     verify_extraction,
 )
+from ..durability.recorder import SessionRecorder, recorded
 from ..errors import FeedbackError, NoHypothesisError, WorkspaceError
 from ..obs import METRICS, TRACER
 from ..learning.integration.learner import IntegrationLearner
@@ -171,6 +172,10 @@ class CopyCatSession:
         # self-healing re-induction) and the quarantine ledger.
         self.quarantine = QuarantineLog()
         self._wrappers: dict[str, WrapperRecord] = {}
+        # Durability layer: when a recorder is attached (repro.durability),
+        # every @recorded action below is written ahead to the tenant's
+        # action log; None (the default) is the pure in-memory session.
+        self.durability: SessionRecorder | None = None
 
     # ------------------------------------------------------------------ linkers
     def _linker_for(self, edge: Association) -> LearnedLinker:
@@ -182,6 +187,7 @@ class CopyCatSession:
         return self._linkers[edge.key]
 
     # ================================================================ import mode
+    @recorded
     def paste(self, event: CopyEvent | None = None, tab: str | None = None) -> PasteOutcome:
         """Paste the clipboard into the workspace and auto-complete.
 
@@ -257,6 +263,7 @@ class CopyCatSession:
                 )
         return suggestions
 
+    @recorded
     def accept_row_suggestions(self, tab: str | None = None, indices: Sequence[int] | None = None) -> int:
         """Accept the standing suggested rows (all by default); returns count."""
         self.workspace.checkpoint()
@@ -265,6 +272,7 @@ class CopyCatSession:
         self.log.record(FeedbackKind.ACCEPT_ROWS, tab=table.name, rows=count)
         return count
 
+    @recorded
     def reject_row_suggestions(self, tab: str | None = None) -> RowSuggestion | None:
         """Reject the standing row suggestions: try the next hypothesis.
 
@@ -290,12 +298,14 @@ class CopyCatSession:
         table.append_rows(suggestion.rows, state=CellState.SUGGESTED)
         return suggestion
 
+    @recorded
     def label_column(self, col: int, name: str, tab: str | None = None) -> None:
         """User renames a column header (Figure 1's manual 'Name' label)."""
         table = self.workspace.tab(tab or self._current_tab())
         table.set_column_label(col, name)
         self.log.record(FeedbackKind.LABEL_COLUMN, tab=table.name, col=col, name=name)
 
+    @recorded
     def set_column_type(
         self, col: int, semantic_type: SemanticType | str, tab: str | None = None,
         learn_from_values: bool = True,
@@ -318,6 +328,7 @@ class CopyCatSession:
             FeedbackKind.SET_TYPE, tab=table.name, col=col, type=semantic_type.name
         )
 
+    @recorded
     def commit_source(self, tab: str | None = None, name: str | None = None) -> Relation:
         """Promote a tab to a catalog source (its description is now known)."""
         tab_name = tab or self._current_tab()
@@ -372,6 +383,7 @@ class CopyCatSession:
         return relation
 
     # ============================================================== drift resync
+    @recorded
     def resync_source(self, name: str) -> ResyncReport:
         """Re-extract a committed source from its live document.
 
@@ -495,6 +507,7 @@ class CopyCatSession:
         release_source_in_catalog(self.catalog, name)
 
     # ============================================================ integration mode
+    @recorded
     def start_integration(self, source: str, tab: str | None = None) -> str:
         """Open the integration output tab seeded with one source's rows."""
         self.workspace.enter_integration_mode()
@@ -524,6 +537,7 @@ class CopyCatSession:
             raise FeedbackError("not in integration mode: call start_integration first")
         return self._query
 
+    @recorded
     def column_suggestions(
         self, k: int = 5, refresh: bool | None = None
     ) -> list[ColumnSuggestion]:
@@ -588,6 +602,7 @@ class CopyCatSession:
             self.integration_learner.relevance_threshold,
         )
 
+    @recorded
     def preview_column(self, index: int = 0) -> ColumnSuggestion:
         """Show one suggestion in the table (highlighted, like Figure 2)."""
         suggestions = self._column_suggestions or self.column_suggestions()
@@ -620,6 +635,7 @@ class CopyCatSession:
             raise FeedbackError(f"no row {row} in the previewed suggestion")
         return list(suggestion.alternatives[row])
 
+    @recorded
     def choose_alternative(self, row: int, choice: int) -> tuple[Any, ...]:
         """Replace the previewed suggestion's value at *row* with an
         alternative the user picked from the ambiguity dropdown."""
@@ -659,6 +675,7 @@ class CopyCatSession:
                     break
         self._previewed = None
 
+    @recorded
     def accept_column(self, index: int | None = None) -> ColumnSuggestion:
         """Accept a column suggestion: workspace commit + MIRA feedback."""
         suggestions = self._column_suggestions or self.column_suggestions()
@@ -694,6 +711,7 @@ class CopyCatSession:
         )
         return suggestion
 
+    @recorded
     def reject_column(self, index: int | None = None) -> None:
         """Reject a suggestion: remove it and demote its query below threshold."""
         suggestions = self._column_suggestions or self.column_suggestions()
@@ -739,6 +757,7 @@ class CopyCatSession:
         return self.engine.explain_row(prov, plan)
 
     # ------------------------------------------------------- record-link feedback
+    @recorded
     def add_link_example(
         self,
         left_row: Mapping[str, Any],
@@ -819,15 +838,18 @@ class CopyCatSession:
         return tab_name
 
     # ------------------------------------------------------------ data cleaning
+    @recorded
     def enter_cleaning_mode(self) -> None:
         """Section 5 ("Data cleaning"): in cleaning mode "the system does
         not try to generalize any updates beyond the current tuple"."""
         self.cleaning_mode = True
 
+    @recorded
     def exit_cleaning_mode(self) -> None:
         """Leave cleaning mode: edits may generalize again."""
         self.cleaning_mode = False
 
+    @recorded
     def edit_cell(
         self, row: int, col: int, value: Any, tab: str | None = None
     ) -> list[Transform]:
@@ -891,6 +913,7 @@ class CopyCatSession:
         return changed
 
     # ------------------------------------------------- derived (transform) columns
+    @recorded
     def add_derived_column(
         self,
         name: str,
@@ -933,10 +956,12 @@ class CopyCatSession:
         return transform, col
 
     # ----------------------------------------------------- tuple-level feedback
+    @recorded
     def promote_row(self, row: int, tab: str | None = None) -> None:
         """Promote a tuple: raise trust in every source that derived it."""
         self._adjust_row_trust(row, tab, factor=1.1)
 
+    @recorded
     def demote_row(
         self, row: int, tab: str | None = None, distrust_base_rows: bool = False
     ) -> list[str]:
@@ -986,6 +1011,7 @@ class CopyCatSession:
         return touched
 
     # ----------------------------------------------------------- union queries
+    @recorded
     def union_sources(self, sources: Sequence[str], tab: str | None = None) -> str:
         """Union several committed sources into the output tab.
 
@@ -1017,6 +1043,7 @@ class CopyCatSession:
         return tab_name
 
     # ------------------------------------------------------------ mediated views
+    @recorded
     def save_view(self, name: str) -> Relation:
         """Persist the current integration query as a mediated view.
 
@@ -1033,6 +1060,7 @@ class CopyCatSession:
         self.log.record(FeedbackKind.COMMIT_SOURCE, tab=self.OUTPUT_TAB, view=name)
         return relation
 
+    @recorded
     def refresh_view(self, name: str) -> Relation:
         """Re-execute a saved view over the sources' current contents."""
         try:
@@ -1080,6 +1108,7 @@ class CopyCatSession:
         load_session(self, path)
 
     # ----------------------------------------------------------------- undo
+    @recorded
     def undo(self) -> bool:
         """Undo the last checkpointed workspace interaction (§5)."""
         return self.workspace.undo()

@@ -1,0 +1,167 @@
+"""Document serialization for the action log.
+
+Replaying a ``paste`` re-runs the structure learner, and the learner
+walks real documents — a DOM tree, the containing website (for URL
+families and detail-page crawls), a spreadsheet, a text report. The log
+therefore captures the *source material* of each copy event, not just
+the copied text: enough of the document world, verbatim, that replay
+re-executes the original induction byte-for-byte.
+
+What is (and isn't) captured:
+
+- :class:`~repro.substrate.documents.dom.DomNode` trees round-trip
+  exactly (tag/attrs/text/children, parents relinked on decode);
+- :class:`~repro.substrate.documents.website.Website` serializes its
+  pages only. Form endpoints hold resolver *callables* and exist for
+  interactive navigation; no learner consults them after the copy, so
+  replay does not need them;
+- :class:`~repro.substrate.documents.spreadsheet.Sheet` /
+  :class:`Workbook` and
+  :class:`~repro.substrate.documents.textdoc.TextDocument` serialize
+  their full contents (they are plain data).
+
+Pages that live inside a serialized website are stored as ``page-ref``
+(URL only) and resolved against the rebuilt container, so the replayed
+event's ``context.document`` is a page *of* its ``context.container`` —
+the identity the drift layer's refetch path relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import CopyCatError
+from ..substrate.documents.dom import DomNode
+from ..substrate.documents.spreadsheet import CellRange, Sheet, Workbook
+from ..substrate.documents.textdoc import TextDocument
+from ..substrate.documents.website import Page, Website
+
+
+class SerializationError(CopyCatError):
+    """An action payload cannot be encoded for (or decoded from) the log."""
+
+
+# ------------------------------------------------------------------ DOM trees
+def dom_to_dict(node: DomNode) -> dict[str, Any]:
+    return {
+        "tag": node.tag,
+        "attrs": dict(node.attrs),
+        "text": node.text,
+        "children": [dom_to_dict(child) for child in node.children],
+    }
+
+
+def dom_from_dict(payload: dict[str, Any]) -> DomNode:
+    node = DomNode(
+        tag=payload["tag"], attrs=dict(payload["attrs"]), text=payload["text"]
+    )
+    for child_payload in payload["children"]:
+        child = dom_from_dict(child_payload)
+        child.parent = node
+        node.children.append(child)
+    return node
+
+
+# ------------------------------------------------------------------ documents
+def page_to_dict(page: Page) -> dict[str, Any]:
+    return {
+        "kind": "page",
+        "url": page.url,
+        "title": page.title,
+        "dom": dom_to_dict(page.dom),
+    }
+
+
+def website_to_dict(site: Website) -> dict[str, Any]:
+    return {
+        "kind": "website",
+        "base_url": site.base_url,
+        "pages": [page_to_dict(site.fetch(url)) for url in site.urls()],
+    }
+
+
+def website_from_dict(payload: dict[str, Any]) -> Website:
+    site = Website(payload["base_url"])
+    for page_payload in payload["pages"]:
+        site.add_page(
+            page_payload["url"],
+            dom_from_dict(page_payload["dom"]),
+            page_payload["title"],
+        )
+    return site
+
+
+def sheet_to_dict(sheet: Sheet) -> dict[str, Any]:
+    return {
+        "kind": "sheet",
+        "name": sheet.name,
+        "header": list(sheet.header),
+        "rows": [list(row) for row in sheet.rows()],
+    }
+
+
+def sheet_from_dict(payload: dict[str, Any]) -> Sheet:
+    sheet = Sheet(payload["name"], payload["header"] or None)
+    sheet.extend(payload["rows"])
+    return sheet
+
+
+def workbook_to_dict(book: Workbook) -> dict[str, Any]:
+    return {
+        "kind": "workbook",
+        "name": book.name,
+        "sheets": [sheet_to_dict(book.sheet(name)) for name in book.sheet_names()],
+    }
+
+
+def workbook_from_dict(payload: dict[str, Any]) -> Workbook:
+    book = Workbook(payload["name"])
+    for sheet_payload in payload["sheets"]:
+        book.add_sheet(sheet_from_dict(sheet_payload))
+    return book
+
+
+def textdoc_to_dict(doc: TextDocument) -> dict[str, Any]:
+    return {"kind": "textdoc", "name": doc.name, "text": doc.text}
+
+
+def textdoc_from_dict(payload: dict[str, Any]) -> TextDocument:
+    return TextDocument(name=payload["name"], text=payload["text"])
+
+
+# ------------------------------------------------------------------ locators
+def locator_to_dict(locator: Any) -> Any:
+    """Selection descriptors: DOM paths (nested tuples) or cell ranges."""
+    if locator is None:
+        return None
+    if isinstance(locator, CellRange):
+        return {
+            "kind": "cellrange",
+            "top": locator.top,
+            "left": locator.left,
+            "bottom": locator.bottom,
+            "right": locator.right,
+        }
+    if isinstance(locator, tuple):
+        return {
+            "kind": "path",
+            "steps": [list(step) for step in locator],
+        }
+    if isinstance(locator, (str, int, float)):
+        return {"kind": "scalar", "value": locator}
+    raise SerializationError(f"unserializable locator {type(locator).__name__}")
+
+
+def locator_from_dict(payload: Any) -> Any:
+    if payload is None:
+        return None
+    kind = payload["kind"]
+    if kind == "cellrange":
+        return CellRange(
+            payload["top"], payload["left"], payload["bottom"], payload["right"]
+        )
+    if kind == "path":
+        return tuple(tuple(step) for step in payload["steps"])
+    if kind == "scalar":
+        return payload["value"]
+    raise SerializationError(f"unknown locator kind {kind!r}")

@@ -61,6 +61,20 @@ DECLARED_COUNTERS: dict[str, str] = {
     "drift.rows_quarantined": "individual malformed rows quarantined",
     "drift.sources_quarantined": "sources quarantined wholesale",
     "drift.verifications": "extraction verifications run",
+    # -- durability (write-ahead log + checkpoint/replay) --------------------
+    "durability.actions_logged": "session actions appended to a write-ahead log",
+    "durability.checkpoints": "action histories compacted into checkpoint files",
+    "durability.log_truncations": "write-ahead logs truncated after a checkpoint",
+    "durability.sessions_recovered": "sessions rebuilt from checkpoint + log tail",
+    "durability.actions_replayed": "logged actions re-applied during recovery",
+    "durability.replay_action_errors": "replayed actions that re-raised (as originally)",
+    "durability.recovery_torn_records": "recoveries stopped at a torn final record",
+    "durability.recovery_crc_failures": "recoveries stopped at a CRC/payload mismatch",
+    "durability.recovery_truncated": "recoveries stopped at a garbage frame length",
+    "durability.recovery_seq_gaps": "log tails dropped for a sequence gap",
+    "durability.checkpoint_corrupt": "checkpoint files unreadable at recovery",
+    "durability.fsync_failures": "log/checkpoint sync failures absorbed",
+    "durability.faults_injected": "write faults injected by the seeded policy",
     # -- engine / session ---------------------------------------------------
     "engine.queries": "plans evaluated by the query engine",
     "session.columns_accepted": "column suggestions accepted",

@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from ..core.session import CopyCatSession
+from ..durability import DURABILITY, DurabilityStore, recover_session
 from ..errors import CopyCatError
 from ..obs import METRICS
 from ..util.rng import DEFAULT_SEED, seed_for
@@ -75,11 +76,21 @@ class SessionManager:
         seed: int = DEFAULT_SEED,
         session_factory: Callable[..., CopyCatSession] | None = None,
         clock: Callable[[], float] = time.monotonic,
+        durability_root: Any = None,
     ):
         self.base = base if base is not None else SharedBase()
         self.seed = seed
         self._session_factory = session_factory or self._default_factory
         self._clock = clock
+        # Durable sessions: with a root configured (argument, or the
+        # REPRO_DURABILITY_ROOT knob) and the layer enabled, every tenant
+        # session records its actions write-ahead; eviction checkpoints
+        # instead of dropping, and first attach after a restart recovers
+        # the tenant from checkpoint + log tail.
+        root = durability_root if durability_root is not None else (DURABILITY.root or None)
+        self.store: DurabilityStore | None = (
+            DurabilityStore(root) if (DURABILITY.enabled and root) else None
+        )
         self._registry: "OrderedDict[str, _Entry]" = OrderedDict()
         self._registry_lock = threading.Lock()
         self._pool: ThreadPoolExecutor | None = None
@@ -88,6 +99,7 @@ class SessionManager:
         self.sessions_created = 0
         self.sessions_evicted = 0
         self.sessions_expired = 0
+        self.sessions_checkpointed = 0
         self.requests = 0
         self.request_errors = 0
 
@@ -114,6 +126,12 @@ class SessionManager:
             session = self._session_factory(
                 catalog=self.base.fork_catalog(), seed=seed, cache_tiers=tiers
             )
+            if self.store is not None:
+                # Recover-on-attach: replay whatever this tenant's
+                # checkpoint + log tail holds (a no-op for new tenants).
+                # Runs under the registry lock so two racing first
+                # requests can never double-replay one history.
+                recover_session(session, tenant_id, self.store, seed=seed)
             now = self._clock()
             entry = _Entry(session=session, seed=seed, created=now, last_used=now)
             self._registry[tenant_id] = entry
@@ -122,6 +140,10 @@ class SessionManager:
                 _, victim = self._registry.popitem(last=False)
                 evicted.append(victim)
                 self.sessions_evicted += 1
+        for victim in evicted:
+            # Evict-through: persist before dropping (outside the lock —
+            # checkpoint writes are file IO).
+            self._checkpoint_through(victim.session)
         if METRICS.enabled:
             METRICS.inc("server.sessions_created")
             if evicted:
@@ -129,28 +151,55 @@ class SessionManager:
             METRICS.gauge("server.sessions_active", float(len(self._registry)))
         return entry
 
+    def _checkpoint_through(self, session: CopyCatSession) -> None:
+        """Persist an evicted session's history, then detach its recorder.
+
+        After detachment the (possibly still-referenced) session object
+        keeps working purely in memory — the pre-durability eviction
+        semantics — while the durable history ends cleanly at the
+        eviction point; the next attach for the tenant recovers it.
+        """
+        recorder = session.durability
+        if recorder is None or recorder.store is None:
+            return
+        recorder.checkpoint()
+        recorder.close()
+        session.durability = None
+        self.sessions_checkpointed += 1
+
     def evict(self, tenant_id: str) -> bool:
-        """Drop the tenant's session; True when one existed."""
+        """Evict the tenant's session (checkpointed first when durable);
+        True when one existed."""
         with self._registry_lock:
             entry = self._registry.pop(tenant_id, None)
             if entry is not None:
                 self.sessions_evicted += 1
-        if entry is not None and METRICS.enabled:
-            METRICS.inc("server.sessions_evicted")
-            METRICS.gauge("server.sessions_active", float(len(self._registry)))
+        if entry is not None:
+            self._checkpoint_through(entry.session)
+            if METRICS.enabled:
+                METRICS.inc("server.sessions_evicted")
+                METRICS.gauge("server.sessions_active", float(len(self._registry)))
         return entry is not None
 
     def evict_idle(self, ttl: float | None = None) -> list[str]:
-        """Expire sessions idle longer than *ttl* (``SERVER.idle_ttl``)."""
+        """Expire sessions idle longer than *ttl* (``SERVER.idle_ttl``).
+
+        Durable sessions are checkpointed through the expiry: idle-TTL
+        pressure trims memory, never user history.
+        """
         limit = SERVER.idle_ttl if ttl is None else ttl
         now = self._clock()
         expired: list[str] = []
+        victims: list[_Entry] = []
         with self._registry_lock:
             for tenant_id, entry in list(self._registry.items()):
                 if now - entry.last_used > limit:
                     del self._registry[tenant_id]
                     expired.append(tenant_id)
+                    victims.append(entry)
                     self.sessions_expired += 1
+        for entry in victims:
+            self._checkpoint_through(entry.session)
         if expired and METRICS.enabled:
             METRICS.inc("server.sessions_expired", len(expired))
             METRICS.gauge("server.sessions_active", float(len(self._registry)))
@@ -239,19 +288,25 @@ class SessionManager:
             "created": self.sessions_created,
             "evicted": self.sessions_evicted,
             "expired": self.sessions_expired,
+            "checkpointed": self.sessions_checkpointed,
             "requests": self.requests,
             "request_errors": self.request_errors,
             "tiers": self.base.tiers.stats(),
         }
 
     def shutdown(self, wait: bool = True) -> None:
-        """Drain the pool and refuse further requests."""
+        """Drain the pool, persist durable sessions, refuse further requests."""
         self._closed = True
         pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=wait)
         with self._registry_lock:
+            victims = list(self._registry.values())
             self._registry.clear()
+        for entry in victims:
+            self._checkpoint_through(entry.session)
+        if self.store is not None:
+            self.store.close()
 
     def __enter__(self) -> "SessionManager":
         return self

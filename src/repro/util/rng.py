@@ -65,6 +65,31 @@ def session_rng(*labels: str | int) -> random.Random:
     return random.Random(seed_for(*labels))
 
 
+def capture_state(rng: random.Random) -> dict:
+    """The generator's exact stream position as a JSON-able dict.
+
+    Replay (``repro.durability``) uses this to resume a stream
+    *mid-flight*: a recovered session must continue drawing the same
+    values the dead process would have, not restart the stream from its
+    seed. The payload round-trips through JSON (lists, ints, None) so it
+    can ride inside a checkpoint file.
+    """
+    version, internal, gauss_next = rng.getstate()
+    return {
+        "version": version,
+        "internal": list(internal),
+        "gauss_next": gauss_next,
+    }
+
+
+def restore_state(rng: random.Random, state: dict) -> random.Random:
+    """Position *rng* exactly where :func:`capture_state` captured it."""
+    rng.setstate(
+        (state["version"], tuple(state["internal"]), state["gauss_next"])
+    )
+    return rng
+
+
 def stable_shuffle(items: Sequence[T], seed: int | random.Random | None = None) -> list[T]:
     """Return a shuffled copy of *items* using a deterministic stream."""
     rng = make_rng(seed)
