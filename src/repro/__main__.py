@@ -67,7 +67,7 @@ def _print_observability() -> None:
     from repro.drift import drift_stats_line
     from repro.durability import durability_stats_line
     from repro.resilience import resilience_stats_line
-    from repro.server import server_stats_line
+    from repro.server import overload_stats_line, server_stats_line
     from repro.substrate.relational import columnar_stats_line
 
     print()
@@ -77,6 +77,7 @@ def _print_observability() -> None:
     print(analysis_stats_line())
     print(columnar_stats_line())
     print(server_stats_line())
+    print(overload_stats_line())
     print(durability_stats_line())
 
 

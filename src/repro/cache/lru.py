@@ -81,6 +81,26 @@ class LRUCache:
         if evicted and METRICS.enabled and self.metrics_prefix:
             METRICS.inc(self.metrics_prefix + ".evictions")
 
+    def set_capacity(self, capacity: int) -> int:
+        """Rebound the cache, trimming LRU-first; returns entries dropped.
+
+        Shrinking under memory pressure (the server's brownout mode) is an
+        eviction like any other: trimmed entries count in ``evictions``.
+        """
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be positive, got {capacity}")
+        trimmed = 0
+        with self._lock:
+            self.capacity = capacity
+            data = self._data
+            while len(data) > capacity:
+                data.popitem(last=False)
+                self.evictions += 1
+                trimmed += 1
+        if trimmed and METRICS.enabled and self.metrics_prefix:
+            METRICS.inc(self.metrics_prefix + ".evictions", trimmed)
+        return trimmed
+
     def __contains__(self, key: Hashable) -> bool:
         with self._lock:
             return key in self._data

@@ -81,6 +81,17 @@ class PlanResultCache:
     def clear(self) -> None:
         self._lru.clear()
 
+    @property
+    def capacity(self) -> int:
+        return self._lru.capacity
+
+    def set_capacity(self, capacity: int) -> int:
+        """Rebound the underlying LRU (brownout shrink); entries trimmed."""
+        trimmed = self._lru.set_capacity(capacity)
+        if METRICS.enabled:
+            METRICS.gauge("cache.plan.size", float(len(self._lru)))
+        return trimmed
+
     def stats(self) -> dict[str, int]:
         return self._lru.stats()
 

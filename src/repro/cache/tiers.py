@@ -56,6 +56,13 @@ class CacheTiers:
         self.analysis = LRUCache(ANALYSIS.memo_capacity, metrics_prefix="analysis.memo")
         self.compile = LRUCache(COLUMNAR.compile_capacity, metrics_prefix="columnar.compile")
         self.scan = LRUCache(COLUMNAR.scan_capacity, metrics_prefix="columnar.scan")
+        # Configured capacities, remembered so a brownout shrink can be
+        # undone exactly (restore() after the load controller recovers).
+        self._full_capacities = {
+            name: getattr(self, name).capacity
+            for name in ("plan", "analysis", "compile", "scan")
+        }
+        self.shrunk = False
         self._flight_master = threading.Lock()
         self._flights: dict[Hashable, tuple[threading.Lock, int]] = {}
 
@@ -89,6 +96,27 @@ class CacheTiers:
                     del self._flights[key]
                 else:
                     self._flights[key] = (lock, refs - 1)
+
+    def shrink(self, factor: int) -> int:
+        """Brownout memory headroom: divide every tier's capacity by
+        *factor* (floored at 8 entries), trimming LRU-first; idempotent
+        until :meth:`restore`. Returns entries trimmed."""
+        if self.shrunk:
+            return 0
+        self.shrunk = True
+        trimmed = 0
+        for name, full in self._full_capacities.items():
+            trimmed += getattr(self, name).set_capacity(max(8, full // max(1, factor)))
+        return trimmed
+
+    def restore(self) -> None:
+        """Undo :meth:`shrink`: configured capacities back, entries refill
+        naturally (no way to un-evict)."""
+        if not self.shrunk:
+            return
+        self.shrunk = False
+        for name, full in self._full_capacities.items():
+            getattr(self, name).set_capacity(full)
 
     def clear(self) -> None:
         """Drop every tier's entries (lifetime stats survive)."""

@@ -24,6 +24,7 @@ from ..learning.model.type_learner import SemanticTypeLearner
 from ..learning.structure.learner import StructureLearner
 from ..obs import METRICS
 from ..resilience.config import RESILIENCE
+from ..server.overload import check_deadline
 from ..substrate.documents.clipboard import CopyEvent
 from ..substrate.relational.schema import ANY
 from ..util.text import normalize
@@ -94,6 +95,9 @@ class AutoCompleteGenerator:
         base_names = set(query.output_schema(catalog).names)
         suggestions: list[ColumnSuggestion] = []
         for completion in completions:
+            # Cooperative cancellation between candidate executions: a
+            # refresh whose deadline lapsed stops before the next plan.
+            check_deadline("autocomplete.completion")
             result = self.engine.run(completion.query.plan)
             schema = result.schema
             added = completion.added_attributes

@@ -88,6 +88,10 @@ class QueryEngine:
                 METRICS.inc("resilience.degraded_results")
             return merged
 
+    def set_service_level(self, level: str) -> None:
+        """Propagate the session's brownout level into the evaluator."""
+        self._evaluator.service_level = level
+
     def explain_row(self, prov: Provenance, plan: Plan | None = None) -> Explanation:
         """The Tuple Explanation pane for one annotated answer."""
         return explain(prov, self.catalog, plan)

@@ -63,6 +63,8 @@ from ..linking.linker import LearnedLinker, LinkExample
 from ..linking.similarity import FieldPair
 from ..provenance.explain import Explanation
 from ..resilience.config import RESILIENCE
+from ..server.config import OVERLOAD
+from ..server.overload import LEVEL_DEGRADED, LEVEL_NORMAL
 from ..substrate.documents.clipboard import Clipboard, CopyEvent
 from ..substrate.relational.catalog import Catalog, SourceMetadata
 from ..substrate.relational.relation import Relation
@@ -176,6 +178,9 @@ class CopyCatSession:
         # every @recorded action below is written ahead to the tenant's
         # action log; None (the default) is the pure in-memory session.
         self.durability: SessionRecorder | None = None
+        # Overload layer: the server's load controller moves sessions between
+        # "normal" and "degraded" (brownout) service via set_service_level.
+        self.service_level: str = LEVEL_NORMAL
 
     # ------------------------------------------------------------------ linkers
     def _linker_for(self, edge: Association) -> LearnedLinker:
@@ -538,6 +543,23 @@ class CopyCatSession:
         return self._query
 
     @recorded
+    def set_service_level(self, level: str = LEVEL_NORMAL) -> str:
+        """Move the session between full and degraded (brownout) service.
+
+        Called by the server's load controller from inside the tenant's
+        serialized request stream; recorded like any other action so a
+        crash-replayed session passes through the same brownout windows and
+        reconverges bit-for-bit. Degraded sessions reuse standing suggestion
+        batches and skip dependent-join service consultations (partial,
+        rank-penalized answers via the resilience degradation path).
+        """
+        if level not in (LEVEL_NORMAL, LEVEL_DEGRADED):
+            raise FeedbackError(f"unknown service level {level!r}")
+        self.service_level = level
+        self.engine.set_service_level(level)
+        return level
+
+    @recorded
     def column_suggestions(
         self, k: int = 5, refresh: bool | None = None
     ) -> list[ColumnSuggestion]:
@@ -561,6 +583,19 @@ class CopyCatSession:
             # Same for extraction-side trust: drift history and quarantine
             # fold into edge costs before the signature is computed.
             self.integration_learner.absorb_drift_events()
+        if (
+            OVERLOAD.enabled
+            and self.service_level != LEVEL_NORMAL
+            and refresh is not True
+            and self._column_suggestions
+        ):
+            # Brownout: serve the standing batch even if its signature is
+            # stale — a slightly outdated suggestion beats a recompute that
+            # deepens the overload. refresh=True still forces one.
+            if METRICS.enabled:
+                METRICS.inc("overload.brownout_reuse")
+            METRICS.inc("session.suggestions_reused")
+            return self._column_suggestions
         signature = self._suggestions_signature(k) if CACHE.suggestions else None
         if refresh is None:
             refresh = not (

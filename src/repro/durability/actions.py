@@ -331,6 +331,16 @@ def _app_start_integration(session, payload):
     return session.start_integration(payload["source"], tab=payload["tab"])
 
 
+@_encoder("set_service_level")
+def _enc_set_service_level(session, level="normal"):
+    return {"level": level}
+
+
+@_applier("set_service_level")
+def _app_set_service_level(session, payload):
+    return session.set_service_level(payload["level"])
+
+
 @_encoder("column_suggestions")
 def _enc_column_suggestions(session, k=5, refresh=None):
     return {"k": k, "refresh": refresh}

@@ -31,6 +31,7 @@ from contextlib import contextmanager
 from typing import TYPE_CHECKING, Any, Callable
 
 from ..obs import METRICS
+from ..server.overload import shielded_deadline
 from .actions import encode_action
 from .config import DURABILITY
 
@@ -163,6 +164,11 @@ def recorded(method: Callable) -> Callable:
             return method(self, *args, **kwargs)
         payload = encode_action(name, self, args, kwargs)
         with recorder.action(name, payload):
-            return method(self, *args, **kwargs)
+            # The action is already written ahead; a cooperative deadline
+            # cancellation mid-body would leave a logged action whose
+            # effects never happened, breaking replay bit-identity. Shield
+            # the body: recorded actions run to completion once admitted.
+            with shielded_deadline():
+                return method(self, *args, **kwargs)
 
     return wrapper

@@ -137,6 +137,7 @@ def state_digest(session: "CopyCatSession") -> dict[str, Any]:
         "previewed": session._previewed,  # noqa: SLF001
         "views": session.view_names(),
         "cleaning_mode": session.cleaning_mode,
+        "service_level": session.service_level,
         "quarantine_rows": [
             (entry.source, list(entry.row), entry.reason, entry.provenance)
             for entry in session.quarantine.rows()

@@ -134,12 +134,27 @@ DECLARED_COUNTERS: dict[str, str] = {
     "server.sessions_expired": "sessions evicted by idle TTL",
     "server.requests": "requests dispatched through the session manager",
     "server.request_errors": "dispatched requests that raised",
+    "server.requests_shed": "submits refused by admission control",
+    "server.requests_stranded": "queued requests failed at manager shutdown",
+    # -- overload protection (admission control + brownout) ------------------
+    "overload.shed_queue": "submits refused with the tenant dispatch queue full",
+    "overload.shed_inflight": "submits refused at the server-wide inflight watermark",
+    "overload.shed_rate": "submits refused by the per-tenant token bucket",
+    "overload.shed_early": "submits shed by the seeded pressure ramp",
+    "overload.shed_deadline": "queued requests shed at dequeue with an expired deadline",
+    "overload.canceled": "requests aborted at a cooperative deadline checkpoint",
+    "overload.brownout_entered": "load-controller transitions into brownout",
+    "overload.brownout_exited": "load-controller recoveries out of brownout",
+    "overload.brownout_reuse": "suggestion batches served stale under brownout",
+    "overload.brownout_skips": "dependent-join service calls shed under brownout",
 }
 
 #: Gauges: last-value-wins readings.
 DECLARED_GAUGES: dict[str, str] = {
     "cache.plan.size": "current plan-result cache entry count",
     "columnar.intern.size": "strings held by the global interning pool",
+    "overload.inflight": "admitted requests currently queued or running",
+    "overload.level": "brownout level (0 normal, 1 degraded)",
     "server.sessions_active": "sessions currently registered with the manager",
     "text.normalize.eviction_rate": "normalize() memo evictions per miss",
 }
@@ -148,6 +163,7 @@ DECLARED_GAUGES: dict[str, str] = {
 DECLARED_HISTOGRAMS: dict[str, str] = {
     "engine.run_ms": "plan evaluation wall time",
     "mira.tau": "MIRA update step sizes",
+    "overload.queue_wait_ms": "admission-to-execution wait per pooled request",
     "server.request_ms": "per-request wall time through the session manager",
     "service.*.latency_ms": "backend latency per service",
     "session.column_suggestions_ms": "column-suggestion batch wall time",

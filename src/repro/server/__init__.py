@@ -4,46 +4,96 @@ The paper's Smart Copy & Paste vision is an *interactive service* — many
 users simultaneously pasting, accepting, and resyncing. This package turns
 the single-session library into that shape:
 
-- :mod:`~repro.server.config` — the :data:`SERVER` switch set
-  (``REPRO_SERVER=0`` reproduces single-session behavior exactly);
+- :mod:`~repro.server.config` — the :data:`SERVER` and :data:`OVERLOAD`
+  switch sets (``REPRO_SERVER=0`` reproduces single-session behavior
+  exactly; ``REPRO_OVERLOAD=0`` reproduces unprotected dispatch);
 - :mod:`~repro.server.base` — :class:`SharedBase`: the frozen base catalog
   plus the shared cache-tier bundle every tenant's evaluator consults;
 - :mod:`~repro.server.manager` — :class:`SessionManager`: session registry
   and lifecycle (create / touch / LRU-evict / idle-TTL-expire) over a
   bounded worker pool, per-session FIFO dispatch, per-tenant deterministic
-  seeding.
+  seeding;
+- :mod:`~repro.server.overload` — admission control (bounded queues,
+  inflight watermark, token buckets, seeded shed ramp), request deadlines
+  with cooperative cancellation, deficit-round-robin fairness, and the
+  brownout load controller.
 
 Tenant isolation model: the base catalog is frozen (mutation raises);
 each tenant works on a copy-on-write fork carrying its own trust weights,
 MIRA weights, workspace, and drift ledger; shared cache tiers key entries
 on ``(cache scope, fingerprint, version)``, so pristine forks share warm
 entries and diverged forks silently stop colliding.
+
+Import shape: :mod:`.config` and :mod:`.overload` load eagerly (they sit
+*below* the core session — the evaluator, autocomplete, and durability
+recorder import deadline checkpoints from here), while :class:`SharedBase`
+and :class:`SessionManager` resolve lazily on first attribute access —
+importing them eagerly would cycle back through ``core.session``.
 """
 
 from __future__ import annotations
 
-from .base import SharedBase
-from .config import SERVER, ServerConfig
-from .manager import SessionError, SessionManager
+from importlib import import_module
+
+from .config import OVERLOAD, SERVER, OverloadConfig, ServerConfig
+from .overload import (
+    LoadController,
+    Overloaded,
+    RequestExpired,
+    SessionError,
+    ShedPolicy,
+    TokenBucket,
+    check_deadline,
+    current_deadline,
+    deadline_scope,
+    overload_stats_line,
+    shielded_deadline,
+)
 
 __all__ = [
+    "LoadController",
+    "OVERLOAD",
+    "Overloaded",
+    "OverloadConfig",
+    "RequestExpired",
     "SERVER",
     "ServerConfig",
     "SessionError",
     "SessionManager",
     "SharedBase",
+    "ShedPolicy",
+    "TokenBucket",
+    "check_deadline",
+    "current_deadline",
+    "deadline_scope",
+    "overload_stats_line",
     "server_stats_line",
+    "shielded_deadline",
 ]
 
+#: Heavyweight names resolved lazily (they import core.session).
+_LAZY = {"SharedBase": ".base", "SessionManager": ".manager"}
 
-def server_stats_line(manager: SessionManager | None = None, metrics=None) -> str:
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(import_module(module_name, __name__), name)
+    globals()[name] = value
+    return value
+
+
+def server_stats_line(manager=None, metrics=None) -> str:
     """One-line summary of server activity (``--trace`` output)."""
     if manager is not None:
         stats = manager.stats()
+        shed = stats["overload"]["shed"]
         return (
             f"server: {stats['active']} active · {stats['created']} created · "
             f"{stats['evicted']} evicted · {stats['expired']} expired · "
-            f"{stats['requests']} requests ({stats['request_errors']} errors)"
+            f"{stats['requests']} requests ({stats['request_errors']} errors, "
+            f"{shed} shed)"
         )
     from ..obs import METRICS
 
@@ -53,11 +103,12 @@ def server_stats_line(manager: SessionManager | None = None, metrics=None) -> st
     expired = int(m.counter_value("server.sessions_expired"))
     requests = int(m.counter_value("server.requests"))
     errors = int(m.counter_value("server.request_errors"))
+    shed = int(m.counter_value("server.requests_shed"))
     active = m.gauge_value("server.sessions_active")
     line = (
         f"server: {int(active) if active is not None else 0} active · "
         f"{created} created · {evicted} evicted · {expired} expired · "
-        f"{requests} requests ({errors} errors)"
+        f"{requests} requests ({errors} errors, {shed} shed)"
     )
     if not SERVER.enabled:
         line += " · disabled"

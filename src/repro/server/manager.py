@@ -22,12 +22,23 @@ concurrently on a bounded worker pool:
   :func:`repro.util.rng.seed_for` over ``(manager seed, tenant id)``,
   which depends on *labels only* — never on creation order or thread
   scheduling — so a tenant's outputs are reproducible regardless of which
-  other tenants run beside it.
+  other tenants run beside it;
+- **overload protection** (:mod:`repro.server.overload`) — admission
+  control sheds a submit past the per-tenant queue bound, the server-wide
+  inflight watermark, or the tenant's token bucket with a typed
+  :class:`~repro.server.overload.Overloaded`; ``submit(deadline_ms=...)``
+  attaches a :class:`~repro.resilience.retry.Deadline` that is checked at
+  dequeue (expired requests shed without running) and at cooperative
+  checkpoints inside evaluation; the drain yields its worker every
+  ``OVERLOAD.drr_quantum`` requests so one backlogged tenant cannot hold
+  a worker hostage; and a :class:`~repro.server.overload.LoadController`
+  flips sessions into brownout under sustained pressure.
 
 With ``REPRO_SERVER=0`` (:data:`~repro.server.config.SERVER` disabled) the
 manager keeps the same API but runs every request inline on the calling
 thread with *private* per-session cache tiers — pre-server behavior,
-exactly.
+exactly. With ``REPRO_OVERLOAD=0`` dispatch is the unprotected PR-7/8
+server bit-for-bit.
 """
 
 from __future__ import annotations
@@ -41,15 +52,39 @@ from typing import Any, Callable
 
 from ..core.session import CopyCatSession
 from ..durability import DURABILITY, DurabilityStore, recover_session
-from ..errors import CopyCatError
 from ..obs import METRICS
+from ..resilience.retry import Deadline
 from ..util.rng import DEFAULT_SEED, seed_for
 from .base import SharedBase
-from .config import SERVER
+from .config import OVERLOAD, SERVER
+from .overload import (
+    LEVEL_NORMAL,
+    LoadController,
+    Overloaded,
+    RequestExpired,
+    SessionError,
+    ShedPolicy,
+    TokenBucket,
+    deadline_scope,
+)
+
+__all__ = ["SessionError", "SessionManager"]
+
+#: Admission-shed reasons tracked per manager (and as overload.shed_*).
+_SHED_REASONS = ("queue", "inflight", "rate", "early")
 
 
-class SessionError(CopyCatError):
-    """Raised for session-manager lifecycle misuse (unknown/closed state)."""
+@dataclass
+class _Request:
+    """One queued dispatch: the work, its future, and admission metadata."""
+
+    fn: Callable[[CopyCatSession], Any]
+    future: "Future[Any]"
+    deadline: Deadline | None = None
+    enqueued: float = 0.0
+    #: True when admission counted this request against the inflight
+    #: watermark (pooled dispatch only) — it must be released exactly once.
+    tracked: bool = False
 
 
 @dataclass
@@ -60,10 +95,19 @@ class _Entry:
     seed: int
     created: float
     last_used: float
+    tenant_id: str = ""
     lock: threading.Lock = field(default_factory=threading.Lock)
     queue: deque = field(default_factory=deque)
     #: True while a drain task for this session is live on the pool.
     scheduled: bool = False
+    #: deficit-round-robin credit for the current drain turn.
+    deficit: int = 0
+    #: monotonically increasing admission attempt index (seeded shed draws).
+    submit_index: int = 0
+    #: per-tenant token bucket (lazily built while OVERLOAD.rate > 0).
+    bucket: TokenBucket | None = None
+    #: service level last applied to the session (brownout laziness).
+    applied_level: str = LEVEL_NORMAL
 
 
 class SessionManager:
@@ -95,13 +139,26 @@ class SessionManager:
         self._registry_lock = threading.Lock()
         self._pool: ThreadPoolExecutor | None = None
         self._closed = False
-        # Lifetime counters (always on; mirrored into METRICS when enabled).
+        # Overload protection: seeded shed draws and the brownout
+        # controller are per-manager (one server, one load picture).
+        self._shed_policy = ShedPolicy(OVERLOAD.shed_seed)
+        self._controller = LoadController()
+        # Lifetime counters (always on; mirrored into METRICS when
+        # enabled), guarded by one mutex so stats() reads are coherent
+        # under concurrent workers — `+=` is not atomic across threads.
+        self._counters_lock = threading.Lock()
+        self._inflight = 0
         self.sessions_created = 0
         self.sessions_evicted = 0
         self.sessions_expired = 0
         self.sessions_checkpointed = 0
         self.requests = 0
         self.request_errors = 0
+        self.requests_shed = 0
+        self.requests_expired = 0
+        self.requests_canceled = 0
+        self.requests_stranded = 0
+        self.shed_reasons = {reason: 0 for reason in _SHED_REASONS}
 
     # -- session lifecycle ---------------------------------------------------
     def _default_factory(self, *, catalog, seed, cache_tiers) -> CopyCatSession:
@@ -133,13 +190,21 @@ class SessionManager:
                 # requests can never double-replay one history.
                 recover_session(session, tenant_id, self.store, seed=seed)
             now = self._clock()
-            entry = _Entry(session=session, seed=seed, created=now, last_used=now)
+            entry = _Entry(
+                session=session,
+                seed=seed,
+                created=now,
+                last_used=now,
+                tenant_id=tenant_id,
+            )
             self._registry[tenant_id] = entry
-            self.sessions_created += 1
+            with self._counters_lock:
+                self.sessions_created += 1
             while len(self._registry) > max(1, SERVER.max_sessions):
                 _, victim = self._registry.popitem(last=False)
                 evicted.append(victim)
-                self.sessions_evicted += 1
+                with self._counters_lock:
+                    self.sessions_evicted += 1
         for victim in evicted:
             # Evict-through: persist before dropping (outside the lock —
             # checkpoint writes are file IO).
@@ -165,7 +230,8 @@ class SessionManager:
         recorder.checkpoint()
         recorder.close()
         session.durability = None
-        self.sessions_checkpointed += 1
+        with self._counters_lock:
+            self.sessions_checkpointed += 1
 
     def evict(self, tenant_id: str) -> bool:
         """Evict the tenant's session (checkpointed first when durable);
@@ -173,7 +239,8 @@ class SessionManager:
         with self._registry_lock:
             entry = self._registry.pop(tenant_id, None)
             if entry is not None:
-                self.sessions_evicted += 1
+                with self._counters_lock:
+                    self.sessions_evicted += 1
         if entry is not None:
             self._checkpoint_through(entry.session)
             if METRICS.enabled:
@@ -197,7 +264,8 @@ class SessionManager:
                     del self._registry[tenant_id]
                     expired.append(tenant_id)
                     victims.append(entry)
-                    self.sessions_expired += 1
+                    with self._counters_lock:
+                        self.sessions_expired += 1
         for entry in victims:
             self._checkpoint_through(entry.session)
         if expired and METRICS.enabled:
@@ -205,35 +273,131 @@ class SessionManager:
             METRICS.gauge("server.sessions_active", float(len(self._registry)))
         return expired
 
+    # -- admission control ---------------------------------------------------
+    @property
+    def inflight(self) -> int:
+        """Admitted requests not yet finished (queued + running)."""
+        with self._counters_lock:
+            return self._inflight
+
+    def queue_depths(self) -> dict[str, int]:
+        """Current dispatch-queue length per tenant (introspection)."""
+        with self._registry_lock:
+            return {tenant: len(entry.queue) for tenant, entry in self._registry.items()}
+
+    def _shed(self, reason: str, tenant_id: str, retry_after_ms: float, detail: str):
+        with self._counters_lock:
+            self.requests_shed += 1
+            self.shed_reasons[reason] += 1
+        if METRICS.enabled:
+            METRICS.inc(f"overload.shed_{reason}")
+            METRICS.inc("server.requests_shed")
+        raise Overloaded(
+            f"request for {tenant_id!r} shed ({reason}): {detail}",
+            reason=reason,
+            retry_after_ms=max(1.0, retry_after_ms),
+            tenant=tenant_id,
+        )
+
+    def _admit(self, entry: _Entry) -> None:
+        """Fail fast (typed, with a retry hint) instead of queueing forever."""
+        cfg = OVERLOAD
+        tenant_id = entry.tenant_id
+        now = self._clock()
+        depth_limit = max(1, cfg.queue_depth)
+        with entry.lock:
+            entry.submit_index += 1
+            index = entry.submit_index
+            depth = len(entry.queue)
+            if cfg.rate > 0:
+                bucket = entry.bucket
+                if bucket is None or bucket.rate != cfg.rate:
+                    bucket = entry.bucket = TokenBucket(cfg.rate, cfg.burst, now)
+                admitted_by_bucket = bucket.try_acquire(now)
+                bucket_retry = bucket.retry_after_ms()
+            else:
+                admitted_by_bucket, bucket_retry = True, 0.0
+        if not admitted_by_bucket:
+            self._shed("rate", tenant_id, bucket_retry, f"token bucket empty at {cfg.rate:g}/s")
+        if depth >= depth_limit:
+            retry = cfg.retry_after_ms * (1.0 + depth / depth_limit)
+            self._shed("queue", tenant_id, retry, f"dispatch queue at {depth}/{depth_limit}")
+        inflight = self.inflight
+        limit = max(1, cfg.max_inflight)
+        if inflight >= limit:
+            self._shed(
+                "inflight", tenant_id, cfg.retry_after_ms * 2.0,
+                f"server inflight at {inflight}/{limit}",
+            )
+        pressure = inflight / limit
+        if self._shed_policy.should_shed(tenant_id, index, pressure, cfg.shed_soft):
+            self._shed(
+                "early", tenant_id, cfg.retry_after_ms,
+                f"seeded ramp at pressure {pressure:.2f} (soft {cfg.shed_soft:g})",
+            )
+
     # -- dispatch ------------------------------------------------------------
-    def submit(self, tenant_id: str, fn: Callable[[CopyCatSession], Any]) -> "Future[Any]":
+    def submit(
+        self,
+        tenant_id: str,
+        fn: Callable[[CopyCatSession], Any],
+        *,
+        deadline_ms: float | None = None,
+    ) -> "Future[Any]":
         """Run ``fn(session)`` for the tenant; returns a Future.
 
         Requests for one tenant execute FIFO (a session is single-threaded
         state); requests across tenants run concurrently on the pool. With
         the server disabled, the call runs inline on the calling thread and
         the returned future is already resolved.
+
+        ``deadline_ms`` (overload layer on) starts the request's budget
+        *now* — queue wait included. An expired request is shed at dequeue
+        without running; one that expires mid-run aborts at the next
+        cooperative checkpoint. Either way the future raises
+        :class:`~repro.server.overload.RequestExpired`. A submit refused
+        by admission control raises
+        :class:`~repro.server.overload.Overloaded` synchronously.
         """
         entry = self._entry(tenant_id)
-        self.requests += 1
-        if METRICS.enabled:
-            METRICS.inc("server.requests")
+        protected = OVERLOAD.enabled
+        deadline = (
+            Deadline(deadline_ms, clock=self._clock)
+            if (protected and deadline_ms is not None)
+            else None
+        )
         future: "Future[Any]" = Future()
         if not SERVER.enabled:
-            self._execute(entry, fn, future)
+            with self._counters_lock:
+                self.requests += 1
+            if METRICS.enabled:
+                METRICS.inc("server.requests")
+            self._execute(entry, _Request(fn=fn, future=future, deadline=deadline))
             return future
+        if protected:
+            self._admit(entry)
+        with self._counters_lock:
+            self.requests += 1
+            self._inflight += 1
+        if METRICS.enabled:
+            METRICS.inc("server.requests")
+            METRICS.gauge("overload.inflight", float(self.inflight))
+        request = _Request(
+            fn=fn, future=future, deadline=deadline,
+            enqueued=self._clock(), tracked=True,
+        )
         with entry.lock:
-            entry.queue.append((fn, future))
+            entry.queue.append(request)
             schedule = not entry.scheduled
             if schedule:
                 entry.scheduled = True
         if schedule:
-            self._executor().submit(self._drain, entry)
+            self._schedule_drain(entry)
         return future
 
-    def call(self, tenant_id: str, fn: Callable[[CopyCatSession], Any]) -> Any:
+    def call(self, tenant_id: str, fn: Callable[[CopyCatSession], Any], **kwargs) -> Any:
         """Synchronous :meth:`submit`: dispatch and wait for the result."""
-        return self.submit(tenant_id, fn).result()
+        return self.submit(tenant_id, fn, **kwargs).result()
 
     def _executor(self) -> ThreadPoolExecutor:
         if self._pool is None:
@@ -245,30 +409,213 @@ class SessionManager:
                     )
         return self._pool
 
+    def _schedule_drain(self, entry: _Entry) -> None:
+        """Put a drain turn for *entry* on the pool, surviving a closing pool.
+
+        A submit racing :meth:`shutdown` can see the executor already
+        closed; the queued requests are failed right here (the caller
+        would otherwise block on futures nothing will ever run).
+        """
+        try:
+            self._executor().submit(self._drain, entry)
+        except RuntimeError:
+            with entry.lock:
+                entry.scheduled = False
+            self._strand_queue(entry)
+
     def _drain(self, entry: _Entry) -> None:
-        """Worker task: run the session's queued requests FIFO, then park."""
+        """Worker task: run queued requests FIFO, then park — or, with the
+        overload layer on, yield the worker after ``drr_quantum`` requests
+        and requeue itself so other tenants' drains interleave (deficit
+        round-robin; the pool's FIFO makes the rotation fair)."""
+        quantum = OVERLOAD.drr_quantum if OVERLOAD.enabled else 0
+        if quantum > 0:
+            entry.deficit += quantum
         while True:
             with entry.lock:
                 if not entry.queue:
                     entry.scheduled = False
+                    entry.deficit = 0
                     return
-                fn, future = entry.queue.popleft()
-            self._execute(entry, fn, future)
-
-    def _execute(self, entry: _Entry, fn, future: "Future[Any]") -> None:
-        if not future.set_running_or_notify_cancel():
-            return
-        entry.last_used = self._clock()
-        with METRICS.timer("server.request_ms"):
+                if quantum > 0 and entry.deficit <= 0:
+                    request = None
+                else:
+                    request = entry.queue.popleft()
+            if request is None:
+                # Quantum spent with work left: go to the back of the line.
+                self._schedule_drain(entry)
+                return
+            if (
+                OVERLOAD.enabled
+                and request.deadline is not None
+                and request.deadline.expired
+            ):
+                self._shed_expired(entry, request)
+                continue
+            entry.deficit -= 1
             try:
-                result = fn(entry.session)
-            except BaseException as exc:
-                self.request_errors += 1
-                if METRICS.enabled:
-                    METRICS.inc("server.request_errors")
-                future.set_exception(exc)
-            else:
-                future.set_result(result)
+                self._execute(entry, request)
+            except BaseException:
+                # A KeyboardInterrupt/SystemExit re-raised by _execute ends
+                # this drain task. Leave the queue to a fresh one (or park
+                # cleanly) — otherwise `scheduled` stays True forever and
+                # the tenant's later requests are never dispatched.
+                with entry.lock:
+                    reschedule = bool(entry.queue)
+                    if not reschedule:
+                        entry.scheduled = False
+                        entry.deficit = 0
+                if reschedule:
+                    self._schedule_drain(entry)
+                raise
+
+    def _shed_expired(self, entry: _Entry, request: _Request) -> None:
+        """Drop a request whose deadline ran out while it waited in queue.
+
+        The work never runs — and for durable sessions therefore never
+        reaches the write-ahead log: a shed is invisible to replay.
+        """
+        with self._counters_lock:
+            self.requests_expired += 1
+        if METRICS.enabled:
+            METRICS.inc("overload.shed_deadline")
+        if request.future.set_running_or_notify_cancel():
+            request.future.set_exception(
+                RequestExpired(
+                    f"deadline of {request.deadline.budget_ms:g}ms expired "
+                    f"before dispatch for {entry.tenant_id!r}",
+                    checkpoint="dequeue",
+                    retry_after_ms=max(1.0, OVERLOAD.retry_after_ms),
+                    tenant=entry.tenant_id,
+                )
+            )
+        self._request_done(request)
+
+    def _strand_queue(self, entry: _Entry) -> int:
+        """Fail every request still queued for *entry* (shutdown path).
+
+        Pops one-at-a-time under the entry lock so a drain racing the
+        shutdown and this loop each resolve a disjoint set of futures.
+        """
+        stranded = 0
+        while True:
+            with entry.lock:
+                if not entry.queue:
+                    break
+                request = entry.queue.popleft()
+            if request.future.set_running_or_notify_cancel():
+                request.future.set_exception(
+                    SessionError(
+                        f"session manager shut down with the request for "
+                        f"{entry.tenant_id!r} still queued"
+                    )
+                )
+                stranded += 1
+            self._request_done(request)
+        if stranded:
+            with self._counters_lock:
+                self.requests_stranded += stranded
+            if METRICS.enabled:
+                METRICS.inc("server.requests_stranded", stranded)
+        return stranded
+
+    def _request_done(self, request: _Request) -> None:
+        """Release the request's inflight slot (exactly once per request)."""
+        if not request.tracked:
+            return
+        request.tracked = False
+        with self._counters_lock:
+            self._inflight -= 1
+        if METRICS.enabled:
+            METRICS.gauge("overload.inflight", float(self.inflight))
+
+    def _touch(self, entry: _Entry) -> None:
+        """Refresh the entry's recency *and* its LRU position, atomically.
+
+        Both under the registry lock: updating ``last_used`` without
+        ``move_to_end`` (or off the lock) lets eviction order disagree
+        with actual recency — the busiest tenant could be the LRU victim.
+        """
+        with self._registry_lock:
+            entry.last_used = self._clock()
+            if self._registry.get(entry.tenant_id) is entry:
+                self._registry.move_to_end(entry.tenant_id)
+
+    def _apply_service_level(self, entry: _Entry) -> None:
+        """Lazily align the session with the controller's level.
+
+        Runs on the worker inside the tenant's serialized stream, and
+        ``set_service_level`` is a *recorded* session action — so a
+        durable session's brownout window replays exactly where it
+        happened in its history.
+        """
+        level = self._controller.level
+        if entry.applied_level == level:
+            return
+        entry.applied_level = level
+        entry.session.set_service_level(level)
+
+    def _execute(self, entry: _Entry, request: _Request) -> None:
+        fn, future = request.fn, request.future
+        if not future.set_running_or_notify_cancel():
+            self._request_done(request)
+            return
+        self._touch(entry)
+        protected = OVERLOAD.enabled and SERVER.enabled
+        started = self._clock()
+        if protected:
+            if METRICS.enabled and request.tracked:
+                METRICS.observe(
+                    "overload.queue_wait_ms", (started - request.enqueued) * 1000.0
+                )
+            self._apply_service_level(entry)
+        try:
+            with METRICS.timer("server.request_ms"):
+                try:
+                    with deadline_scope(request.deadline):
+                        result = fn(entry.session)
+                except RequestExpired as exc:
+                    # Cooperative cancellation, not a bug in the request:
+                    # counted apart from request_errors.
+                    with self._counters_lock:
+                        self.requests_canceled += 1
+                    future.set_exception(exc)
+                except BaseException as exc:
+                    with self._counters_lock:
+                        self.request_errors += 1
+                    if METRICS.enabled:
+                        METRICS.inc("server.request_errors")
+                    future.set_exception(exc)
+                    if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                        # The caller gets the exception through the future,
+                        # but a worker must not swallow interpreter-exit
+                        # signals (the REPRO003 posture services take).
+                        raise
+                else:
+                    future.set_result(result)
+        finally:
+            self._request_done(request)
+            if protected:
+                self._observe_load(started)
+
+    def _observe_load(self, started: float) -> None:
+        """Feed the brownout controller; act on a level transition."""
+        latency_ms = (self._clock() - started) * 1000.0
+        pressure = min(1.0, self.inflight / max(1, OVERLOAD.max_inflight))
+        change = self._controller.observe(latency_ms, pressure)
+        if change == "enter":
+            # Brownout: shrink the shared tiers for memory headroom;
+            # sessions pick the degraded level up lazily on their next
+            # request (inside their serialized streams).
+            self.base.tiers.shrink(OVERLOAD.brownout_shrink)
+            if METRICS.enabled:
+                METRICS.inc("overload.brownout_entered")
+                METRICS.gauge("overload.level", 1.0)
+        elif change == "exit":
+            self.base.tiers.restore()
+            if METRICS.enabled:
+                METRICS.inc("overload.brownout_exited")
+                METRICS.gauge("overload.level", 0.0)
 
     # -- introspection / shutdown ---------------------------------------------
     def tenant_ids(self) -> list[str]:
@@ -283,19 +630,40 @@ class SessionManager:
         """Lifecycle counters plus the shared tier bundle's cache stats."""
         with self._registry_lock:
             active = len(self._registry)
+        with self._counters_lock:
+            counters = {
+                "created": self.sessions_created,
+                "evicted": self.sessions_evicted,
+                "expired": self.sessions_expired,
+                "checkpointed": self.sessions_checkpointed,
+                "requests": self.requests,
+                "request_errors": self.request_errors,
+            }
+            overload = {
+                "shed": self.requests_shed,
+                "shed_reasons": dict(self.shed_reasons),
+                "expired": self.requests_expired,
+                "canceled": self.requests_canceled,
+                "stranded": self.requests_stranded,
+                "inflight": self._inflight,
+            }
+        overload["level"] = self._controller.level
+        overload["brownout_entered"] = self._controller.entered
+        overload["brownout_exited"] = self._controller.exited
         return {
             "active": active,
-            "created": self.sessions_created,
-            "evicted": self.sessions_evicted,
-            "expired": self.sessions_expired,
-            "checkpointed": self.sessions_checkpointed,
-            "requests": self.requests,
-            "request_errors": self.request_errors,
+            **counters,
+            "overload": overload,
             "tiers": self.base.tiers.stats(),
         }
 
     def shutdown(self, wait: bool = True) -> None:
-        """Drain the pool, persist durable sessions, refuse further requests."""
+        """Drain the pool, persist durable sessions, refuse further requests.
+
+        Requests still queued when the pool stops are *stranded*: each is
+        failed with :class:`SessionError` so callers blocked in
+        ``.result()`` wake up instead of hanging forever.
+        """
         self._closed = True
         pool, self._pool = self._pool, None
         if pool is not None:
@@ -303,6 +671,8 @@ class SessionManager:
         with self._registry_lock:
             victims = list(self._registry.values())
             self._registry.clear()
+        for entry in victims:
+            self._strand_queue(entry)
         for entry in victims:
             self._checkpoint_through(entry.session)
         if self.store is not None:

@@ -45,6 +45,8 @@ from ...errors import EvaluationError, ServiceLookupFailed
 from ...obs import METRICS
 from ...provenance.expressions import Provenance, Var, plus, times
 from ...resilience.degrade import Degradation, degraded_source
+from ...server.config import OVERLOAD
+from ...server.overload import LEVEL_NORMAL, check_deadline
 from .algebra import (
     DependentJoin,
     Distinct,
@@ -166,6 +168,10 @@ class Evaluator:
         # Service failures absorbed during the current run() (graceful
         # degradation); attached to the Result and reset per run.
         self._degraded: list[Degradation] = []
+        # Brownout service level, propagated from the owning session
+        # (set_service_level): "degraded" sheds dependent-join backend
+        # calls through the same null-padded degradation path above.
+        self.service_level = LEVEL_NORMAL
         # Snapshot isolation: run() pins the catalog version and cache scope
         # once, so every cache probe inside one evaluation addresses the
         # same snapshot even if another thread bumps the catalog mid-run.
@@ -182,6 +188,7 @@ class Evaluator:
         return scope if scope is not None else self.catalog.cache_scope
 
     def run(self, plan: Plan) -> Result:
+        check_deadline("evaluator.run")
         schema = plan.output_schema(self.catalog)
         self._degraded = []
         self._run_version = self.catalog.version
@@ -221,6 +228,9 @@ class Evaluator:
 
     # -- dispatch -----------------------------------------------------------
     def _eval(self, plan: Plan) -> Iterable[AnnotatedRow]:
+        # Cooperative cancellation, once per plan node: an expired request
+        # deadline stops consuming the worker at the next node boundary.
+        check_deadline("evaluator.node")
         kind = type(plan).__name__
         method = getattr(self, f"_eval_{kind.lower()}", None)
         if method is None:
@@ -345,7 +355,13 @@ class Evaluator:
         seen: dict[tuple[Any, ...], list[tuple[list[Any], Any]]] = {}
         output_names = service.output_names
         null_outputs = [None] * len(output_names)
+        # Brownout: shed every backend call through the degradation branch
+        # below — a fast, rank-penalized partial answer instead of a queue
+        # of service round-trips. The level cannot change mid-run (it is
+        # set between requests inside the tenant's serialized stream).
+        browned_out = OVERLOAD.enabled and self.service_level != LEVEL_NORMAL
         for row, prov in self._eval(plan.child):
+            check_deadline("evaluator.dependent_join")
             inputs = {svc_input: row[child_attr] for svc_input, child_attr in input_map.items()}
             if any(value is None for value in inputs.values()):
                 continue
@@ -356,6 +372,14 @@ class Evaluator:
                 binding, expansions = None, None
             if expansions is None:
                 try:
+                    if browned_out:
+                        if METRICS.enabled:
+                            METRICS.inc("overload.brownout_skips")
+                        raise ServiceLookupFailed(
+                            f"service {plan.service!r} not consulted under brownout",
+                            service=plan.service,
+                            transient=True,
+                        )
                     invoked = service.invoke(inputs)
                 except ServiceLookupFailed as exc:
                     # Graceful degradation: keep the row, null the service
@@ -803,7 +827,13 @@ class ColumnarEngine:
             out_cols: list[list[Any]] = [[] for _ in output_names]
             provs: list[Provenance] = []
             child_provs = batch.provs
+            # Mirrors the row path: brownout sheds calls into degradation,
+            # and the deadline is polled every 64 rows (cheap enough for
+            # the batch loop, fine-grained enough to stop abandoned work).
+            browned_out = OVERLOAD.enabled and ev.service_level != LEVEL_NORMAL
             for i in range(batch.n_rows):
+                if not i & 63:
+                    check_deadline("evaluator.dependent_join")
                 inputs = {name: col[i] for name, col in input_cols}
                 if any(value is None for value in inputs.values()):
                     continue
@@ -814,6 +844,15 @@ class ColumnarEngine:
                     binding, expansions = None, None
                 if expansions is None:
                     try:
+                        if browned_out:
+                            if METRICS.enabled:
+                                METRICS.inc("overload.brownout_skips")
+                            raise ServiceLookupFailed(
+                                f"service {service_name!r} not consulted "
+                                "under brownout",
+                                service=service_name,
+                                transient=True,
+                            )
                         invoked = service.invoke(inputs)
                     except ServiceLookupFailed as exc:
                         ev._degraded.append(

@@ -18,12 +18,21 @@ Contracts under test:
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro import CopyCatSession
 from repro.cache.tiers import CacheTiers
 from repro.errors import CatalogError
-from repro.server import SERVER, SessionError, SessionManager, SharedBase, server_stats_line
+from repro.server import (
+    OVERLOAD,
+    SERVER,
+    SessionError,
+    SessionManager,
+    SharedBase,
+    server_stats_line,
+)
 from repro.substrate.relational import Catalog, Relation, Scan, schema_of
 from repro.util.rng import seed_for
 
@@ -196,6 +205,163 @@ class TestDispatch:
             assert stats["active"] == 1
             assert stats["created"] == 1
             assert "plan" in stats["tiers"]
+
+
+class TestDispatchEdgeCases:
+    def _blocked(self, manager, tenant="a"):
+        """Submit a request that blocks its worker until released."""
+        entered, release = threading.Event(), threading.Event()
+
+        def gate(session):
+            entered.set()
+            release.wait(timeout=10.0)
+            return "gated"
+
+        future = manager.submit(tenant, gate)
+        assert entered.wait(timeout=5.0)
+        return future, release
+
+    def test_cancel_before_run_skips_the_work(self):
+        ran = []
+        with SERVER.overridden(enabled=True, workers=1):
+            with SessionManager(SharedBase(small_catalog())) as manager:
+                blocked, release = self._blocked(manager)
+                doomed = manager.submit("a", lambda s: ran.append(True))
+                trailing = manager.submit("a", lambda s: "after")
+                assert doomed.cancel()  # still queued: cancellable
+                release.set()
+                assert blocked.result(timeout=5.0) == "gated"
+                assert trailing.result(timeout=5.0) == "after"
+                assert doomed.cancelled()
+                assert ran == []  # the cancelled body never ran
+                assert manager.inflight == 0  # its admission slot released
+
+    def test_submit_after_shutdown_raises_not_hangs(self):
+        manager = SessionManager(SharedBase(small_catalog()))
+        manager.call("a", lambda s: None)
+        manager.shutdown()
+        with pytest.raises(SessionError):
+            manager.submit("a", lambda s: None)
+        with pytest.raises(SessionError):
+            manager.call("a", lambda s: None)
+
+    def test_shutdown_strands_queued_futures(self):
+        """Futures still queued when the pool stops must fail, not hang."""
+        with SERVER.overridden(enabled=True, workers=1):
+            manager = SessionManager(SharedBase(small_catalog()))
+            blocked, release = self._blocked(manager)
+            queued = [manager.submit("a", lambda s: "never") for _ in range(3)]
+            # wait=False: the pool stops accepting work; the gate is still
+            # holding the only worker, so the queued requests are orphaned.
+            shutdown_done = threading.Event()
+
+            def do_shutdown():
+                manager.shutdown(wait=False)
+                shutdown_done.set()
+
+            threading.Thread(target=do_shutdown, daemon=True).start()
+            assert shutdown_done.wait(timeout=5.0)
+            release.set()
+            assert blocked.result(timeout=5.0) == "gated"
+            for future in queued:
+                with pytest.raises(SessionError, match="shut down"):
+                    future.result(timeout=5.0)
+            assert manager.requests_stranded == 3
+
+    def test_racing_submits_never_double_drain(self):
+        """8 threads submitting to one tenant: every request runs exactly
+        once, FIFO per submitting thread, with a coherent final count."""
+        with SERVER.overridden(enabled=True, workers=4), OVERLOAD.overridden(
+            queue_depth=1000
+        ):
+            with SessionManager(SharedBase(small_catalog())) as manager:
+                seen: list[tuple[int, int]] = []
+                barrier = threading.Barrier(8)
+                futures_by_thread: dict[int, list] = {}
+
+                def flood(thread_id):
+                    barrier.wait()
+                    futures_by_thread[thread_id] = [
+                        manager.submit(
+                            "a", lambda s, t=thread_id, i=i: seen.append((t, i))
+                        )
+                        for i in range(25)
+                    ]
+
+                threads = [
+                    threading.Thread(target=flood, args=(t,)) for t in range(8)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join(timeout=10.0)
+                for futures in futures_by_thread.values():
+                    for future in futures:
+                        future.result(timeout=10.0)
+                assert len(seen) == 200  # exactly once each
+                for thread_id in range(8):
+                    mine = [i for t, i in seen if t == thread_id]
+                    assert mine == sorted(mine)  # per-thread FIFO preserved
+                assert manager.requests == 200
+                assert manager.inflight == 0
+
+    def test_stats_are_coherent_under_concurrent_load(self):
+        with SERVER.overridden(enabled=True, workers=8):
+            with SessionManager(SharedBase(small_catalog())) as manager:
+                barrier = threading.Barrier(8)
+
+                def churn(thread_id):
+                    barrier.wait()
+                    for i in range(20):
+                        tenant = f"t{(thread_id + i) % 4}"
+                        if i % 5 == 4:
+                            try:
+                                manager.call(tenant, lambda s: 1 / 0)
+                            except ZeroDivisionError:
+                                pass
+                        else:
+                            manager.call(tenant, lambda s: None)
+
+                threads = [
+                    threading.Thread(target=churn, args=(t,)) for t in range(8)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join(timeout=30.0)
+                stats = manager.stats()
+                assert stats["requests"] == 160
+                assert stats["request_errors"] == 32
+                assert stats["overload"]["inflight"] == 0
+                assert stats["active"] == 4
+
+    def test_interrupt_reraises_after_failing_the_future(self):
+        """KeyboardInterrupt/SystemExit propagate to the caller through the
+        future *and* are re-raised on the worker (never swallowed)."""
+        with SERVER.overridden(enabled=True):
+            with SessionManager(SharedBase(small_catalog())) as manager:
+                def interrupt(session):
+                    raise KeyboardInterrupt("operator hit ^C")
+
+                future = manager.submit("a", interrupt)
+                with pytest.raises(KeyboardInterrupt):
+                    future.result(timeout=5.0)
+                assert manager.request_errors == 1
+                # The pool survives one interrupted worker thread.
+                assert manager.call("a", lambda s: "alive") == "alive"
+
+    def test_busy_tenant_is_not_the_lru_victim(self):
+        """Satellite fix: dispatch must refresh LRU *order*, not just the
+        timestamp — the busiest tenant was previously evictable."""
+        with SERVER.overridden(enabled=True, max_sessions=2):
+            with SessionManager(SharedBase(small_catalog())) as manager:
+                manager.call("busy", lambda s: None)
+                manager.session("idle")
+                # Dispatch (not session()) touches "busy" again:
+                manager.call("busy", lambda s: None)
+                manager.session("newcomer")  # someone must be evicted
+                assert "busy" in manager.tenant_ids()
+                assert "idle" not in manager.tenant_ids()
 
 
 class TestServerDisabled:

@@ -16,11 +16,22 @@ Contracts under test:
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro import build_scenario
-from repro.durability import DURABILITY, SessionRecorder, digest_hash, state_digest
-from repro.server import SERVER, SessionManager, SharedBase
+from repro.durability import (
+    DURABILITY,
+    DurabilityStore,
+    SessionRecorder,
+    attach_recorder,
+    digest_hash,
+    replay,
+    state_digest,
+)
+from repro.durability.store import tenant_dirname
+from repro.server import OVERLOAD, Overloaded, SERVER, SessionManager, SharedBase
 
 from .test_durability import Driver, drive_scripted
 
@@ -135,6 +146,146 @@ class TestRestartRecovery:
                 live = drive_tenant(manager, world, "alice")
                 manager.evict("alice")
                 assert session_hash(manager.session("alice")) == live
+
+
+class TestOverloadDurability:
+    def test_shed_requests_never_reach_the_wal(self, tmp_path):
+        """Admission sheds happen before dispatch, so a shed request leaves
+        no trace in the write-ahead log — replay sees only admitted work."""
+        world = build_world()
+        with SERVER.overridden(enabled=True, workers=1):
+            with OVERLOAD.overridden(enabled=True, queue_depth=1):
+                with manager_over(world, root=tmp_path) as manager:
+                    drive_tenant(manager, world, "alice")
+                    recorder = manager.session("alice").durability
+                    history_before = len(recorder.history)
+                    entered, release = threading.Event(), threading.Event()
+
+                    def gate(session):
+                        entered.set()
+                        release.wait(timeout=10.0)
+
+                    blocked = manager.submit("alice", gate)
+                    assert entered.wait(timeout=5.0)
+                    admitted = manager.submit(
+                        "alice", lambda s: s.column_suggestions(k=4)
+                    )
+                    with pytest.raises(Overloaded):
+                        manager.submit("alice", lambda s: s.column_suggestions(k=4))
+                    release.set()
+                    blocked.result(timeout=5.0)
+                    admitted.result(timeout=5.0)
+                    # Exactly one recorded action: the admitted suggestion
+                    # call. The gate records nothing (not a session action),
+                    # the shed recorded nothing (it never ran).
+                    assert len(recorder.history) == history_before + 1
+                    assert recorder.history[-1]["name"] == "column_suggestions"
+
+    def test_explicit_brownout_window_replays_bit_for_bit(self, tmp_path):
+        world = build_world()
+        with manager_over(world, root=tmp_path) as manager:
+            drive_tenant(manager, world, "alice", n_extra=2)
+            manager.call("alice", lambda s: s.set_service_level("degraded"))
+            manager.call("alice", lambda s: s.column_suggestions(k=4))
+            manager.call("alice", lambda s: s.set_service_level("normal"))
+            live = session_hash(manager.session("alice"))
+            manager.evict("alice")
+            assert session_hash(manager.session("alice")) == live
+
+    def test_controller_brownout_is_recorded_and_recovered(self, tmp_path):
+        """A load-controller transition reaches the session as a *recorded*
+        ``set_service_level`` action: recovery reproduces the degraded
+        session, brownout window and all."""
+        world = build_world()
+        now = [0.0]
+        with SERVER.overridden(enabled=True, workers=1):
+            with OVERLOAD.overridden(
+                enabled=True, brownout_window=4, brownout_hold=2, brownout_p95_ms=100.0
+            ):
+                manager = SessionManager(
+                    SharedBase(world.catalog),
+                    durability_root=tmp_path,
+                    clock=lambda: now[0],
+                )
+                drive_tenant(manager, world, "alice", n_extra=0)
+
+                def slow(session):
+                    now[0] += 10.0  # every request "takes" 10s
+
+                for _ in range(8):
+                    manager.call("alice", slow)
+                assert manager.call("alice", lambda s: s.service_level) == "degraded"
+                live = session_hash(manager.session("alice"))
+                manager.evict("alice")
+                restored = manager.session("alice")
+                assert restored.service_level == "degraded"
+                assert session_hash(restored) == live
+                manager.shutdown()
+
+
+class TestKillDuringBrownout:
+    """Kill-at-any-byte over a history that *includes* brownout windows:
+    recovery must land on the state after some action prefix — the
+    service-level flips replay like any other action."""
+
+    @pytest.fixture(scope="class")
+    def brownout_run(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("overload-durability")
+        world = build_world()
+        from .test_durability import new_session
+
+        session = new_session(world)
+        store = DurabilityStore(root)
+        recorder = SessionRecorder("storm", store, seed=1, checkpoint_interval=10**9)
+        attach_recorder(session, recorder)
+        digests = [session_hash(session)]
+
+        def op_done():
+            if len(recorder.history) == len(digests):
+                digests.append(session_hash(session))
+
+        driver = Driver(session, world, seed=3)
+        for _ in range(9):
+            driver.step()
+            op_done()
+        # A brownout window in the middle of the history.
+        for op in (
+            lambda: session.set_service_level("degraded"),
+            lambda: session.column_suggestions(k=4),
+            lambda: session.set_service_level("normal"),
+        ):
+            op()
+            op_done()
+        for _ in range(4):
+            driver.step()
+            op_done()
+        store.close()
+        assert len(digests) == len(recorder.history) + 1
+        return {
+            "history": [dict(a) for a in recorder.history],
+            "digests": digests,
+            "wal": store.wal_path("storm").read_bytes(),
+        }
+
+    @pytest.mark.parametrize("frac", [0.15, 0.4, 0.6, 0.8, 0.95, 1.0])
+    def test_truncated_log_recovers_a_consistent_prefix(
+        self, brownout_run, tmp_path, frac
+    ):
+        from .test_durability import new_session
+
+        wal = brownout_run["wal"]
+        damaged = wal[: int(frac * len(wal))]
+        tenant_dir = tmp_path / tenant_dirname("storm")
+        tenant_dir.mkdir(parents=True)
+        (tenant_dir / "wal.log").write_bytes(damaged)
+        recovered = DurabilityStore(tmp_path).recover("storm")
+        history = brownout_run["history"]
+        k = len(recovered.actions)
+        assert recovered.actions == history[:k]
+        replica = new_session(build_world())
+        report = replay(replica, recovered.actions)
+        assert report.applied == k
+        assert session_hash(replica) == brownout_run["digests"][k]
 
 
 class TestLayerToggles:

@@ -15,7 +15,7 @@ from concurrent.futures import Future
 from repro import CopyCatSession
 from repro.cache.lru import LRUCache
 from repro.obs.metrics import Metrics
-from repro.server import SERVER, SessionManager, SharedBase
+from repro.server import OVERLOAD, Overloaded, SERVER, SessionManager, SharedBase
 from repro.substrate.relational import (
     Catalog,
     Compare,
@@ -159,6 +159,82 @@ class TestManagerStress:
             for origin in {v // 1000 for v in log}:
                 own = [v for v in log if v // 1000 == origin]
                 assert own == sorted(own)
+
+
+class TestOverloadStress:
+    def test_admission_accounting_balances_under_a_storm(self):
+        """8 threads flood one 2-worker pool past a tight queue bound:
+        every submit either returns a future that resolves or raises a
+        typed Overloaded with a retry hint — and the books balance exactly:
+        admitted + shed == attempted, with zero inflight left behind."""
+        per_thread = 40
+        with SERVER.overridden(enabled=True, workers=2):
+            with OVERLOAD.overridden(enabled=True, queue_depth=8, max_inflight=32):
+                with SessionManager(SharedBase(stress_catalog())) as manager:
+                    def work(index: int):
+                        tenant = f"t{index % 4}"
+                        admitted, shed = [], 0
+                        for _ in range(per_thread):
+                            try:
+                                admitted.append(
+                                    manager.submit(tenant, lambda s: "ok")
+                                )
+                            except Overloaded as exc:
+                                assert exc.retry_after_ms >= 1.0
+                                assert exc.reason in ("queue", "inflight", "early")
+                                shed += 1
+                        return admitted, shed
+
+                    results = run_threads(N_THREADS, work)
+                    outcomes = [
+                        future.result(timeout=30.0)
+                        for admitted, _ in results
+                        for future in admitted
+                    ]
+                    n_admitted = len(outcomes)
+                    n_shed = sum(shed for _, shed in results)
+                    assert outcomes == ["ok"] * n_admitted  # all admitted ran
+                    assert n_admitted + n_shed == N_THREADS * per_thread
+                    assert manager.requests == n_admitted
+                    assert manager.requests_shed == n_shed
+                    assert sum(manager.shed_reasons.values()) == n_shed
+                    assert manager.inflight == 0
+                    assert manager.request_errors == 0
+
+    def test_deadlines_under_contention_never_lose_a_future(self):
+        """Every future with a deadline resolves — with a value or a typed
+        RequestExpired — even when workers are saturated; none hang."""
+        from repro.server import RequestExpired
+
+        per_thread = 20
+        with SERVER.overridden(enabled=True, workers=2):
+            with OVERLOAD.overridden(enabled=True, queue_depth=10_000):
+                with SessionManager(SharedBase(stress_catalog())) as manager:
+                    def work(index: int):
+                        tenant = f"t{index % 4}"
+                        return [
+                            manager.submit(
+                                tenant,
+                                lambda s: "ok",
+                                # Alternate generous and hair-trigger budgets.
+                                deadline_ms=10_000.0 if i % 2 else 0.000_01,
+                            )
+                            for i in range(per_thread)
+                        ]
+
+                    all_futures = run_threads(N_THREADS, work)
+                    done, expired = 0, 0
+                    for futures in all_futures:
+                        for future in futures:
+                            try:
+                                assert future.result(timeout=30.0) == "ok"
+                                done += 1
+                            except RequestExpired as exc:
+                                assert exc.checkpoint == "dequeue"
+                                expired += 1
+                    assert done + expired == N_THREADS * per_thread
+                    assert manager.requests_expired == expired
+                    assert manager.inflight == 0
 
 
 class TestSharedStructureStress:
