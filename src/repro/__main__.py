@@ -63,6 +63,7 @@ def _print_observability() -> None:
         )
 
     from repro.analysis import analysis_stats_line
+    from repro.analysis.concurrency import conc_stats_line
     from repro.cache import cache_stats_line
     from repro.drift import drift_stats_line
     from repro.durability import durability_stats_line
@@ -79,6 +80,7 @@ def _print_observability() -> None:
     print(server_stats_line())
     print(overload_stats_line())
     print(durability_stats_line())
+    print(conc_stats_line())
 
 
 def main() -> None:

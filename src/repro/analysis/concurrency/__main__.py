@@ -1,0 +1,7 @@
+"""``python -m repro.analysis.concurrency [paths...]``."""
+
+import sys
+
+from .rules import main
+
+raise SystemExit(main(sys.argv[1:]))

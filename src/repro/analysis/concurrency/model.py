@@ -1,0 +1,838 @@
+"""Static concurrency model: lock discovery, regions, and the order graph.
+
+Builds, from the parsed source tree alone, the model the CONC rules and
+the runtime harness both consume:
+
+- **lock declarations** — every ``threading.Lock/RLock/Condition`` (or
+  :func:`~repro.analysis.concurrency.runtime.make_lock` /
+  ``make_rlock``) bound to an instance attribute, a dataclass field, a
+  module-level name, or a method local. Locks built through the factory
+  take their canonical name from the string literal at the call site, so
+  the static and runtime layers agree by construction; bare ``threading``
+  constructions are named structurally (``Class.attr``, ``module.NAME``,
+  ``Class.<method>`` for method locals).
+- **lock regions** — a linear pre-order walk of each function tracking
+  the stack of held locks: ``with <lock>:`` blocks, explicit
+  ``.acquire()``/``.release()`` pairs, and ``with`` on a
+  ``@contextmanager`` that is itself holding a lock at its ``yield``
+  (single-flight's shape: the caller's body runs under the exported
+  lock).
+- **call graph** — calls are resolved through ``self``, typed attributes
+  (``self._memo = LRUCache(...)``, dataclass field annotations,
+  parameter and return annotations, module-level singletons such as
+  ``METRICS``), then by globally-unique bare name as a last resort —
+  never for ubiquitous collection-method names (``get``, ``append``,
+  ``items``, ...), which would bind dict/deque calls to cache methods.
+- **summaries** — a fixpoint propagates, per function, the set of locks
+  transitively acquired, the blocking effects reachable (sleep, fsync,
+  ``Future.result``, queue gets, service ``invoke``), and whether the
+  function transitively mutates METRICS.
+
+The model is deliberately an *under*-approximation where dynamic dispatch
+defeats resolution (dict-of-callables, ``getattr`` chains): a missed edge
+can hide a finding, never invent one, and the runtime harness closes the
+gap by checking observed orders against this graph. Unresolvable
+annotations (forward references to names outside the tree, exotic
+subscripts) degrade to "unknown type", never to an error.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..lint.engine import Linter, SourceFile, parse_source
+
+#: threading constructors recognized as lock declarations.
+LOCK_KINDS = {"Lock", "RLock", "Condition"}
+#: factory name -> lock kind (runtime wrappers carrying a canonical name).
+LOCK_FACTORIES = {"make_lock": "Lock", "make_rlock": "RLock"}
+
+#: method names too common to resolve by global uniqueness (binding a
+#: dict's .get or a deque's .append to some class's method by accident
+#: would invent call edges everywhere).
+_COMMON_NAMES = frozenset({
+    "acquire", "add", "append", "appendleft", "cancel", "clear", "close",
+    "copy", "count", "decode", "discard", "encode", "extend", "findall",
+    "finditer", "flush", "format", "fullmatch", "get", "group", "index",
+    "insert", "items", "join", "keys", "locked", "lower", "match",
+    "move_to_end", "notify", "notify_all", "open", "pop", "popitem",
+    "popleft", "put", "read", "release", "remove", "reverse", "run",
+    "search", "send", "set", "setdefault", "shutdown", "sort", "split",
+    "start", "stop", "strip", "sub", "submit", "update", "upper",
+    "values", "wait", "write",
+})
+
+_INIT_METHODS = {"__init__", "__post_init__", "__new__"}
+
+#: metric-registry mutators (mirrors the REPRO002 rule).
+_METRIC_MUTATORS = {"inc", "gauge", "observe", "timer"}
+
+
+def _iter_expr(node: ast.AST):
+    """``ast.walk`` over an expression, pruning deferred bodies (lambdas)."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        for child in ast.iter_child_nodes(current):
+            if isinstance(child, ast.Lambda):
+                continue
+            stack.append(child)
+
+
+def _blocking_effect(call: ast.Call) -> str | None:
+    """The blocking-effect label for *call*, or None."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        name, recv = func.attr, func.value
+    elif isinstance(func, ast.Name):
+        name, recv = func.id, None
+    else:
+        return None
+    if name in ("sleep", "_sleep"):
+        return "sleep"
+    if name in ("fsync", "_fsync"):
+        return "fsync"
+    if name == "invoke":
+        return "service invoke"
+    if name == "result" and recv is not None and not call.args:
+        rendered = ast.unparse(recv).lower()
+        if isinstance(recv, ast.Call) or "future" in rendered or "fut" == rendered:
+            return "Future.result"
+    if name in ("get", "join") and recv is not None:
+        if "queue" in ast.unparse(recv).lower():
+            return f"queue.{name}"
+    return None
+
+
+def _is_metrics_mutation(call: ast.Call) -> bool:
+    func = call.func
+    if not isinstance(func, ast.Attribute) or func.attr not in _METRIC_MUTATORS:
+        return False
+    if not call.args:
+        return False
+    return ast.unparse(func.value).endswith("METRICS")
+
+
+@dataclass(frozen=True)
+class LockInfo:
+    """One discovered lock: canonical name, kind, declaration site."""
+
+    name: str
+    kind: str
+    path: str  # "file:line"
+
+
+@dataclass
+class _ClassInfo:
+    name: str
+    module: str
+    bases: tuple[str, ...]
+    lineno: int
+    path: str
+    lock_attrs: set[str] = field(default_factory=set)
+    attr_types: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class FuncInfo:
+    """One function/method plus its direct facts and fixpoint summaries."""
+
+    qual: str
+    cls: str | None
+    module: str
+    sf: SourceFile
+    node: ast.AST
+    decorators: tuple[str, ...]
+    env: dict[str, str] = field(default_factory=dict)        # local var -> class
+    env_locks: dict[str, str] = field(default_factory=dict)  # local var -> lock name
+    # direct facts (one region walk):
+    direct_locks: set[str] = field(default_factory=set)
+    callsites: list[tuple[str, tuple[str, ...], str]] = field(default_factory=list)
+    direct_blocking: list[tuple[tuple[str, ...], str, str]] = field(default_factory=list)
+    direct_metrics: list[tuple[tuple[str, ...], str]] = field(default_factory=list)
+    acquire_events: list[tuple[tuple[str, ...], str, str]] = field(default_factory=list)
+    context_locks: set[str] = field(default_factory=set)     # held at a yield (@contextmanager)
+    # fixpoint summaries:
+    sum_locks: set[str] = field(default_factory=set)
+    sum_blocking: dict[str, str] = field(default_factory=dict)  # effect -> origin qual
+    sum_metrics: bool = False
+
+    @property
+    def name(self) -> str:
+        return self.qual.rsplit(".", 1)[-1]
+
+
+@dataclass
+class Write:
+    owner: str
+    attr: str
+    guarded: bool
+    path: str
+    func: str
+
+
+class ConcurrencyModel:
+    """Everything the CONC rules and the runtime comparison need."""
+
+    def __init__(self):
+        self.locks: dict[str, LockInfo] = {}
+        self.classes: dict[str, _ClassInfo] = {}
+        self.functions: dict[str, FuncInfo] = {}
+        #: (held_lock, acquired_lock) -> up to 3 sites establishing it.
+        self.edges: dict[tuple[str, str], list[str]] = {}
+        #: (held, effect, via-or-None, path) — blocking call inside a region.
+        self.blocking_events: list[tuple[tuple[str, ...], str, str | None, str]] = []
+        #: (held, via-or-None, path) — METRICS mutation inside a region.
+        self.metrics_events: list[tuple[tuple[str, ...], str | None, str]] = []
+        self.writes: list[Write] = []
+        self.files: int = 0
+
+    def lock_names(self) -> set[str]:
+        return set(self.locks)
+
+    def edge_set(self) -> set[tuple[str, str]]:
+        return set(self.edges)
+
+    def server_locks(self) -> set[str]:
+        """Locks declared in the server layer (files under ``server``)."""
+        return {
+            name for name, info in self.locks.items()
+            if "server" in Path(info.path.rsplit(":", 1)[0]).parts
+            or "server" in Path(info.path.rsplit(":", 1)[0]).stem
+        }
+
+    def metrics_locks(self) -> set[str]:
+        return {name for name in self.locks if name.startswith("Metrics.")}
+
+
+class _Builder:
+    def __init__(self, sources: list[SourceFile]):
+        self.sources = sources
+        self.model = ConcurrencyModel()
+        #: bare function name -> list of quals (for unique-name resolution).
+        self.by_name: dict[str, list[str]] = {}
+        #: singleton instance name -> set of class names (``METRICS`` -> Metrics).
+        self.instances: dict[str, set[str]] = {}
+
+    # -- pass 1: declarations -------------------------------------------------
+    def collect(self) -> None:
+        model = self.model
+        model.files = len(self.sources)
+        # 1a: register every class and function first, so annotations in
+        # one file can name classes defined in a later (sort-order) file.
+        pending: list[tuple[SourceFile, str, ast.ClassDef]] = []
+        for sf in self.sources:
+            stem = sf.path.stem
+            for node in sf.tree.body:
+                if isinstance(node, ast.ClassDef):
+                    self._register_class(sf, stem, node)
+                    pending.append((sf, stem, node))
+                elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    self._register_function(sf, stem, None, f"{stem}.{node.name}", node)
+                elif isinstance(node, ast.Assign):
+                    self._collect_module_assign(sf, stem, node)
+        # 1b: now resolve lock declarations and attribute types.
+        for sf, stem, node in pending:
+            self._scan_class_body(sf, node)
+
+    def _decorator_names(self, node) -> tuple[str, ...]:
+        out = []
+        for dec in node.decorator_list:
+            target = dec.func if isinstance(dec, ast.Call) else dec
+            if isinstance(target, ast.Name):
+                out.append(target.id)
+            elif isinstance(target, ast.Attribute):
+                out.append(target.attr)
+        return tuple(out)
+
+    def _register_function(self, sf, stem, cls, qual, node) -> None:
+        fn = FuncInfo(
+            qual=qual, cls=cls, module=stem, sf=sf, node=node,
+            decorators=self._decorator_names(node),
+        )
+        self.model.functions[qual] = fn
+        self.by_name.setdefault(node.name, []).append(qual)
+        for child in node.body:
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._register_function(sf, stem, cls, f"{qual}.{child.name}", child)
+
+    def _register_class(self, sf, stem, node: ast.ClassDef) -> None:
+        bases = tuple(
+            b.id if isinstance(b, ast.Name) else b.attr
+            for b in node.bases if isinstance(b, (ast.Name, ast.Attribute))
+        )
+        info = _ClassInfo(
+            name=node.name, module=stem, bases=bases,
+            lineno=node.lineno, path=str(sf.path),
+        )
+        # later definition of a same-named class would clobber; first wins
+        # deterministically (sources are sorted by path).
+        self.model.classes.setdefault(node.name, info)
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._register_function(sf, stem, node.name, f"{node.name}.{item.name}", item)
+
+    def _scan_class_body(self, sf, node: ast.ClassDef) -> None:
+        info = self.model.classes.get(node.name)
+        if info is None or info.path != str(sf.path) or info.lineno != node.lineno:
+            return  # a shadowed duplicate definition: first one owns the facts
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._scan_method_decls(sf, info, item)
+            elif isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+                attr = item.target.id
+                kind, lit = (None, None)
+                if item.value is not None:
+                    kind, lit = self._lock_value(item.value)
+                if kind:
+                    self._declare_lock(lit or f"{node.name}.{attr}", kind, sf, item.lineno)
+                    info.lock_attrs.add(attr)
+                else:
+                    t = self._ann_to_class(item.annotation)
+                    if t:
+                        info.attr_types[attr] = t
+
+    def _scan_method_decls(self, sf, info: _ClassInfo, method) -> None:
+        """``self.X = <lock or typed value>`` sites anywhere in the class."""
+        param_types: dict[str, str] = {}
+        args = method.args
+        for a in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+            t = self._ann_to_class(a.annotation)
+            if t:
+                param_types[a.arg] = t
+        for node in ast.walk(method):
+            target = None
+            value = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                target, value = node.target, node.value
+            if (
+                target is None
+                or not isinstance(target, ast.Attribute)
+                or not isinstance(target.value, ast.Name)
+                or target.value.id != "self"
+            ):
+                continue
+            attr = target.attr
+            kind, lit = self._lock_value(value)
+            if kind:
+                self._declare_lock(lit or f"{info.name}.{attr}", kind, sf, node.lineno)
+                info.lock_attrs.add(attr)
+                continue
+            t = self._value_type(value, param_types)
+            if t and attr not in info.attr_types:
+                info.attr_types[attr] = t
+            if isinstance(node, ast.AnnAssign):
+                t = self._ann_to_class(node.annotation)
+                if t:
+                    info.attr_types[attr] = t
+
+    def _collect_module_assign(self, sf, stem, node: ast.Assign) -> None:
+        if len(node.targets) != 1 or not isinstance(node.targets[0], ast.Name):
+            return
+        name = node.targets[0].id
+        kind, lit = self._lock_value(node.value)
+        if kind:
+            self._declare_lock(lit or f"{stem}.{name}", kind, sf, node.lineno)
+            return
+        if isinstance(node.value, ast.Call):
+            func = node.value.func
+            cls = None
+            if isinstance(func, ast.Name):
+                cls = func.id
+            elif isinstance(func, ast.Attribute):
+                cls = func.attr
+            if cls:
+                self.instances.setdefault(name, set()).add(cls)
+
+    def _declare_lock(self, name: str, kind: str, sf, lineno: int) -> None:
+        if name not in self.model.locks:
+            self.model.locks[name] = LockInfo(name, kind, f"{sf.path}:{lineno}")
+
+    def _lock_value(self, node) -> tuple[str | None, str | None]:
+        """``(kind, explicit_name)`` when *node* constructs (or factories) a lock."""
+        if node is None:
+            return None, None
+        if isinstance(node, ast.Lambda):
+            return self._lock_value(node.body)
+        if isinstance(node, ast.Attribute):
+            # a callable reference like ``threading.Lock`` (default_factory=)
+            if isinstance(node.value, ast.Name) and node.value.id == "threading":
+                if node.attr in LOCK_KINDS:
+                    return node.attr, None
+            return None, None
+        if isinstance(node, ast.Name):
+            if node.id in LOCK_FACTORIES:
+                return LOCK_FACTORIES[node.id], None
+            return None, None
+        if not isinstance(node, ast.Call):
+            return None, None
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if (
+                isinstance(func.value, ast.Name)
+                and func.value.id == "threading"
+                and func.attr in LOCK_KINDS
+            ):
+                return func.attr, None
+        elif isinstance(func, ast.Name):
+            if func.id in LOCK_FACTORIES:
+                lit = None
+                if node.args and isinstance(node.args[0], ast.Constant) \
+                        and isinstance(node.args[0].value, str):
+                    lit = node.args[0].value
+                return LOCK_FACTORIES[func.id], lit
+            if func.id in LOCK_KINDS:
+                return func.id, None
+            if func.id == "field":
+                for kw in node.keywords:
+                    if kw.arg == "default_factory":
+                        return self._lock_value(kw.value)
+        return None, None
+
+    # -- type resolution -------------------------------------------------------
+    def _ann_to_class(self, ann) -> str | None:
+        if ann is None:
+            return None
+        if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+            try:
+                ann = ast.parse(ann.value, mode="eval").body
+            except SyntaxError:
+                return None
+        if isinstance(ann, ast.Name):
+            return ann.id if ann.id in self.model.classes else None
+        if isinstance(ann, ast.Attribute):
+            return ann.attr if ann.attr in self.model.classes else None
+        if isinstance(ann, ast.BinOp):
+            return self._ann_to_class(getattr(ann, "left", None)) or \
+                self._ann_to_class(getattr(ann, "right", None))
+        if isinstance(ann, ast.Subscript):
+            return self._ann_to_class(ann.value) or self._ann_to_class(ann.slice)
+        return None
+
+    def _value_type(self, node, env: dict[str, str]) -> str | None:
+        """Best-effort class of an expression, given a local type env."""
+        if isinstance(node, ast.Name):
+            t = env.get(node.id)
+            if t:
+                return t
+            classes = self.instances.get(node.id)
+            if classes and len(classes) == 1:
+                cls = next(iter(classes))
+                return cls if cls in self.model.classes else None
+            return None
+        if isinstance(node, ast.IfExp):
+            return self._value_type(node.body, env) or self._value_type(node.orelse, env)
+        if isinstance(node, ast.BoolOp):
+            for operand in node.values:
+                t = self._value_type(operand, env)
+                if t:
+                    return t
+            return None
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in self.model.classes:
+                return func.id
+            if isinstance(func, ast.Attribute) and func.attr in self.model.classes:
+                return func.attr
+            return None
+        return None
+
+    def resolve_type(self, node, fn: FuncInfo) -> str | None:
+        """Class of *node* inside *fn* (``self``, locals, attr chains, calls)."""
+        if isinstance(node, ast.Name):
+            if node.id == "self":
+                return fn.cls
+            return self._value_type(node, fn.env)
+        if isinstance(node, ast.Attribute):
+            base = self.resolve_type(node.value, fn)
+            if base is None:
+                return None
+            return self._attr_type(base, node.attr)
+        if isinstance(node, (ast.IfExp, ast.BoolOp)):
+            return self._value_type(node, fn.env)
+        if isinstance(node, ast.Call):
+            direct = self._value_type(node, fn.env)
+            if direct:
+                return direct
+            callee = self.resolve_call(node, fn)
+            if callee is not None:
+                ret = getattr(self.model.functions[callee].node, "returns", None)
+                return self._ann_to_class(ret)
+        return None
+
+    def _attr_type(self, cls: str, attr: str) -> str | None:
+        seen = set()
+        while cls and cls not in seen:
+            seen.add(cls)
+            info = self.model.classes.get(cls)
+            if info is None:
+                return None
+            if attr in info.attr_types:
+                return info.attr_types[attr]
+            cls = info.bases[0] if info.bases else None
+        return None
+
+    def _method_on(self, cls: str, name: str) -> str | None:
+        seen = set()
+        while cls and cls not in seen:
+            seen.add(cls)
+            qual = f"{cls}.{name}"
+            if qual in self.model.functions:
+                return qual
+            info = self.model.classes.get(cls)
+            cls = info.bases[0] if info and info.bases else None
+        return None
+
+    def resolve_call(self, node: ast.Call, fn: FuncInfo) -> str | None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            nid = func.id
+            nested = f"{fn.qual}.{nid}"
+            if nested in self.model.functions:
+                return nested
+            local = f"{fn.module}.{nid}"
+            if local in self.model.functions:
+                return local
+            if nid not in _COMMON_NAMES:
+                cands = self.by_name.get(nid, ())
+                if len(cands) == 1:
+                    return cands[0]
+            return None
+        if isinstance(func, ast.Attribute):
+            attr = func.attr
+            recv_cls = self.resolve_type(func.value, fn)
+            if recv_cls:
+                qual = self._method_on(recv_cls, attr)
+                if qual:
+                    return qual
+            if attr not in _COMMON_NAMES:
+                cands = self.by_name.get(attr, ())
+                if len(cands) == 1:
+                    return cands[0]
+        return None
+
+    def resolve_lock_expr(self, node, fn: FuncInfo) -> str | None:
+        """The lock name *node* denotes, or None (not a known lock)."""
+        if isinstance(node, ast.Name):
+            local = fn.env_locks.get(node.id)
+            if local:
+                return local
+            name = f"{fn.module}.{node.id}"
+            if name in self.model.locks:
+                return name
+            # imported module-level lock: unique suffix match.
+            cands = [
+                n for n in self.model.locks
+                if n.endswith(f".{node.id}") and n.split(".", 1)[0] not in self.model.classes
+            ]
+            if len(cands) == 1:
+                return cands[0]
+            return None
+        if isinstance(node, ast.Attribute):
+            owner = self.resolve_type(node.value, fn)
+            if owner is None:
+                return None
+            seen = set()
+            while owner and owner not in seen:
+                seen.add(owner)
+                info = self.model.classes.get(owner)
+                if info is None:
+                    return None
+                if node.attr in info.lock_attrs:
+                    name = f"{info.name}.{node.attr}"
+                    # factory-named declarations may differ; prefer an exact
+                    # registered name, else the structural one.
+                    return name if name in self.model.locks else name
+                owner = info.bases[0] if info.bases else None
+        return None
+
+    # -- pass 2: local type environments ---------------------------------------
+    def build_envs(self) -> None:
+        for fn in self.model.functions.values():
+            node = fn.node
+            args = node.args
+            for a in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+                t = self._ann_to_class(a.annotation)
+                if t:
+                    fn.env[a.arg] = t
+            for stmt in ast.walk(node):
+                target = None
+                value = None
+                if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                    target, value = stmt.targets[0], stmt.value
+                elif isinstance(stmt, ast.AnnAssign):
+                    target, value = stmt.target, stmt.value
+                if target is None or not isinstance(target, ast.Name):
+                    continue
+                kind, lit = self._lock_value(value)
+                if kind:
+                    name = lit or self._local_lock_name(fn)
+                    self._declare_lock(name, kind, fn.sf, stmt.lineno)
+                    fn.env_locks[target.id] = name
+                    continue
+                if isinstance(stmt, ast.AnnAssign):
+                    t = self._ann_to_class(stmt.annotation)
+                    if t:
+                        fn.env[target.id] = t
+                        continue
+                t = self._value_type(value, fn.env) if value is not None else None
+                if t:
+                    fn.env[target.id] = t
+                elif value is not None and isinstance(value, ast.Attribute):
+                    if isinstance(value.value, ast.Name) and value.value.id == "self" and fn.cls:
+                        t = self._attr_type(fn.cls, value.attr)
+                        if t:
+                            fn.env[target.id] = t
+
+    def _local_lock_name(self, fn: FuncInfo) -> str:
+        owner = fn.cls or fn.module
+        return f"{owner}.<{fn.name}>"
+
+    # -- pass 3: region walks (iterated for context-manager lock export) -------
+    def scan(self) -> None:
+        for _ in range(4):
+            self.model.writes.clear()
+            for fn in self.model.functions.values():
+                fn.direct_locks.clear()
+                fn.callsites.clear()
+                fn.direct_blocking.clear()
+                fn.direct_metrics.clear()
+                fn.acquire_events.clear()
+            before = {q: set(f.context_locks) for q, f in self.model.functions.items()}
+            for fn in self.model.functions.values():
+                _RegionWalker(self, fn).walk_function()
+            after = {q: set(f.context_locks) for q, f in self.model.functions.items()}
+            if before == after:
+                break
+
+    def context_locks_of(self, node, fn: FuncInfo) -> tuple[str, ...]:
+        """Locks a ``with <call>`` context acquires for its body."""
+        if not isinstance(node, ast.Call):
+            return ()
+        callee = self.resolve_call(node, fn)
+        if callee is None:
+            return ()
+        return tuple(sorted(self.model.functions[callee].context_locks))
+
+    # -- pass 4: fixpoint summaries + event emission ----------------------------
+    def summarize(self) -> None:
+        functions = self.model.functions
+        changed = True
+        while changed:
+            changed = False
+            for fn in functions.values():
+                locks = set(fn.direct_locks)
+                blocking: dict[str, str] = {
+                    effect: fn.qual for _, effect, _ in fn.direct_blocking
+                }
+                metrics = bool(fn.direct_metrics)
+                for callee, _, _ in fn.callsites:
+                    c = functions[callee]
+                    locks |= c.sum_locks
+                    for effect, origin in c.sum_blocking.items():
+                        blocking.setdefault(effect, origin)
+                    metrics = metrics or c.sum_metrics
+                if locks != fn.sum_locks or blocking != fn.sum_blocking \
+                        or metrics != fn.sum_metrics:
+                    fn.sum_locks = locks
+                    fn.sum_blocking = blocking
+                    fn.sum_metrics = metrics
+                    changed = True
+
+    def emit(self) -> None:
+        model = self.model
+        metrics_locks = model.metrics_locks()
+        seen_blocking: set[tuple[str, str]] = set()
+        seen_metrics: set[str] = set()
+
+        def add_edge(a: str, b: str, site: str) -> None:
+            sites = model.edges.setdefault((a, b), [])
+            if len(sites) < 3 and site not in sites:
+                sites.append(site)
+
+        for fn in model.functions.values():
+            for held, name, site in fn.acquire_events:
+                for lock in held:
+                    if lock != name:
+                        add_edge(lock, name, site)
+                    elif model.locks.get(name) and model.locks[name].kind == "Lock":
+                        add_edge(name, name, site)  # non-reentrant self-deadlock
+            for held, effect, site in fn.direct_blocking:
+                if held and (site, effect) not in seen_blocking:
+                    seen_blocking.add((site, effect))
+                    model.blocking_events.append((held, effect, None, site))
+            for held, site in fn.direct_metrics:
+                relevant = tuple(lock for lock in held if lock not in metrics_locks)
+                if relevant and site not in seen_metrics:
+                    seen_metrics.add(site)
+                    model.metrics_events.append((relevant, None, site))
+            for callee, held, site in fn.callsites:
+                if not held:
+                    continue
+                c = model.functions[callee]
+                for acquired in sorted(c.sum_locks):
+                    if acquired in held:
+                        continue
+                    for lock in held:
+                        add_edge(lock, acquired, site)
+                for effect, origin in sorted(c.sum_blocking.items()):
+                    if (site, effect) not in seen_blocking:
+                        seen_blocking.add((site, effect))
+                        model.blocking_events.append((held, effect, origin, site))
+                if c.sum_metrics:
+                    relevant = tuple(lock for lock in held if lock not in metrics_locks)
+                    if relevant and site not in seen_metrics:
+                        seen_metrics.add(site)
+                        model.metrics_events.append((relevant, callee, site))
+
+
+class _RegionWalker:
+    """Linear pre-order walk of one function, tracking held locks."""
+
+    def __init__(self, builder: _Builder, fn: FuncInfo):
+        self.b = builder
+        self.fn = fn
+        self.held: list[str] = []
+        self.is_cm = "contextmanager" in fn.decorators or \
+            "asynccontextmanager" in fn.decorators
+
+    def site(self, node) -> str:
+        return f"{self.fn.sf.path}:{node.lineno}"
+
+    def walk_function(self) -> None:
+        self.walk(self.fn.node.body)
+
+    def walk(self, stmts) -> None:
+        for stmt in stmts:
+            self.stmt(stmt)
+
+    def push(self, name: str, node) -> None:
+        self.fn.direct_locks.add(name)
+        self.fn.acquire_events.append((tuple(self.held), name, self.site(node)))
+        self.held.append(name)
+
+    def pop(self, name: str) -> None:
+        for i in range(len(self.held) - 1, -1, -1):
+            if self.held[i] == name:
+                del self.held[i]
+                return
+
+    def stmt(self, node) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # deferred bodies: analyzed as their own functions
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired: list[str] = []
+            for item in node.items:
+                self.expr(item.context_expr)
+                lock = self.b.resolve_lock_expr(item.context_expr, self.fn)
+                locks = (lock,) if lock else \
+                    self.b.context_locks_of(item.context_expr, self.fn)
+                for name in locks:
+                    self.push(name, node)
+                    acquired.append(name)
+            self.walk(node.body)
+            for name in reversed(acquired):
+                self.pop(name)
+            return
+        # writes first (Assign/AugAssign/AnnAssign), then generic traversal.
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                self.note_writes(target)
+        for fieldname, value in ast.iter_fields(node):
+            if fieldname in ("body", "orelse", "finalbody", "handlers"):
+                continue
+            self.visit_field(value)
+        for block in ("body", "orelse", "finalbody"):
+            stmts = getattr(node, block, None)
+            if stmts:
+                self.walk(stmts)
+        for handler in getattr(node, "handlers", ()):
+            self.walk(handler.body)
+
+    def visit_field(self, value) -> None:
+        if isinstance(value, ast.AST):
+            if isinstance(value, ast.expr):
+                self.expr(value)
+        elif isinstance(value, list):
+            for item in value:
+                if isinstance(item, ast.expr):
+                    self.expr(item)
+
+    def note_writes(self, target) -> None:
+        fn = self.fn
+        if fn.name in _INIT_METHODS:
+            return
+        for node in ast.walk(target):
+            if not isinstance(node, ast.Attribute) or not isinstance(node.ctx, ast.Store):
+                continue
+            if isinstance(node.value, ast.Name) and node.value.id == "self":
+                owner = fn.cls
+            else:
+                owner = self.b.resolve_type(node.value, fn)
+            if owner is None:
+                continue
+            info = self.b.model.classes.get(owner)
+            if info is None or not info.lock_attrs or node.attr in info.lock_attrs:
+                continue
+            guarded = any(lock.startswith(f"{owner}.") for lock in self.held)
+            self.b.model.writes.append(
+                Write(owner, node.attr, guarded, self.site(node), fn.qual)
+            )
+
+    def expr(self, node) -> None:
+        fn = self.fn
+        for sub in _iter_expr(node):
+            if isinstance(sub, (ast.Yield, ast.YieldFrom)):
+                if self.is_cm and self.held:
+                    fn.context_locks.update(self.held)
+                continue
+            if not isinstance(sub, ast.Call):
+                continue
+            func = sub.func
+            # explicit acquire()/release() pairs on a resolvable lock.
+            if isinstance(func, ast.Attribute) and func.attr in ("acquire", "release"):
+                lock = self.b.resolve_lock_expr(func.value, fn)
+                if lock is not None:
+                    if func.attr == "acquire":
+                        self.push(lock, sub)
+                    else:
+                        self.pop(lock)
+                    continue
+            # recorded even with nothing held: the *caller* may hold a
+            # lock, and summaries must carry the effect up the chain.
+            effect = _blocking_effect(sub)
+            if effect is not None:
+                fn.direct_blocking.append((tuple(self.held), effect, self.site(sub)))
+            if _is_metrics_mutation(sub):
+                fn.direct_metrics.append((tuple(self.held), self.site(sub)))
+            callee = self.b.resolve_call(sub, fn)
+            if callee is not None and callee != fn.qual:
+                fn.callsites.append((callee, tuple(self.held), self.site(sub)))
+
+
+def build_model(sources: list[SourceFile]) -> ConcurrencyModel:
+    """The full concurrency model for *sources* (parsed lint files)."""
+    builder = _Builder(sorted(sources, key=lambda sf: str(sf.path)))
+    builder.collect()
+    builder.build_envs()
+    builder.scan()
+    builder.summarize()
+    builder.emit()
+    return builder.model
+
+
+def build_model_from_paths(paths) -> ConcurrencyModel:
+    """Convenience: collect, parse, and model every ``.py`` under *paths*."""
+    sources = []
+    for path in Linter.collect(paths):
+        try:
+            sources.append(parse_source(path))
+        except (SyntaxError, UnicodeDecodeError, OSError):
+            continue
+    return build_model(sources)

@@ -1,0 +1,190 @@
+"""The CONC rules: diagnostics over the static concurrency model.
+
+One project rule (:func:`rule_concurrency`) builds the
+:class:`~repro.analysis.concurrency.model.ConcurrencyModel` for the file
+set and reports:
+
+- **CONC001** — lock-order inversion: an acquisition edge ``A -> B``
+  where ``B`` already reaches ``A`` in the cross-module graph (two code
+  paths nest the same locks in opposite orders — the classic deadlock),
+  including ``with``-in-``with`` on the same non-reentrant lock.
+- **CONC002** — blocking call under a lock: ``sleep``, ``fsync``,
+  ``Future.result``, queue gets/joins, or a service ``invoke`` executed
+  (directly or transitively) inside a lock region serializes every other
+  thread contending for that lock behind IO.
+- **CONC003** — inconsistent guarding: an attribute of a lock-owning
+  class written both inside and outside that class's lock regions; the
+  unguarded sites are the findings (``__init__`` is exempt — objects are
+  thread-local until published).
+- **CONC004** — METRICS mutation while holding a non-metrics lock:
+  metrics fan out to sinks and take the registry's own lock; emitting
+  under a layer lock couples unrelated lock hierarchies (the repo
+  convention is to record under the lock, emit after).
+- **CONC005** — a ``@recorded`` method transitively acquiring a server
+  lock: replay happens under the server's registry lock, so a recorded
+  action that re-enters server locking deadlocks crash recovery.
+
+Suppression reuses the lint engine's syntax — ``lint: allow=CONC002 --
+reason`` after a ``#``; :func:`main` runs with ``stale_prefixes=("CONC",)``
+so unused CONC allows are themselves reported, and REPRO allows are left
+alone.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..diagnostics import ERROR, Diagnostic
+from ..lint.engine import Linter, SourceFile
+from .model import ConcurrencyModel, build_model
+
+#: the model built by the most recent :func:`rule_concurrency` run —
+#: stashed for the CLI summary line and for tests inspecting the graph.
+LAST_MODEL: ConcurrencyModel | None = None
+
+
+def _reachability(edges: Iterable[tuple[str, str]]):
+    graph: dict[str, set[str]] = {}
+    for a, b in edges:
+        graph.setdefault(a, set()).add(b)
+    memo: dict[str, set[str]] = {}
+
+    def reaches(src: str) -> set[str]:
+        cached = memo.get(src)
+        if cached is not None:
+            return cached
+        seen: set[str] = set()
+        stack = [src]
+        while stack:
+            node = stack.pop()
+            for nxt in graph.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        memo[src] = seen
+        return seen
+
+    return reaches
+
+
+def _conc001(model: ConcurrencyModel) -> Iterable[Diagnostic]:
+    reaches = _reachability(model.edges)
+    for (a, b), sites in sorted(model.edges.items()):
+        if a == b:
+            yield Diagnostic(
+                "CONC001", ERROR,
+                f"lock {a!r} is re-acquired while already held and is not "
+                f"reentrant; this self-deadlocks — use an RLock or restructure",
+                path=sites[0],
+            )
+        elif a in reaches(b):
+            yield Diagnostic(
+                "CONC001", ERROR,
+                f"lock-order inversion: {b!r} is acquired while holding "
+                f"{a!r} here, but another path acquires {a!r} while holding "
+                f"{b!r} — two threads interleaving these paths deadlock",
+                path=sites[0],
+            )
+
+
+def _conc002(model: ConcurrencyModel) -> Iterable[Diagnostic]:
+    for held, effect, via, site in sorted(
+        model.blocking_events, key=lambda e: (e[3], e[1])
+    ):
+        through = f" (via {via})" if via else ""
+        yield Diagnostic(
+            "CONC002", ERROR,
+            f"blocking call ({effect}){through} while holding "
+            f"{', '.join(repr(h) for h in held)}; every thread contending "
+            f"for the lock now waits on this IO — move it outside the region",
+            path=site,
+        )
+
+
+def _conc003(model: ConcurrencyModel) -> Iterable[Diagnostic]:
+    by_attr: dict[tuple[str, str], list] = {}
+    for w in model.writes:
+        by_attr.setdefault((w.owner, w.attr), []).append(w)
+    for (owner, attr), writes in sorted(by_attr.items()):
+        guarded = [w for w in writes if w.guarded]
+        unguarded = [w for w in writes if not w.guarded]
+        if not guarded or not unguarded:
+            continue
+        sample = guarded[0].path
+        for w in unguarded:
+            yield Diagnostic(
+                "CONC003", ERROR,
+                f"{owner}.{attr} is written here without the owner's lock "
+                f"but under it elsewhere ({sample}); racing writers can "
+                f"interleave — guard this write or document the fast path",
+                path=w.path,
+            )
+
+
+def _conc004(model: ConcurrencyModel) -> Iterable[Diagnostic]:
+    for held, via, site in sorted(model.metrics_events, key=lambda e: e[2]):
+        through = f" (via {via})" if via else ""
+        yield Diagnostic(
+            "CONC004", ERROR,
+            f"METRICS mutated{through} while holding "
+            f"{', '.join(repr(h) for h in held)}; metrics take their own "
+            f"registry lock — record under the lock, emit after releasing",
+            path=site,
+        )
+
+
+def _conc005(model: ConcurrencyModel) -> Iterable[Diagnostic]:
+    server_locks = model.server_locks()
+    if not server_locks:
+        return
+    for qual in sorted(model.functions):
+        fn = model.functions[qual]
+        if fn.cls is None or "recorded" not in fn.decorators:
+            continue
+        hit = sorted(fn.sum_locks & server_locks)
+        if hit:
+            yield Diagnostic(
+                "CONC005", ERROR,
+                f"@recorded method {fn.name!r} transitively acquires server "
+                f"lock(s) {', '.join(repr(h) for h in hit)}; replay runs "
+                f"under the registry lock, so this deadlocks crash recovery",
+                path=f"{fn.sf.path}:{fn.node.lineno}",
+            )
+
+
+def rule_concurrency(files: list[SourceFile]) -> Iterable[Diagnostic]:
+    """Project rule: build the concurrency model, emit CONC001–CONC005."""
+    global LAST_MODEL
+    model = build_model(files)
+    LAST_MODEL = model
+    yield from _conc001(model)
+    yield from _conc002(model)
+    yield from _conc003(model)
+    yield from _conc004(model)
+    yield from _conc005(model)
+
+
+CONC_RULES = (rule_concurrency,)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: ``python -m repro.analysis.concurrency src/``."""
+    args = list(argv) if argv is not None else []
+    paths = [a for a in args if not a.startswith("-")] or ["src"]
+    linter = Linter(file_rules=(), project_rules=CONC_RULES,
+                    stale_prefixes=("CONC",))
+    diagnostics = linter.run(paths)
+    for diagnostic in diagnostics:
+        print(diagnostic.render())
+    model = LAST_MODEL
+    summary = ""
+    if model is not None:
+        summary = (
+            f" · {len(model.locks)} locks · {len(model.edges)} order edges "
+            f"in {model.files} file(s)"
+        )
+    if diagnostics:
+        print(f"conc: {len(diagnostics)} finding(s){summary}")
+        return 1
+    print(f"conc: clean{summary}")
+    return 0

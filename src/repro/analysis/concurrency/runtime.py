@@ -1,0 +1,361 @@
+"""Runtime lockset / race harness (Part 2 of the concurrency pass).
+
+The static model (:mod:`~repro.analysis.concurrency.model`) predicts which
+locks exist and in which order code paths *may* nest them. This module
+observes what actually happens: with ``REPRO_RACECHECK=1`` every lock
+built through :func:`make_lock` / :func:`make_rlock` becomes a tracked
+wrapper feeding one process-wide :class:`LockTracker`, which records
+
+- **acquisition order** — whenever a thread acquires lock *B* while
+  holding lock *A*, the edge ``A -> B`` is counted. CI asserts the
+  observed edge set is acyclic and never *inverts* the static model's
+  order (merging observed edges into the static graph must not create a
+  cycle). Observed edges the static analyzer missed (dynamic dispatch it
+  cannot resolve) are fine — the property checked is consistency of the
+  partial order, not equality of the graphs;
+- **locksets** — instrumented shared fields call :meth:`LockTracker.
+  note_access`; the tracker runs the Eraser state machine (virgin ->
+  exclusive -> shared -> shared-modified, intersecting the candidate
+  lockset on every post-publication access) and records a violation when
+  a field reaches shared-modified with an empty lockset.
+
+Import shape: this module is imported by the *leaf* lock-owning modules
+(``obs/metrics.py``, ``cache/lru.py``, ``util/text.py``), so it must pull
+in nothing beyond :mod:`threading` and its own config —
+``repro.analysis.__init__`` resolves its heavy members lazily precisely
+so this chain stays flat.
+
+Determinism caveat: tracking by lock *name* (``"LRUCache._lock"``), not
+instance, deliberately folds every instance of a class onto one graph
+node — that is what makes the order model class-level, matching the
+static analyzer. Self-edges (holding one instance's lock while taking a
+sibling instance's same-named lock) are therefore skipped at runtime;
+true self-deadlocks are the static analyzer's CONC001 job.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from .config import RACECHECK
+
+__all__ = [
+    "RACECHECK",
+    "TRACKER",
+    "LockTracker",
+    "TrackedLock",
+    "TrackedRLock",
+    "conc_stats_line",
+    "find_cycle",
+    "make_lock",
+    "make_rlock",
+]
+
+
+class _FieldState:
+    """Eraser per-field record: state machine position + candidate lockset."""
+
+    __slots__ = ("state", "owner", "lockset", "written", "reported")
+
+    def __init__(self, owner: int, lockset: frozenset, written: bool):
+        self.state = "exclusive"
+        self.owner = owner
+        self.lockset = lockset
+        self.written = written
+        self.reported = False
+
+
+class _Held(threading.local):
+    """Per-thread stack of tracked-lock names currently held."""
+
+    def __init__(self):
+        self.stack: list[str] = []
+
+
+def find_cycle(edges) -> list[str] | None:
+    """One cycle in the digraph *edges* (iterable of ``(a, b)``), or None.
+
+    Returns the cycle as a node path ``[n0, n1, ..., n0]``. Iterative
+    three-color DFS, so a deep graph cannot blow the recursion limit.
+    """
+    graph: dict[str, list[str]] = {}
+    for a, b in edges:
+        graph.setdefault(a, []).append(b)
+        graph.setdefault(b, [])
+    color = {node: 0 for node in graph}  # 0 white, 1 on stack, 2 done
+    for root in sorted(graph):
+        if color[root] != 0:
+            continue
+        stack: list[tuple[str, int]] = [(root, 0)]
+        path: list[str] = []
+        while stack:
+            node, idx = stack[-1]
+            if idx == 0:
+                color[node] = 1
+                path.append(node)
+            succs = graph[node]
+            if idx < len(succs):
+                stack[-1] = (node, idx + 1)
+                nxt = succs[idx]
+                if color[nxt] == 1:
+                    return path[path.index(nxt):] + [nxt]
+                if color[nxt] == 0:
+                    stack.append((nxt, 0))
+            else:
+                color[node] = 2
+                path.pop()
+                stack.pop()
+    return None
+
+
+class LockTracker:
+    """Records lock-acquisition order and Eraser-style locksets."""
+
+    def __init__(self):
+        self._mutex = threading.Lock()  # guards the aggregates below
+        self._held = _Held()
+        #: (held, acquired) -> times observed.
+        self.edges: dict[tuple[str, str], int] = {}
+        #: lock name -> acquisition count.
+        self.acquisitions: dict[str, int] = {}
+        #: Eraser state per (field name, owner id).
+        self._fields: dict[tuple[str, int], _FieldState] = {}
+        #: human-readable lockset-violation records (one per field).
+        self.violations: list[str] = []
+
+    # -- lock events ---------------------------------------------------------
+    def note_acquire(self, name: str) -> None:
+        stack = self._held.stack
+        if stack:
+            with self._mutex:
+                for held in stack:
+                    if held != name:  # name-level self-edges: see module doc
+                        edge = (held, name)
+                        self.edges[edge] = self.edges.get(edge, 0) + 1
+                self.acquisitions[name] = self.acquisitions.get(name, 0) + 1
+        else:
+            with self._mutex:
+                self.acquisitions[name] = self.acquisitions.get(name, 0) + 1
+        stack.append(name)
+
+    def note_release(self, name: str) -> None:
+        stack = self._held.stack
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] == name:
+                del stack[i]
+                return
+
+    def held(self) -> tuple[str, ...]:
+        return tuple(self._held.stack)
+
+    # -- Eraser lockset tracking ----------------------------------------------
+    def note_access(self, name: str, owner=None, write: bool = True) -> None:
+        """Record one access to shared field *name* of instance *owner*.
+
+        States follow Eraser's refinement: a field stays ``exclusive``
+        while a single thread touches it (its lockset tracks the *latest*
+        access, so unlocked initialization before publication never
+        trips); the first access from a second thread moves it to
+        ``shared`` (reads) or ``shared-modified`` (any write before or
+        now), after which every access intersects the candidate lockset
+        with the locks currently held. An empty lockset in
+        shared-modified is a violation, reported once per field.
+        """
+        tid = threading.get_ident()
+        locks = frozenset(self._held.stack)
+        key = (name, id(owner) if owner is not None else 0)
+        with self._mutex:
+            st = self._fields.get(key)
+            if st is None:
+                self._fields[key] = _FieldState(tid, locks, write)
+                return
+            if st.state == "exclusive":
+                if tid == st.owner:
+                    st.lockset = locks
+                    st.written = st.written or write
+                    return
+                st.state = "shared_modified" if (st.written or write) else "shared"
+                st.lockset = st.lockset & locks
+            else:
+                st.lockset = st.lockset & locks
+                if write and st.state == "shared":
+                    st.state = "shared_modified"
+            st.written = st.written or write
+            if st.state == "shared_modified" and not st.lockset and not st.reported:
+                st.reported = True
+                self.violations.append(
+                    f"{name}: written by multiple threads with no consistent lock "
+                    f"(lockset empty at access under {sorted(locks) or 'no locks'})"
+                )
+
+    # -- reporting -----------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        with self._mutex:
+            return {
+                "locks": len(self.acquisitions),
+                "acquisitions": sum(self.acquisitions.values()),
+                "edges": len(self.edges),
+                "fields": len(self._fields),
+                "violations": len(self.violations),
+            }
+
+    def order_graph(self) -> dict[tuple[str, str], int]:
+        with self._mutex:
+            return dict(self.edges)
+
+    def check_against(self, static_edges, static_locks=()) -> list[str]:
+        """Problems in the observed order vs the static model (empty = ok).
+
+        Checks, over the observed edges whose endpoints the static model
+        knows about: (1) the observed acquisition order alone is acyclic;
+        (2) merging it into the static order graph creates no cycle — an
+        observed edge whose reverse is statically reachable is an order
+        inversion. Locks the model has never heard of (test scaffolding)
+        are ignored, and lockset violations are reported separately via
+        :attr:`violations`.
+        """
+        static_edges = {tuple(edge) for edge in static_edges}
+        known = set(static_locks)
+        for a, b in static_edges:
+            known.add(a)
+            known.add(b)
+        observed = {
+            edge for edge in self.order_graph()
+            if edge[0] in known and edge[1] in known
+        }
+        problems: list[str] = []
+        cycle = find_cycle(observed)
+        if cycle is not None:
+            problems.append(
+                "observed lock acquisition order is cyclic: " + " -> ".join(cycle)
+            )
+        else:
+            cycle = find_cycle(observed | static_edges)
+            if cycle is not None:
+                problems.append(
+                    "observed acquisition order inverts the static lock-order "
+                    "model: merged cycle " + " -> ".join(cycle)
+                )
+        return problems
+
+    def reset(self) -> None:
+        with self._mutex:
+            self.edges.clear()
+            self.acquisitions.clear()
+            self._fields.clear()
+            self.violations.clear()
+
+
+#: The process-wide tracker every tracked lock and probe feeds.
+TRACKER = LockTracker()
+
+
+class TrackedLock:
+    """``threading.Lock`` recording acquisition order into a tracker."""
+
+    __slots__ = ("name", "_inner", "_tracker")
+
+    def __init__(self, name: str, tracker: LockTracker | None = None):
+        self.name = name
+        self._inner = threading.Lock()
+        self._tracker = tracker if tracker is not None else TRACKER
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._inner.acquire(blocking, timeout)
+        if got and RACECHECK.enabled:
+            self._tracker.note_acquire(self.name)
+        return got
+
+    def release(self) -> None:
+        if RACECHECK.enabled:
+            self._tracker.note_release(self.name)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> "TrackedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.release()
+        return False
+
+    def __repr__(self) -> str:
+        return f"TrackedLock({self.name!r})"
+
+
+class TrackedRLock:
+    """``threading.RLock`` wrapper; reentrant re-acquisition records no edge."""
+
+    __slots__ = ("name", "_inner", "_tracker", "_depth")
+
+    def __init__(self, name: str, tracker: LockTracker | None = None):
+        self.name = name
+        self._inner = threading.RLock()
+        self._tracker = tracker if tracker is not None else TRACKER
+        self._depth = threading.local()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._inner.acquire(blocking, timeout)
+        if got and RACECHECK.enabled:
+            depth = getattr(self._depth, "value", 0) + 1
+            self._depth.value = depth
+            if depth == 1:
+                self._tracker.note_acquire(self.name)
+        return got
+
+    def release(self) -> None:
+        if RACECHECK.enabled:
+            depth = getattr(self._depth, "value", 0)
+            if depth:
+                self._depth.value = depth - 1
+                if depth == 1:
+                    self._tracker.note_release(self.name)
+        self._inner.release()
+
+    def __enter__(self) -> "TrackedRLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.release()
+        return False
+
+    def __repr__(self) -> str:
+        return f"TrackedRLock({self.name!r})"
+
+
+def make_lock(name: str):
+    """A mutex named for the static model: plain ``Lock`` unless tracking.
+
+    *name* is the canonical lock identity shared with the static analyzer
+    (``"Class.attr"`` for instance locks, ``"module.NAME"`` for
+    module-level ones, ``"Class.<method>"`` for method-local locks) — the
+    analyzer reads the literal out of the call site, so the two layers
+    cannot drift apart.
+    """
+    if RACECHECK.enabled:
+        return TrackedLock(name)
+    return threading.Lock()
+
+
+def make_rlock(name: str):
+    """Reentrant sibling of :func:`make_lock`."""
+    if RACECHECK.enabled:
+        return TrackedRLock(name)
+    return threading.RLock()
+
+
+def conc_stats_line(tracker: LockTracker | None = None) -> str:
+    """One-line summary of the race harness (``--trace`` output)."""
+    if not RACECHECK.enabled:
+        return "conc: racecheck off"
+    t = tracker if tracker is not None else TRACKER
+    s = t.stats()
+    return (
+        f"conc: racecheck on · {s['locks']} locks · "
+        f"{s['acquisitions']} acquisitions · {s['edges']} order edges · "
+        f"{s['fields']} fields · {s['violations']} lockset violations"
+    )

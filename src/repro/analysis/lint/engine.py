@@ -13,12 +13,22 @@ Suppression syntax: a trailing comment on the offending line —
 - ``# lint: allow=REPRO003`` (comma-separated for several codes)
   silences only the named rules. Anything after the codes is free-form
   justification text.
+
+A named suppression that silences nothing is itself reported (LINT001,
+warning): stale allows outlive refactors and quietly blanket-exempt the
+line from rules that never fired there. Only codes matching the linter's
+``stale_prefixes`` are policed, so a ``CONC``-family run does not flag
+``REPRO`` allows it never evaluates (and vice versa); a bare allow (no
+``=CODE`` list) is exempt by design — it declares intent to silence
+everything.
 """
 
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable
@@ -58,12 +68,25 @@ class SourceFile:
 
 
 def _scan_suppressions(text: str) -> dict[int, set[str] | None]:
+    """Per-line suppressions, read from *comments only*.
+
+    Tokenizing (rather than regexing raw lines) keeps docstrings that
+    *mention* the syntax — this module's own, the README examples — from
+    registering as live suppressions on their line.
+    """
     out: dict[int, set[str] | None] = {}
-    for lineno, line in enumerate(text.splitlines(), start=1):
-        match = _SUPPRESS_RE.search(line)
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(text).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return out  # unparseable files already fail hard in parse_source
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(token.string)
         if not match:
             continue
         codes = match.group("codes")
+        lineno = token.start[0]
         if codes is None:
             out[lineno] = ALL_CODES
         else:
@@ -91,11 +114,14 @@ class Linter:
         self,
         file_rules: tuple[FileRule, ...] | None = None,
         project_rules: tuple[ProjectRule, ...] | None = None,
+        stale_prefixes: tuple[str, ...] = ("REPRO", "LINT"),
     ):
-        from .rules import FILE_RULES, PROJECT_RULES
+        if file_rules is None or project_rules is None:
+            from .rules import FILE_RULES, PROJECT_RULES
 
         self.file_rules = FILE_RULES if file_rules is None else file_rules
         self.project_rules = PROJECT_RULES if project_rules is None else project_rules
+        self.stale_prefixes = stale_prefixes
 
     @staticmethod
     def collect(paths: Iterable[str | Path]) -> list[Path]:
@@ -129,13 +155,40 @@ class Linter:
                 found.extend(rule(sf))
         for rule in self.project_rules:
             found.extend(rule(sources))
+        consumed: dict[tuple[str, int], set[str]] = {}
         for diag in found:
             sf, lineno = self._locate(diag, by_path)
             if sf is not None and lineno is not None and sf.is_suppressed(diag.code, lineno):
+                consumed.setdefault((str(sf.path), lineno), set()).add(diag.code)
                 continue
             diagnostics.append(diag)
+        diagnostics.extend(self._stale_suppressions(sources, consumed))
         diagnostics.sort(key=lambda d: (d.path or "", d.code, d.message))
         return diagnostics
+
+    def _stale_suppressions(
+        self,
+        sources: list[SourceFile],
+        consumed: dict[tuple[str, int], set[str]],
+    ) -> list[Diagnostic]:
+        """LINT001 for every named allow that silenced no diagnostic."""
+        stale: list[Diagnostic] = []
+        for sf in sources:
+            for lineno, codes in sorted(sf.suppressions.items()):
+                if codes is ALL_CODES:
+                    continue
+                used = consumed.get((str(sf.path), lineno), set())
+                for code in sorted(codes - used):
+                    if not code.startswith(self.stale_prefixes):
+                        continue
+                    stale.append(Diagnostic(
+                        "LINT001", "warning",
+                        f"stale suppression: '# lint: allow={code}' silences "
+                        "nothing on this line — remove it or fix the code it "
+                        "was justifying",
+                        path=sf.location(lineno),
+                    ))
+        return stale
 
     @staticmethod
     def _locate(diag: Diagnostic, by_path: dict[str, SourceFile]):

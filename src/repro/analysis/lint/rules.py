@@ -1,4 +1,4 @@
-"""The repo invariant rules (REPRO001–REPRO005).
+"""The repo invariant rules (REPRO001–REPRO006).
 
 Each rule exists because an invariant was only ever enforced by
 convention across the obs/cache/resilience/drift layers:
@@ -21,6 +21,11 @@ convention across the obs/cache/resilience/drift layers:
   deterministic paths: module-level ``random.*`` calls, argless
   ``random.Random()``, ``time.time()``, and ``datetime.now()`` must go
   through :mod:`repro.util.rng` (or be suppressed with justification).
+- **REPRO006** — every ``@recorded`` method on ``CopyCatSession`` must
+  have a registered encoder/applier pair in
+  :mod:`repro.durability.actions` (reflective, mirrors the fingerprint
+  completeness self-check): a decorated method without a codec logs
+  actions that crash write-ahead replay.
 
 Every diagnostic carries ``file:line``; see :mod:`~repro.analysis.lint.
 engine` for the suppression syntax.
@@ -273,10 +278,63 @@ def rule_determinism(sf: SourceFile) -> Iterable[Diagnostic]:
             )
 
 
+# -- REPRO006: every @recorded session method has a durability codec ----------
+def _recorded_methods(cls: ast.ClassDef) -> Iterable[tuple[str, int]]:
+    for item in cls.body:
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for dec in item.decorator_list:
+            target = dec.func if isinstance(dec, ast.Call) else dec
+            name = None
+            if isinstance(target, ast.Name):
+                name = target.id
+            elif isinstance(target, ast.Attribute):
+                name = target.attr
+            if name == "recorded":
+                yield item.name, item.lineno
+                break
+
+
+def rule_recorded_codecs(files: list[SourceFile]) -> Iterable[Diagnostic]:
+    """Reflective check: ``@recorded`` methods vs the action codec table."""
+    targets = [
+        (sf, node)
+        for sf in files
+        if sf.name == "session.py"
+        for node in sf.tree.body
+        if isinstance(node, ast.ClassDef) and node.name == "CopyCatSession"
+    ]
+    if not targets:
+        return
+    try:
+        from ...durability.actions import UNRECORDED, recordable_actions
+    except ImportError:
+        return  # durability layer absent from this checkout: nothing to compare
+    registered = set(recordable_actions())
+    unrecorded = set(UNRECORDED)
+    for sf, cls in targets:
+        for name, lineno in _recorded_methods(cls):
+            if name in unrecorded:
+                yield Diagnostic(
+                    "REPRO006", ERROR,
+                    f"@recorded method {name!r} is listed in durability."
+                    f"actions.UNRECORDED; drop the decorator or the listing",
+                    path=sf.location(lineno),
+                )
+            elif name not in registered:
+                yield Diagnostic(
+                    "REPRO006", ERROR,
+                    f"@recorded method {name!r} has no encoder/applier pair in "
+                    f"repro/durability/actions.py; a durable session would "
+                    f"crash write-ahead logging this action",
+                    path=sf.location(lineno),
+                )
+
+
 FILE_RULES = (
     rule_env_reads,
     rule_metric_names,
     rule_overbroad_except,
     rule_determinism,
 )
-PROJECT_RULES = (rule_plan_dispatch,)
+PROJECT_RULES = (rule_plan_dispatch, rule_recorded_codecs)

@@ -16,10 +16,10 @@ case, which keeps the pre-server behavior and stats byte-identical.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from typing import Any, Hashable
 
+from ..analysis.concurrency.runtime import RACECHECK, TRACKER, make_lock
 from ..obs import METRICS
 
 _MISSING = object()
@@ -46,7 +46,7 @@ class LRUCache:
         if capacity < 1:
             raise ValueError(f"cache capacity must be positive, got {capacity}")
         self._data: OrderedDict[Hashable, Any] = OrderedDict()
-        self._lock = threading.Lock()
+        self._lock = make_lock("LRUCache._lock")
         self.capacity = capacity
         self.metrics_prefix = metrics_prefix
         self.hits = 0
@@ -55,6 +55,9 @@ class LRUCache:
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         with self._lock:
+            if RACECHECK.enabled:
+                # a get *writes*: move_to_end reorders recency.
+                TRACKER.note_access("LRUCache._data", self)
             entry = self._data.get(key, _MISSING)
             if entry is _MISSING:
                 self.misses += 1
@@ -70,6 +73,8 @@ class LRUCache:
     def put(self, key: Hashable, value: Any) -> None:
         evicted = False
         with self._lock:
+            if RACECHECK.enabled:
+                TRACKER.note_access("LRUCache._data", self)
             data = self._data
             if key in data:
                 data.move_to_end(key)
@@ -91,6 +96,8 @@ class LRUCache:
             raise ValueError(f"cache capacity must be positive, got {capacity}")
         trimmed = 0
         with self._lock:
+            if RACECHECK.enabled:
+                TRACKER.note_access("LRUCache._data", self)
             self.capacity = capacity
             data = self._data
             while len(data) > capacity:
@@ -112,6 +119,8 @@ class LRUCache:
     def clear(self) -> None:
         """Explicit invalidation: drop entries, keep lifetime stats."""
         with self._lock:
+            if RACECHECK.enabled:
+                TRACKER.note_access("LRUCache._data", self)
             self._data.clear()
 
     def stats(self) -> dict[str, int]:

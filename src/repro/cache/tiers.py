@@ -27,10 +27,10 @@ nothing.
 
 from __future__ import annotations
 
-import threading
 from contextlib import contextmanager
 from typing import Hashable
 
+from ..analysis.concurrency.runtime import RACECHECK, TRACKER, make_lock
 from .lru import LRUCache
 from .plan_cache import PlanResultCache
 
@@ -63,8 +63,8 @@ class CacheTiers:
             for name in ("plan", "analysis", "compile", "scan")
         }
         self.shrunk = False
-        self._flight_master = threading.Lock()
-        self._flights: dict[Hashable, tuple[threading.Lock, int]] = {}
+        self._flight_master = make_lock("CacheTiers._flight_master")
+        self._flights: dict = {}
 
     @contextmanager
     def flight(self, key: Hashable):
@@ -81,9 +81,11 @@ class CacheTiers:
             yield
             return
         with self._flight_master:
+            if RACECHECK.enabled:
+                TRACKER.note_access("CacheTiers._flights", self)
             lock, refs = self._flights.get(key, (None, 0))
             if lock is None:
-                lock = threading.Lock()
+                lock = make_lock("CacheTiers.<flight>")
             self._flights[key] = (lock, refs + 1)
         lock.acquire()
         try:
@@ -91,6 +93,8 @@ class CacheTiers:
         finally:
             lock.release()
             with self._flight_master:
+                if RACECHECK.enabled:
+                    TRACKER.note_access("CacheTiers._flights", self)
                 lock, refs = self._flights[key]
                 if refs <= 1:
                     del self._flights[key]

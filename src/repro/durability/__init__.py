@@ -107,7 +107,7 @@ def recover_session(
     report: ReplayReport | None = None
     if recovered.actions:
         report = replay(session, recovered.actions)
-        recorder.since_checkpoint = recovered.from_wal
+        recorder.mark_replayed_tail(recovered.from_wal)
     return recorder, report
 
 

@@ -26,10 +26,10 @@ learner's internals.
 from __future__ import annotations
 
 import functools
-import threading
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Any, Callable
 
+from ..analysis.concurrency.runtime import RACECHECK, TRACKER, make_rlock
 from ..obs import METRICS
 from ..server.overload import shielded_deadline
 from .actions import encode_action
@@ -64,7 +64,7 @@ class SessionRecorder:
         self.since_checkpoint = 0
         self.replaying = False
         self._depth = 0
-        self._lock = threading.RLock()
+        self._lock = make_rlock("SessionRecorder._lock")
         # Lifetime counters (always on; mirrored into METRICS when enabled).
         self.actions_recorded = 0
         self.checkpoints = 0
@@ -78,15 +78,21 @@ class SessionRecorder:
     def action(self, name: str, payload: dict[str, Any]):
         """Write-ahead record one top-level action, then run its body."""
         with self._lock:
+            if RACECHECK.enabled:
+                TRACKER.note_access("SessionRecorder.history", self)
             record = {"seq": len(self.history), "name": name, "args": payload}
             self.history.append(record)
             self.since_checkpoint += 1
             self.actions_recorded += 1
             if self.store is not None:
-                self.store.append(self.tenant, record)
-            if METRICS.enabled:
-                METRICS.inc("durability.actions_logged")
+                # Write-ahead ordering: the record must be durable before the
+                # body runs, and seq order must match append order, so the
+                # fsync (and the store's failure counters) stay under the
+                # action lock.
+                self.store.append(self.tenant, record)  # lint: allow=CONC002,CONC004 -- write-ahead ordering requires IO under the action lock
             self._depth += 1
+        if METRICS.enabled:
+            METRICS.inc("durability.actions_logged")
         try:
             yield record
         finally:
@@ -99,6 +105,16 @@ class SessionRecorder:
                 and self.since_checkpoint >= self.checkpoint_interval
             ):
                 self.checkpoint()
+
+    def mark_replayed_tail(self, count: int) -> None:
+        """Position the checkpoint counter after recovery.
+
+        The replayed WAL tail still counts toward the next checkpoint;
+        taken under the recording lock so a racing first live action
+        cannot interleave with the repositioning.
+        """
+        with self._lock:
+            self.since_checkpoint = count
 
     @contextmanager
     def replay_mode(self):
@@ -123,16 +139,19 @@ class SessionRecorder:
         if self.store is None:
             return False
         with self._lock:
-            wrote = self.store.write_checkpoint(
+            # Compact-then-truncate must be atomic with respect to new
+            # appends or replayed-to state and logged tail could diverge,
+            # so the checkpoint IO stays under the recording lock.
+            wrote = self.store.write_checkpoint(  # lint: allow=CONC002,CONC004 -- checkpoint+truncate must be atomic vs appends
                 self.tenant, list(self.history), seed=self.seed
             )
             if wrote:
                 self.store.truncate_wal(self.tenant)
                 self.since_checkpoint = 0
                 self.checkpoints += 1
-                if METRICS.enabled:
-                    METRICS.inc("durability.checkpoints")
-                    METRICS.inc("durability.log_truncations")
+        if wrote and METRICS.enabled:
+            METRICS.inc("durability.checkpoints")
+            METRICS.inc("durability.log_truncations")
         return wrote
 
     def close(self) -> None:

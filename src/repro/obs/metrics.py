@@ -23,9 +23,10 @@ which is what keeps the <5% disabled-overhead assertion in
 from __future__ import annotations
 
 import math
-import threading
 import time
 from typing import Any
+
+from ..analysis.concurrency.runtime import make_lock
 
 
 def percentile(values: list[float], q: float) -> float:
@@ -81,7 +82,7 @@ class Metrics:
 
     def __init__(self, enabled: bool = False):
         self.enabled = enabled
-        self._lock = threading.Lock()
+        self._lock = make_lock("Metrics._lock")
         self._counters: dict[str, float] = {}
         self._gauges: dict[str, float] = {}
         self._histograms: dict[str, list[float]] = {}

@@ -43,13 +43,13 @@ server bit-for-bit.
 
 from __future__ import annotations
 
-import threading
 import time
 from collections import OrderedDict, deque
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from ..analysis.concurrency.runtime import RACECHECK, TRACKER, make_lock
 from ..core.session import CopyCatSession
 from ..durability import DURABILITY, DurabilityStore, recover_session
 from ..obs import METRICS
@@ -96,7 +96,7 @@ class _Entry:
     created: float
     last_used: float
     tenant_id: str = ""
-    lock: threading.Lock = field(default_factory=threading.Lock)
+    lock: Any = field(default_factory=lambda: make_lock("_Entry.lock"))
     queue: deque = field(default_factory=deque)
     #: True while a drain task for this session is live on the pool.
     scheduled: bool = False
@@ -136,7 +136,7 @@ class SessionManager:
             DurabilityStore(root) if (DURABILITY.enabled and root) else None
         )
         self._registry: "OrderedDict[str, _Entry]" = OrderedDict()
-        self._registry_lock = threading.Lock()
+        self._registry_lock = make_lock("SessionManager._registry_lock")
         self._pool: ThreadPoolExecutor | None = None
         self._closed = False
         # Overload protection: seeded shed draws and the brownout
@@ -146,7 +146,7 @@ class SessionManager:
         # Lifetime counters (always on; mirrored into METRICS when
         # enabled), guarded by one mutex so stats() reads are coherent
         # under concurrent workers — `+=` is not atomic across threads.
-        self._counters_lock = threading.Lock()
+        self._counters_lock = make_lock("SessionManager._counters_lock")
         self._inflight = 0
         self.sessions_created = 0
         self.sessions_evicted = 0
@@ -188,7 +188,7 @@ class SessionManager:
                 # checkpoint + log tail holds (a no-op for new tenants).
                 # Runs under the registry lock so two racing first
                 # requests can never double-replay one history.
-                recover_session(session, tenant_id, self.store, seed=seed)
+                recover_session(session, tenant_id, self.store, seed=seed)  # lint: allow=CONC004 -- recovery must stay under the registry lock (no double-replay); emits only leaf durability counters
             now = self._clock()
             entry = _Entry(
                 session=session,
@@ -197,6 +197,8 @@ class SessionManager:
                 last_used=now,
                 tenant_id=tenant_id,
             )
+            if RACECHECK.enabled:
+                TRACKER.note_access("SessionManager._registry", self)
             self._registry[tenant_id] = entry
             with self._counters_lock:
                 self.sessions_created += 1
@@ -237,6 +239,8 @@ class SessionManager:
         """Evict the tenant's session (checkpointed first when durable);
         True when one existed."""
         with self._registry_lock:
+            if RACECHECK.enabled:
+                TRACKER.note_access("SessionManager._registry", self)
             entry = self._registry.pop(tenant_id, None)
             if entry is not None:
                 with self._counters_lock:
@@ -259,6 +263,8 @@ class SessionManager:
         expired: list[str] = []
         victims: list[_Entry] = []
         with self._registry_lock:
+            if RACECHECK.enabled:
+                TRACKER.note_access("SessionManager._registry", self)
             for tenant_id, entry in list(self._registry.items()):
                 if now - entry.last_used > limit:
                     del self._registry[tenant_id]
@@ -377,6 +383,8 @@ class SessionManager:
         if protected:
             self._admit(entry)
         with self._counters_lock:
+            if RACECHECK.enabled:
+                TRACKER.note_access("SessionManager._inflight", self)
             self.requests += 1
             self._inflight += 1
         if METRICS.enabled:
@@ -400,14 +408,20 @@ class SessionManager:
         return self.submit(tenant_id, fn, **kwargs).result()
 
     def _executor(self) -> ThreadPoolExecutor:
-        if self._pool is None:
+        pool = self._pool
+        if pool is None:
             with self._registry_lock:
-                if self._pool is None:
-                    self._pool = ThreadPoolExecutor(
+                if self._closed:
+                    # A drain racing shutdown must not resurrect the pool;
+                    # _schedule_drain catches this and strands the queue.
+                    raise RuntimeError("session manager is shut down")
+                pool = self._pool
+                if pool is None:
+                    pool = self._pool = ThreadPoolExecutor(
                         max_workers=max(1, SERVER.workers),
                         thread_name_prefix="repro-server",
                     )
-        return self._pool
+        return pool
 
     def _schedule_drain(self, entry: _Entry) -> None:
         """Put a drain turn for *entry* on the pool, surviving a closing pool.
@@ -430,7 +444,8 @@ class SessionManager:
         round-robin; the pool's FIFO makes the rotation fair)."""
         quantum = OVERLOAD.drr_quantum if OVERLOAD.enabled else 0
         if quantum > 0:
-            entry.deficit += quantum
+            with entry.lock:
+                entry.deficit += quantum
         while True:
             with entry.lock:
                 if not entry.queue:
@@ -452,7 +467,10 @@ class SessionManager:
             ):
                 self._shed_expired(entry, request)
                 continue
-            entry.deficit -= 1
+            with entry.lock:
+                # After the shed check: expired requests must not consume
+                # the tenant's deficit.
+                entry.deficit -= 1
             try:
                 self._execute(entry, request)
             except BaseException:
@@ -525,6 +543,8 @@ class SessionManager:
             return
         request.tracked = False
         with self._counters_lock:
+            if RACECHECK.enabled:
+                TRACKER.note_access("SessionManager._inflight", self)
             self._inflight -= 1
         if METRICS.enabled:
             METRICS.gauge("overload.inflight", float(self.inflight))
@@ -537,6 +557,8 @@ class SessionManager:
         with actual recency — the busiest tenant could be the LRU victim.
         """
         with self._registry_lock:
+            if RACECHECK.enabled:
+                TRACKER.note_access("SessionManager._registry", self)
             entry.last_used = self._clock()
             if self._registry.get(entry.tenant_id) is entry:
                 self._registry.move_to_end(entry.tenant_id)
@@ -664,11 +686,18 @@ class SessionManager:
         failed with :class:`SessionError` so callers blocked in
         ``.result()`` wake up instead of hanging forever.
         """
-        self._closed = True
-        pool, self._pool = self._pool, None
+        with self._registry_lock:
+            # Swap the pool out under the same lock _executor creates it
+            # under, so a racing lazy-create cannot resurrect a pool this
+            # shutdown will never see (the .shutdown call itself stays
+            # outside — it blocks on in-flight work).
+            self._closed = True
+            pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=wait)
         with self._registry_lock:
+            if RACECHECK.enabled:
+                TRACKER.note_access("SessionManager._registry", self)
             victims = list(self._registry.values())
             self._registry.clear()
         for entry in victims:

@@ -44,6 +44,7 @@ import threading
 from collections import deque
 from contextlib import contextmanager
 
+from ..analysis.concurrency.runtime import RACECHECK, TRACKER, make_lock
 from ..errors import CopyCatError
 from ..obs import METRICS
 from ..obs.metrics import percentile
@@ -252,7 +253,7 @@ class LoadController:
 
     def __init__(self, config=None):
         self._config = config if config is not None else OVERLOAD
-        self._lock = threading.Lock()
+        self._lock = make_lock("LoadController._lock")
         self._window: deque[float] = deque(maxlen=max(4, self._config.brownout_window))
         self._streak = 0
         self.level = LEVEL_NORMAL
@@ -261,6 +262,8 @@ class LoadController:
 
     def p95_ms(self) -> float:
         with self._lock:
+            if RACECHECK.enabled:
+                TRACKER.note_access("LoadController._window", self, write=False)
             if not self._window:
                 return 0.0
             return percentile(sorted(self._window), 0.95)
@@ -269,6 +272,8 @@ class LoadController:
         """Fold one observation in; ``"enter"``/``"exit"`` on a transition."""
         cfg = self._config
         with self._lock:
+            if RACECHECK.enabled:
+                TRACKER.note_access("LoadController._window", self)
             window = self._window
             window.append(latency_ms)
             p95 = percentile(sorted(window), 0.95)

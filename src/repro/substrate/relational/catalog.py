@@ -10,12 +10,12 @@ from __future__ import annotations
 
 import copy
 import itertools
-import threading
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
 from typing import TYPE_CHECKING
 
+from ...analysis.concurrency.runtime import make_lock
 from ...errors import CatalogError
 from .relation import Relation
 from .schema import Schema
@@ -68,7 +68,7 @@ class Catalog:
         self._scope = next(_SCOPE_COUNTER)
         self._frozen = False
         self._fork_pristine = False
-        self._scope_lock = threading.Lock()
+        self._scope_lock = make_lock("Catalog._scope_lock")
 
     # -- multi-tenant sharing ----------------------------------------------------
     @property
@@ -104,7 +104,7 @@ class Catalog:
         child._scope = self._scope
         child._frozen = False
         child._fork_pristine = True
-        child._scope_lock = threading.Lock()
+        child._scope_lock = make_lock("Catalog._scope_lock")
         return child
 
     def _mutated(self) -> None:

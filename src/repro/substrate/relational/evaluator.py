@@ -206,7 +206,7 @@ class Evaluator:
             except TypeError:
                 return self._run_pinned(plan, schema)
             with self.tiers.flight((self._run_scope, fingerprint, self._run_version)):
-                return self._run_pinned(plan, schema)
+                return self._run_pinned(plan, schema)  # lint: allow=CONC004 -- single-flight deliberately computes under the per-key lock; only leaf metrics emit inside
         finally:
             self._run_version = None
             self._run_scope = None

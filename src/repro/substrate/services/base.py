@@ -15,10 +15,10 @@ return multiple answers").
 
 from __future__ import annotations
 
-import threading
 import time
 from typing import Any, Mapping, Sequence
 
+from ...analysis.concurrency.runtime import make_lock
 from ...cache.config import CACHE
 from ...cache.lru import LRUCache
 from ...errors import (
@@ -64,7 +64,7 @@ class Service:
         # sessions (the server's frozen base registers one instance), and
         # two tenants racing the same new result must agree on one id.
         self._result_ids: dict[tuple[Any, ...], TupleId] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock("Service._lock")
         # Resilience state (repro.resilience): a circuit breaker gating the
         # backend, an operational-health ledger the integration learner
         # reads, and a per-invocation counter seeding backoff jitter.

@@ -1,15 +1,48 @@
 """Shared fixtures: one scenario and one seeded type learner per session.
 
 Both are deterministic; tests that mutate state build their own instances.
+
+When the runtime race harness is on (``REPRO_RACECHECK=1``, CI's
+race-detect job), a session-end hook compares everything the tracked
+locks observed against the static concurrency model: the acquisition
+order must not invert the model's graph and no instrumented field may
+end with an empty lockset. A violation fails the whole run.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro.analysis.concurrency import RACECHECK, TRACKER
 from repro.data.scenario import Scenario, build_scenario
 from repro.learning.model.seed import seed_type_learner
 from repro.learning.model.type_learner import SemanticTypeLearner
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Race-detect gate: observed lock behavior vs the static model."""
+    if not RACECHECK.enabled:
+        return
+    from pathlib import Path
+
+    from repro.analysis.concurrency import build_model_from_paths
+
+    src = Path(__file__).resolve().parent.parent / "src"
+    model = build_model_from_paths([src])
+    problems = TRACKER.check_against(model.edge_set(), model.lock_names())
+    problems.extend(TRACKER.violations)
+    if problems:
+        print("\nrace-detect FAILED:")
+        for problem in problems:
+            print(f"  {problem}")
+        session.exitstatus = 1
+    else:
+        stats = TRACKER.stats()
+        print(
+            f"\nrace-detect: ok — {stats['acquisitions']} acquisitions over "
+            f"{stats['locks']} locks, {stats['edges']} order edges, "
+            f"{stats['fields']} fields tracked"
+        )
 
 
 @pytest.fixture(scope="session")
